@@ -1,0 +1,84 @@
+//! Criterion micro-benchmark for the design-choice ablations called out in
+//! DESIGN.md: stage count, gamma-fit variant, and Top-k selection algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sidco_core::sidco::{SidcoCompressor, SidcoConfig};
+use sidco_core::Compressor;
+use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
+use sidco_stats::fit::SidKind;
+use sidco_tensor::topk::{top_k, TopKAlgorithm};
+
+const DIM: usize = 1_000_000;
+const DELTA: f64 = 0.001;
+
+fn gradient() -> Vec<f32> {
+    let mut generator = SyntheticGradientGenerator::new(DIM, GradientProfile::SparseGamma, 19);
+    generator.gradient(2_000).into_vec()
+}
+
+fn bench_stage_count(c: &mut Criterion) {
+    let grad = gradient();
+    let mut group = c.benchmark_group("ablation_stage_count");
+    group.throughput(Throughput::Elements(DIM as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for stages in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("sidco_e_M{stages}")),
+            &stages,
+            |b, &stages| {
+                let config = SidcoConfig {
+                    initial_stages: stages,
+                    max_stages: stages,
+                    ..SidcoConfig::exponential()
+                };
+                let mut compressor = SidcoCompressor::new(config);
+                b.iter(|| compressor.compress(std::hint::black_box(&grad), DELTA));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sid_variants(c: &mut Criterion) {
+    let grad = gradient();
+    let mut group = c.benchmark_group("ablation_sid_variant");
+    group.throughput(Throughput::Elements(DIM as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for sid in SidKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("sidco_{sid}")),
+            &sid,
+            |b, &sid| {
+                let mut compressor = SidcoCompressor::new(SidcoConfig::for_sid(sid));
+                compressor.compress(&grad, DELTA);
+                b.iter(|| compressor.compress(std::hint::black_box(&grad), DELTA));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_topk_algorithms(c: &mut Criterion) {
+    let grad = gradient();
+    let k = (DIM as f64 * 0.01) as usize;
+    let mut group = c.benchmark_group("ablation_topk_algorithm");
+    group.throughput(Throughput::Elements(DIM as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for algorithm in TopKAlgorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algorithm:?}")),
+            &algorithm,
+            |b, &algorithm| b.iter(|| top_k(std::hint::black_box(&grad), k, algorithm)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_count, bench_sid_variants, bench_topk_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmark: wall-clock compression latency of every scheme on a
+//! VGG16-like gradient (the measured counterpart of the paper's Figure 1b / 15,
+//! CPU device).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sidco_core::compressor::CompressorKind;
+use sidco_dist::simulate::build_compressor;
+use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
+use sidco_stats::fit::SidKind;
+
+const DIM: usize = 1_000_000;
+
+fn gradient() -> Vec<f32> {
+    let mut generator = SyntheticGradientGenerator::new(DIM, GradientProfile::SparseGamma, 7);
+    generator.gradient(2_000).into_vec()
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let grad = gradient();
+    let mut group = c.benchmark_group("compression_vgg16_like");
+    group.throughput(Throughput::Elements(DIM as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &delta in &[0.1f64, 0.01, 0.001] {
+        for kind in [
+            CompressorKind::TopK,
+            CompressorKind::Dgc,
+            CompressorKind::RedSync,
+            CompressorKind::GaussianKSgd,
+            CompressorKind::Sidco(SidKind::Exponential),
+            CompressorKind::Sidco(SidKind::Gamma),
+            CompressorKind::Sidco(SidKind::GeneralizedPareto),
+        ] {
+            let label = format!("{}/delta={delta}", kind.label());
+            group.bench_with_input(BenchmarkId::from_parameter(label), &delta, |b, &delta| {
+                let mut compressor = build_compressor(kind, 0).expect("compressed scheme");
+                // Warm the adaptive state outside the measurement.
+                compressor.compress(&grad, delta);
+                b.iter(|| compressor.compress(std::hint::black_box(&grad), delta));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compressors);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark: compression latency across tensor sizes
+//! (the measured counterpart of Figures 16/17 on the CPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sidco_core::compressor::CompressorKind;
+use sidco_dist::simulate::build_compressor;
+use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
+use sidco_stats::fit::SidKind;
+
+const DELTA: f64 = 0.001;
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthetic_tensor_sizes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // 0.26M and 2.6M elements match the two smaller sizes in Figure 16; the larger
+    // paper sizes (26M / 260M) are covered by the analytic model in the experiments
+    // binary to keep the bench run short.
+    for &size in &[260_000usize, 2_600_000] {
+        let mut generator =
+            SyntheticGradientGenerator::new(size, GradientProfile::LaplaceLike, 13);
+        let grad = generator.gradient(1_000).into_vec();
+        group.throughput(Throughput::Elements(size as u64));
+        for kind in [
+            CompressorKind::TopK,
+            CompressorKind::Dgc,
+            CompressorKind::RedSync,
+            CompressorKind::GaussianKSgd,
+            CompressorKind::Sidco(SidKind::Exponential),
+        ] {
+            let label = format!("{}/{}el", kind.label(), size);
+            group.bench_with_input(BenchmarkId::from_parameter(label), &size, |b, _| {
+                let mut compressor = build_compressor(kind, 0).expect("compressed scheme");
+                compressor.compress(&grad, DELTA);
+                b.iter(|| compressor.compress(std::hint::black_box(&grad), DELTA));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizes);
+criterion_main!(benches);

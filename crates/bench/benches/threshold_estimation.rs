@@ -1,0 +1,71 @@
+//! Criterion micro-benchmark: cost of the threshold *estimation* alone (no
+//! selection scan), comparing the three SID estimators, the exact-quantile gamma
+//! variant, and exact Top-k selection of the threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
+use sidco_stats::fit::{
+    exponential_threshold, gamma_threshold, gamma_threshold_exact, gaussian_threshold,
+    gp_threshold,
+};
+use sidco_stats::pot::multi_stage_threshold;
+use sidco_stats::fit::SidKind;
+use sidco_tensor::topk::kth_largest_magnitude;
+
+const DIM: usize = 1_000_000;
+const DELTA: f64 = 0.001;
+
+fn gradient() -> Vec<f32> {
+    let mut generator = SyntheticGradientGenerator::new(DIM, GradientProfile::SparseGamma, 11);
+    generator.gradient(2_000).into_vec()
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let grad = gradient();
+    let mut group = c.benchmark_group("threshold_estimation");
+    group.throughput(Throughput::Elements(DIM as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function(BenchmarkId::from_parameter("exponential_single_stage"), |b| {
+        b.iter(|| exponential_threshold(std::hint::black_box(&grad), DELTA))
+    });
+    group.bench_function(BenchmarkId::from_parameter("gamma_closed_form"), |b| {
+        b.iter(|| gamma_threshold(std::hint::black_box(&grad), DELTA))
+    });
+    group.bench_function(BenchmarkId::from_parameter("gamma_exact_quantile"), |b| {
+        b.iter(|| gamma_threshold_exact(std::hint::black_box(&grad), DELTA))
+    });
+    group.bench_function(BenchmarkId::from_parameter("generalized_pareto"), |b| {
+        b.iter(|| gp_threshold(std::hint::black_box(&grad), DELTA))
+    });
+    group.bench_function(BenchmarkId::from_parameter("gaussian"), |b| {
+        b.iter(|| gaussian_threshold(std::hint::black_box(&grad), DELTA))
+    });
+    for stages in [1usize, 2, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("multi_stage_exponential_M{stages}")),
+            &stages,
+            |b, &stages| {
+                b.iter(|| {
+                    multi_stage_threshold(
+                        std::hint::black_box(&grad),
+                        SidKind::Exponential,
+                        DELTA,
+                        0.25,
+                        stages,
+                    )
+                })
+            },
+        );
+    }
+    group.bench_function(BenchmarkId::from_parameter("exact_topk_threshold"), |b| {
+        let k = (DIM as f64 * DELTA) as usize;
+        b.iter(|| kth_largest_magnitude(std::hint::black_box(&grad), k))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! `sidco-experiments` — regenerates every table and figure of the SIDCo paper.
+//!
+//! ```text
+//! USAGE:
+//!   sidco-experiments <experiment> [--full]
+//!
+//! EXPERIMENTS:
+//!   table1     Table 1   — benchmark matrix
+//!   fig1       Figure 1  — compression speed-up over Top-k + estimation quality
+//!   fig2       Figure 2  — SID fits of the gradient (no EC)
+//!   fig3       Figure 3  — LSTM-PTB / LSTM-AN4 end-to-end
+//!   fig4       Figure 4  — loss + ratio tracking at δ=0.001 (RNN proxies)
+//!   fig5       Figure 5  — ResNet20 / VGG16 on CIFAR-10
+//!   fig6       Figure 6  — ResNet50 / VGG19 on ImageNet
+//!   fig7       Figure 7  — gradient compressibility
+//!   fig8       Figure 8  — SID fits with error feedback
+//!   fig9       Figure 9  — smoothed achieved-ratio series
+//!   fig10      Figure 10 — loss vs simulated wall-time
+//!   fig11      Figure 11 — VGG19 ratio tracking + loss
+//!   fig12      Figure 12 — CPU as the compression device
+//!   fig13      Figure 13 — single 8-GPU node ImageNet runs
+//!   fig14      Figures 14/15 — per-model compression speed-up / latency
+//!   fig16      Figures 16/17 — synthetic-tensor compression speed-up / latency
+//!   fig18      Figure 18 — all-SIDs end-to-end sweep
+//!   ablations  Design-choice ablations (stages, δ₁, adaptation, gamma fit, PoT)
+//!   stages     Show SIDCo's per-stage thresholds at δ=0.001
+//!   all        Run everything above
+//!
+//! OPTIONS:
+//!   --full     Paper-scale iteration counts and tensor sizes (default: quick)
+//! ```
+
+use sidco_bench::{ablation, end_to_end, fitting, micro, table1, training, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let experiment = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .unwrap_or("help");
+
+    match experiment {
+        "table1" => {
+            table1::run();
+        }
+        "fig1" => {
+            micro::fig1(scale);
+        }
+        "fig2" => {
+            fitting::fig2(scale);
+        }
+        "fig3" => {
+            end_to_end::fig3(scale);
+        }
+        "fig4" => {
+            training::fig4(scale);
+        }
+        "fig5" => {
+            end_to_end::fig5(scale);
+        }
+        "fig6" => {
+            end_to_end::fig6(scale);
+        }
+        "fig7" => {
+            fitting::fig7(scale);
+        }
+        "fig8" => {
+            fitting::fig8(scale);
+        }
+        "fig9" => {
+            end_to_end::fig9(scale);
+        }
+        "fig10" => {
+            training::fig10(scale);
+        }
+        "fig11" => {
+            training::fig11(scale);
+        }
+        "fig12" => {
+            end_to_end::fig12(scale);
+        }
+        "fig13" => {
+            end_to_end::fig13(scale);
+        }
+        "fig14" | "fig15" => {
+            micro::fig14_15(scale);
+        }
+        "fig16" | "fig17" => {
+            micro::fig16_17(scale);
+        }
+        "fig18" => {
+            end_to_end::fig18(scale);
+        }
+        "ablations" => {
+            ablation::all(scale);
+        }
+        "stages" => {
+            ablation::describe_stages(0.001);
+        }
+        "all" => {
+            table1::run();
+            micro::fig1(scale);
+            fitting::fig2(scale);
+            end_to_end::fig3(scale);
+            training::fig4(scale);
+            end_to_end::fig5(scale);
+            end_to_end::fig6(scale);
+            fitting::fig7(scale);
+            fitting::fig8(scale);
+            end_to_end::fig9(scale);
+            training::fig10(scale);
+            training::fig11(scale);
+            end_to_end::fig12(scale);
+            end_to_end::fig13(scale);
+            micro::fig14_15(scale);
+            micro::fig16_17(scale);
+            end_to_end::fig18(scale);
+            ablation::all(scale);
+        }
+        _ => {
+            eprintln!(
+                "usage: sidco-experiments <table1|fig1|fig2|...|fig18|ablations|stages|all> [--full]"
+            );
+            eprintln!("see the crate documentation for the experiment ↔ figure mapping");
+            std::process::exit(2);
+        }
+    }
+}

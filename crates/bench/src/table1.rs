@@ -1,0 +1,63 @@
+//! Table 1: the benchmark matrix.
+
+use crate::report::Table;
+use sidco_models::benchmarks::BenchmarkId;
+
+/// Regenerates Table 1 (the benchmark summary used throughout the evaluation).
+pub fn run() -> String {
+    let mut table = Table::new(
+        "Table 1 — benchmarks used in this work",
+        &[
+            "benchmark",
+            "task",
+            "model",
+            "dataset",
+            "parameters",
+            "batch/worker",
+            "lr",
+            "epochs",
+            "comm overhead",
+            "optimizer",
+            "quality metric",
+        ],
+    );
+    for id in BenchmarkId::ALL {
+        let s = id.spec();
+        table.row(&[
+            s.name.to_string(),
+            format!("{:?}", s.task),
+            s.model.to_string(),
+            s.dataset.to_string(),
+            s.parameters.to_string(),
+            s.per_worker_batch.to_string(),
+            s.learning_rate.to_string(),
+            s.epochs.to_string(),
+            format!("{:.0}%", s.communication_overhead * 100.0),
+            format!("{:?}", s.optimizer),
+            s.quality_metric.to_string(),
+        ]);
+    }
+    let out = table.render();
+    println!("{out}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_lists_all_six_benchmarks() {
+        let out = super::run();
+        for name in [
+            "LSTM-PTB",
+            "LSTM-AN4",
+            "ResNet20-CIFAR10",
+            "VGG16-CIFAR10",
+            "ResNet50-ImageNet",
+            "VGG19-ImageNet",
+        ] {
+            assert!(out.contains(name), "missing {name}");
+        }
+        assert!(out.contains("66034000"));
+        assert!(out.contains("94%"));
+    }
+}

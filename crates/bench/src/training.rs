@@ -1,0 +1,217 @@
+//! Real-model training experiments: loss curves and ratio tracking
+//! (Figures 4, 10 and 11).
+//!
+//! These experiments train the analytic workloads of `sidco-models` end-to-end with
+//! every compression scheme, so the loss trajectories (and the divergence of the
+//! badly-estimating schemes at aggressive ratios) are genuine training outcomes, not
+//! simulations. Wall-clock time on the x-axis of Figure 10 is the *simulated*
+//! iteration time (compute + compression + communication) of the 8-worker cluster.
+
+use crate::report::{fmt, Table};
+use crate::Scale;
+use sidco_core::compressor::CompressorKind;
+use sidco_dist::cluster::ClusterConfig;
+use sidco_dist::metrics::TrainingReport;
+use sidco_dist::simulate::build_compressor;
+use sidco_dist::trainer::{ModelTrainer, TrainerConfig};
+use sidco_dist::LrSchedule;
+use sidco_models::dataset::{ClassificationDataset, SequenceDataset};
+use sidco_models::logistic::SoftmaxClassifier;
+use sidco_models::mlp::Mlp;
+use sidco_models::rnn::ElmanRnn;
+use sidco_models::DifferentiableModel;
+use sidco_stats::fit::SidKind;
+use std::sync::Arc;
+
+const CURVE_SCHEMES: [CompressorKind; 6] = [
+    CompressorKind::None,
+    CompressorKind::TopK,
+    CompressorKind::Dgc,
+    CompressorKind::RedSync,
+    CompressorKind::GaussianKSgd,
+    CompressorKind::Sidco(SidKind::Exponential),
+];
+
+/// Builds the RNN proxy workload (stands in for the LSTM benchmarks).
+fn rnn_workload(scale: Scale) -> Arc<dyn DifferentiableModel> {
+    let data = SequenceDataset::generate(scale.pick(128, 512), 12, 4, 77);
+    Arc::new(ElmanRnn::new(data, scale.pick(12, 24)))
+}
+
+/// Builds the CNN proxy workload (stands in for the CIFAR-10 / ImageNet CNNs).
+fn cnn_workload(scale: Scale) -> Arc<dyn DifferentiableModel> {
+    let data = ClassificationDataset::gaussian_blobs(scale.pick(256, 1_024), 32, 8, 6.0, 78);
+    Arc::new(Mlp::new(data, scale.pick(16, 48)))
+}
+
+/// Builds the larger softmax workload used for the VGG19-style Figure 11 run.
+fn large_classifier_workload(scale: Scale) -> Arc<dyn DifferentiableModel> {
+    let data = ClassificationDataset::gaussian_blobs(scale.pick(256, 2_048), 64, 10, 6.0, 79);
+    Arc::new(SoftmaxClassifier::new(data))
+}
+
+fn train(
+    model: &Arc<dyn DifferentiableModel>,
+    kind: CompressorKind,
+    delta: f64,
+    iterations: u64,
+    clip: Option<f64>,
+) -> TrainingReport {
+    let config = TrainerConfig {
+        iterations,
+        batch_per_worker: 16,
+        schedule: LrSchedule::constant(0.3),
+        clip_norm: clip,
+        ..TrainerConfig::default()
+    };
+    let cluster = ClusterConfig::paper_dedicated();
+    match kind {
+        CompressorKind::None => {
+            ModelTrainer::uncompressed(Arc::clone(model), cluster, config).run(1.0)
+        }
+        _ => ModelTrainer::new(Arc::clone(model), cluster, config, || {
+            build_compressor(kind, 3).expect("compressed scheme")
+        })
+        .run(delta),
+    }
+}
+
+/// Samples a loss curve at 5 evenly spaced points.
+fn curve_summary(report: &TrainingReport) -> Vec<f64> {
+    let losses: Vec<f64> = report.samples().iter().map(|s| s.loss).collect();
+    if losses.is_empty() {
+        return vec![f64::NAN; 5];
+    }
+    (0..5)
+        .map(|i| {
+            let idx = ((losses.len() - 1) as f64 * i as f64 / 4.0).round() as usize;
+            losses[idx]
+        })
+        .collect()
+}
+
+/// Figure 4: training loss vs iteration and threshold-estimation quality at
+/// δ = 0.001 for the two RNN workloads.
+pub fn fig4(scale: Scale) -> String {
+    let delta = 0.001;
+    let iterations = scale.pick(60, 300);
+    let mut out = String::new();
+    for (label, model) in [
+        ("Figure 4(a,b) — RNN proxy for LSTM-PTB", rnn_workload(scale)),
+        ("Figure 4(c,d) — RNN proxy for LSTM-AN4", rnn_workload(scale)),
+    ] {
+        let mut table = Table::new(
+            format!("{label}, δ = {delta}"),
+            &["scheme", "loss@0%", "loss@25%", "loss@50%", "loss@75%", "loss@100%", "k̂/k mean"],
+        );
+        for kind in CURVE_SCHEMES {
+            let report = train(&model, kind, delta, iterations, Some(5.0));
+            let curve = curve_summary(&report);
+            let mut cells = vec![kind.label().to_string()];
+            cells.extend(curve.iter().map(|&l| fmt(l)));
+            cells.push(if kind == CompressorKind::None {
+                "-".to_string()
+            } else {
+                fmt(report.estimation_quality().mean_normalized_ratio)
+            });
+            table.row(&cells);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    println!("{out}");
+    out
+}
+
+/// Figure 10: training loss vs simulated wall-time for the RNN and CNN proxies at
+/// every ratio.
+pub fn fig10(scale: Scale) -> String {
+    let iterations = scale.pick(50, 250);
+    let mut out = String::new();
+    for (label, model) in [
+        ("Figure 10 — RNN proxy", rnn_workload(scale)),
+        ("Figure 10 — CNN proxy", cnn_workload(scale)),
+    ] {
+        for &delta in &[0.1, 0.01, 0.001] {
+            let mut table = Table::new(
+                format!("{label}, δ = {delta}: loss vs simulated wall-time"),
+                &["scheme", "total time (s)", "final loss", "time to 90% of baseline drop (s)"],
+            );
+            // Baseline first, to define the convergence target.
+            let baseline = train(&model, CompressorKind::None, 1.0, iterations, None);
+            let initial = baseline.samples().first().map(|s| s.loss).unwrap_or(f64::NAN);
+            let target = initial - 0.9 * (initial - baseline.final_loss());
+            for kind in CURVE_SCHEMES {
+                let report = if kind == CompressorKind::None {
+                    baseline.clone()
+                } else {
+                    train(&model, kind, delta, iterations, None)
+                };
+                table.row(&[
+                    kind.label().to_string(),
+                    fmt(report.total_time()),
+                    fmt(report.final_loss()),
+                    report
+                        .time_to_loss(target)
+                        .map(fmt)
+                        .unwrap_or_else(|| "not reached".to_string()),
+                ]);
+            }
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+    }
+    println!("{out}");
+    out
+}
+
+/// Figure 11: VGG19-style run at δ = 0.001 — smoothed achieved ratio plus the loss
+/// trajectory.
+pub fn fig11(scale: Scale) -> String {
+    let delta = 0.001;
+    let iterations = scale.pick(60, 300);
+    let model = large_classifier_workload(scale);
+    let mut out = String::new();
+    let mut table = Table::new(
+        "Figure 11 — VGG19-style workload, δ = 0.001",
+        &["scheme", "k̂/k start", "k̂/k end", "final loss", "final accuracy"],
+    );
+    for kind in CURVE_SCHEMES {
+        let report = train(&model, kind, delta, iterations, None);
+        let ratios = report.smoothed_ratio_history(10);
+        let (start, end) = match (ratios.first(), ratios.last()) {
+            (Some(&s), Some(&e)) => (s / delta, e / delta),
+            _ => (f64::NAN, f64::NAN),
+        };
+        table.row(&[
+            kind.label().to_string(),
+            if kind == CompressorKind::None { "-".to_string() } else { fmt(start) },
+            if kind == CompressorKind::None { "-".to_string() } else { fmt(end) },
+            fmt(report.final_loss()),
+            fmt(report.final_accuracy().unwrap_or(f64::NAN)),
+        ]);
+    }
+    out.push_str(&table.render());
+    println!("{out}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_trains_all_schemes() {
+        let out = fig4(Scale::Quick);
+        assert!(out.contains("Figure 4"));
+        assert!(out.contains("SIDCo-E"));
+        assert!(out.contains("NoComp"));
+    }
+
+    #[test]
+    fn fig11_reports_ratio_tracking() {
+        let out = fig11(Scale::Quick);
+        assert!(out.contains("Figure 11"));
+        assert!(out.contains("GaussK"));
+    }
+}

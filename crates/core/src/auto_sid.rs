@@ -1,0 +1,226 @@
+//! Automatic SID selection — the direction the paper's conclusion sketches as future
+//! work ("explore ways to estimate a threshold for which compression satisfies other
+//! quality targets").
+//!
+//! [`AutoSidCompressor`] periodically fits all three sparsity-inducing distributions
+//! to a sub-sample of the absolute gradient, scores each fit with the
+//! Kolmogorov–Smirnov distance, and switches the inner [`SidcoCompressor`] to the
+//! best-fitting SID. Between refits the compressor behaves exactly like the chosen
+//! SIDCo variant, so the overhead stays a single extra pass every `refit_period`
+//! iterations.
+
+use crate::compressor::{CompressionResult, Compressor};
+use crate::sidco::{SidcoCompressor, SidcoConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sidco_stats::empirical::EmpiricalCdf;
+use sidco_stats::fit::{fit_sid, FittedSid, SidKind};
+use sidco_stats::{Exponential, Gamma, GeneralizedPareto};
+use sidco_tensor::sampling::sample_values;
+
+/// Configuration of the automatic SID selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoSidConfig {
+    /// Base SIDCo configuration (tolerances, stage adaptation, δ₁). The `sid` field
+    /// is only the starting choice; the selector overrides it at every refit.
+    pub base: SidcoConfig,
+    /// Number of compression calls between SID re-selections.
+    pub refit_period: u64,
+    /// Number of absolute-gradient samples used for the goodness-of-fit test.
+    pub fit_sample: usize,
+    /// RNG seed for the sub-sampling.
+    pub seed: u64,
+}
+
+impl Default for AutoSidConfig {
+    fn default() -> Self {
+        Self {
+            base: SidcoConfig::exponential(),
+            refit_period: 50,
+            fit_sample: 4_096,
+            seed: 0,
+        }
+    }
+}
+
+/// SIDCo with automatic selection of the sparsity-inducing distribution.
+///
+/// # Example
+///
+/// ```
+/// use sidco_core::auto_sid::AutoSidCompressor;
+/// use sidco_core::Compressor;
+///
+/// let grad: Vec<f32> = (1..=20_000)
+///     .map(|j| if j % 2 == 0 { 1.0 } else { -1.0 } * (j as f32).powf(-0.8))
+///     .collect();
+/// let mut compressor = AutoSidCompressor::default();
+/// let result = compressor.compress(&grad, 0.01);
+/// assert!(result.sparse.nnz() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AutoSidCompressor {
+    config: AutoSidConfig,
+    inner: SidcoCompressor,
+    current_sid: SidKind,
+    iteration: u64,
+    rng: SmallRng,
+}
+
+impl AutoSidCompressor {
+    /// Creates an automatic-SID compressor.
+    pub fn new(config: AutoSidConfig) -> Self {
+        let inner = SidcoCompressor::new(SidcoConfig {
+            sid: config.base.sid,
+            ..config.base
+        });
+        Self {
+            current_sid: config.base.sid,
+            inner,
+            iteration: 0,
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// The SID currently in use.
+    pub fn current_sid(&self) -> SidKind {
+        self.current_sid
+    }
+
+    /// Scores all three SIDs on a sub-sample of `grad` and returns the best one
+    /// (lowest KS distance of the fitted |G| distribution).
+    fn select_sid(&mut self, grad: &[f32]) -> SidKind {
+        let sample = sample_values(grad, self.config.fit_sample.min(grad.len()), &mut self.rng);
+        let abs: Vec<f64> = sample.iter().map(|&x| x.abs() as f64).collect();
+        if abs.iter().all(|&x| x == 0.0) {
+            return self.current_sid;
+        }
+        let ecdf = EmpiricalCdf::new(&abs);
+        let mut best = (self.current_sid, f64::INFINITY);
+        for kind in SidKind::ALL {
+            let Ok((fit, _)) = fit_sid(&sample, kind) else {
+                continue;
+            };
+            let distance = match fit {
+                FittedSid::Exponential { scale } => Exponential::new(scale)
+                    .map(|d| ecdf.ks_distance(&d))
+                    .unwrap_or(f64::INFINITY),
+                FittedSid::Gamma { shape, scale } => Gamma::new(shape, scale)
+                    .map(|d| ecdf.ks_distance(&d))
+                    .unwrap_or(f64::INFINITY),
+                FittedSid::GeneralizedPareto { shape, scale } => {
+                    GeneralizedPareto::new(shape, scale.max(f64::MIN_POSITIVE), 0.0)
+                        .map(|d| ecdf.ks_distance(&d))
+                        .unwrap_or(f64::INFINITY)
+                }
+            };
+            if distance < best.1 {
+                best = (kind, distance);
+            }
+        }
+        best.0
+    }
+}
+
+impl Default for AutoSidCompressor {
+    fn default() -> Self {
+        Self::new(AutoSidConfig::default())
+    }
+}
+
+impl Compressor for AutoSidCompressor {
+    fn compress(&mut self, grad: &[f32], delta: f64) -> CompressionResult {
+        if self.iteration % self.config.refit_period == 0 && !grad.is_empty() {
+            let selected = self.select_sid(grad);
+            if selected != self.current_sid {
+                // Keep the adapted stage count but switch the distribution family.
+                let stages = self.inner.current_stages();
+                self.inner = SidcoCompressor::new(SidcoConfig {
+                    sid: selected,
+                    initial_stages: stages,
+                    ..self.config.base
+                });
+                self.current_sid = selected;
+            }
+        }
+        self.iteration += 1;
+        self.inner.compress(grad, delta)
+    }
+
+    fn name(&self) -> &'static str {
+        "sidco-auto"
+    }
+
+    fn reset(&mut self) {
+        self.inner = SidcoCompressor::new(self.config.base);
+        self.current_sid = self.config.base.sid;
+        self.iteration = 0;
+        self.rng = SmallRng::seed_from_u64(self.config.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use sidco_stats::distribution::Continuous;
+    use sidco_stats::{DoubleGeneralizedPareto, Laplace};
+
+    fn sample_f32<D: Continuous>(d: &D, n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        d.sample_vec(&mut rng, n).into_iter().map(|x| x as f32).collect()
+    }
+
+    #[test]
+    fn selects_exponential_for_laplace_gradients() {
+        let grad = sample_f32(&Laplace::new(0.0, 0.01).unwrap(), 100_000, 91);
+        let mut compressor = AutoSidCompressor::default();
+        compressor.compress(&grad, 0.01);
+        assert_eq!(compressor.current_sid(), SidKind::Exponential);
+        assert_eq!(compressor.name(), "sidco-auto");
+    }
+
+    #[test]
+    fn selects_heavier_tail_family_for_gp_gradients() {
+        let grad = sample_f32(&DoubleGeneralizedPareto::new(0.35, 0.01).unwrap(), 100_000, 93);
+        let mut compressor = AutoSidCompressor::default();
+        compressor.compress(&grad, 0.01);
+        assert_ne!(
+            compressor.current_sid(),
+            SidKind::Exponential,
+            "heavy-tailed gradients should not keep the exponential fit"
+        );
+    }
+
+    #[test]
+    fn achieves_target_ratio_after_adaptation() {
+        let grad = sample_f32(&DoubleGeneralizedPareto::new(0.3, 0.01).unwrap(), 200_000, 95);
+        let delta = 0.001;
+        let mut compressor = AutoSidCompressor::default();
+        let mut achieved = 0.0;
+        for _ in 0..12 {
+            achieved = compressor.compress(&grad, delta).achieved_ratio();
+        }
+        assert!(
+            (achieved - delta).abs() / delta < 0.75,
+            "auto-SID should track the target, got {achieved}"
+        );
+    }
+
+    #[test]
+    fn reset_restores_base_sid() {
+        let grad = sample_f32(&DoubleGeneralizedPareto::new(0.35, 0.01).unwrap(), 50_000, 97);
+        let mut compressor = AutoSidCompressor::default();
+        compressor.compress(&grad, 0.01);
+        compressor.reset();
+        assert_eq!(compressor.current_sid(), SidKind::Exponential);
+    }
+
+    #[test]
+    fn handles_empty_and_zero_gradients() {
+        let mut compressor = AutoSidCompressor::default();
+        assert_eq!(compressor.compress(&[], 0.01).sparse.nnz(), 0);
+        assert_eq!(compressor.compress(&[0.0; 64], 0.01).sparse.nnz(), 0);
+    }
+}

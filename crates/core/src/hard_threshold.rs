@@ -1,0 +1,111 @@
+//! Fixed ("hard") threshold compressor — the simplest linear-time sparsifier
+//! (Aji & Heafield 2017, Dryden et al. 2016), used as a building block and as an
+//! ablation reference.
+
+use crate::compressor::{CompressionResult, Compressor};
+use sidco_tensor::threshold::select_above_threshold;
+
+/// A compressor that applies a user-supplied, fixed magnitude threshold and ignores
+/// the target ratio entirely.
+///
+/// Because the threshold does not track the evolving gradient scale, the achieved
+/// ratio drifts over training — exactly the motivation for estimating the threshold
+/// statistically every iteration.
+///
+/// # Example
+///
+/// ```
+/// use sidco_core::prelude::*;
+///
+/// let grad = [0.5f32, -0.01, 0.2, -0.9];
+/// let mut hard = HardThresholdCompressor::new(0.3);
+/// let result = hard.compress(&grad, 0.25);
+/// assert_eq!(result.sparse.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardThresholdCompressor {
+    threshold: f64,
+}
+
+impl HardThresholdCompressor {
+    /// Creates a hard-threshold compressor with the given magnitude threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be a non-negative finite value, got {threshold}"
+        );
+        Self { threshold }
+    }
+
+    /// The fixed threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Replaces the fixed threshold (e.g. for a manually scheduled threshold decay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    pub fn set_threshold(&mut self, threshold: f64) {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be a non-negative finite value, got {threshold}"
+        );
+        self.threshold = threshold;
+    }
+}
+
+impl Compressor for HardThresholdCompressor {
+    fn compress(&mut self, grad: &[f32], _delta: f64) -> CompressionResult {
+        let sparse = select_above_threshold(grad, self.threshold);
+        CompressionResult::with_threshold(sparse, self.threshold)
+    }
+
+    fn name(&self) -> &'static str {
+        "hard-threshold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applies_fixed_threshold_regardless_of_delta() {
+        let grad = [0.5f32, -0.01, 0.2, -0.9];
+        let mut c = HardThresholdCompressor::new(0.3);
+        let a = c.compress(&grad, 0.001);
+        let b = c.compress(&grad, 0.9);
+        assert_eq!(a.sparse.nnz(), 2);
+        assert_eq!(b.sparse.nnz(), 2);
+        assert_eq!(a.threshold, Some(0.3));
+        assert_eq!(c.name(), "hard-threshold");
+        assert_eq!(c.threshold(), 0.3);
+    }
+
+    #[test]
+    fn set_threshold_changes_selection() {
+        let grad = [0.5f32, -0.01, 0.2, -0.9];
+        let mut c = HardThresholdCompressor::new(0.3);
+        c.set_threshold(0.05);
+        assert_eq!(c.compress(&grad, 0.5).sparse.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_threshold() {
+        HardThresholdCompressor::new(-1.0);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything() {
+        let grad = [0.1f32, 0.0, -0.2];
+        let mut c = HardThresholdCompressor::new(0.0);
+        assert_eq!(c.compress(&grad, 0.1).sparse.nnz(), 3);
+    }
+}

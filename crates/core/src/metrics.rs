@@ -1,0 +1,192 @@
+//! Compression-quality metrics: the "estimation quality" (normalised achieved
+//! ratio) statistics reported in Figures 1c, 3c/f, 5b, 6c/f, 9 and 18 of the paper.
+
+use sidco_stats::moments::RunningMoments;
+
+/// Tracks how closely a compressor's achieved ratio `k̂/d` matches the target `δ`
+/// over a training run.
+///
+/// # Example
+///
+/// ```
+/// use sidco_core::metrics::EstimationQualityTracker;
+///
+/// let mut tracker = EstimationQualityTracker::new(0.01);
+/// tracker.record(0.011);
+/// tracker.record(0.009);
+/// let summary = tracker.summary();
+/// assert!((summary.mean_normalized_ratio - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EstimationQualityTracker {
+    target: f64,
+    normalized: RunningMoments,
+    history: Vec<f64>,
+}
+
+/// Summary statistics of the normalised achieved ratio `(k̂/d)/δ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimationQualitySummary {
+    /// Target compression ratio `δ`.
+    pub target_ratio: f64,
+    /// Mean of the normalised ratio (1.0 is a perfect estimator).
+    pub mean_normalized_ratio: f64,
+    /// Standard deviation of the normalised ratio.
+    pub std_normalized_ratio: f64,
+    /// Lower edge of the 90% confidence interval of the mean (normal approximation),
+    /// matching the error bars in the paper's figures.
+    pub ci90_low: f64,
+    /// Upper edge of the 90% confidence interval of the mean.
+    pub ci90_high: f64,
+    /// Number of recorded iterations.
+    pub samples: u64,
+}
+
+impl EstimationQualityTracker {
+    /// Creates a tracker for the given target ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_ratio` is not in `(0, 1]`.
+    pub fn new(target_ratio: f64) -> Self {
+        assert!(
+            target_ratio > 0.0 && target_ratio <= 1.0,
+            "target ratio must lie in (0,1], got {target_ratio}"
+        );
+        Self {
+            target: target_ratio,
+            normalized: RunningMoments::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Records the achieved ratio of one iteration.
+    pub fn record(&mut self, achieved_ratio: f64) {
+        let normalized = achieved_ratio / self.target;
+        self.normalized.push(normalized);
+        self.history.push(achieved_ratio);
+    }
+
+    /// The target ratio.
+    pub fn target_ratio(&self) -> f64 {
+        self.target
+    }
+
+    /// Raw per-iteration achieved ratios, in recording order (the Figure 4/9 series).
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Running average of the achieved ratio over a window, producing the smoothed
+    /// series plotted in Figure 9. `window` of 0 or 1 returns the raw history.
+    pub fn smoothed_history(&self, window: usize) -> Vec<f64> {
+        if window <= 1 || self.history.is_empty() {
+            return self.history.clone();
+        }
+        let mut out = Vec::with_capacity(self.history.len());
+        let mut sum = 0.0;
+        for (i, &x) in self.history.iter().enumerate() {
+            sum += x;
+            if i >= window {
+                sum -= self.history[i - window];
+            }
+            let count = (i + 1).min(window);
+            out.push(sum / count as f64);
+        }
+        out
+    }
+
+    /// Summary statistics of the normalised ratio.
+    pub fn summary(&self) -> EstimationQualitySummary {
+        let n = self.normalized.count();
+        let mean = self.normalized.mean();
+        let std = self.normalized.std_dev();
+        // 90% CI of the mean under the normal approximation (z = 1.645).
+        let half_width = if n > 1 {
+            1.645 * std / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        EstimationQualitySummary {
+            target_ratio: self.target,
+            mean_normalized_ratio: mean,
+            std_normalized_ratio: std,
+            ci90_low: mean - half_width,
+            ci90_high: mean + half_width,
+            samples: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "target ratio")]
+    fn rejects_invalid_target() {
+        EstimationQualityTracker::new(0.0);
+    }
+
+    #[test]
+    fn perfect_estimator_has_unit_mean_and_zero_std() {
+        let mut t = EstimationQualityTracker::new(0.01);
+        for _ in 0..100 {
+            t.record(0.01);
+        }
+        let s = t.summary();
+        assert!((s.mean_normalized_ratio - 1.0).abs() < 1e-12);
+        assert!(s.std_normalized_ratio < 1e-12);
+        assert!((s.ci90_low - 1.0).abs() < 1e-9);
+        assert_eq!(s.samples, 100);
+        assert_eq!(t.target_ratio(), 0.01);
+    }
+
+    #[test]
+    fn biased_estimator_is_detected() {
+        let mut t = EstimationQualityTracker::new(0.001);
+        for _ in 0..50 {
+            t.record(0.0001); // 10x under-selection, the GaussianKSGD failure mode.
+        }
+        let s = t.summary();
+        assert!((s.mean_normalized_ratio - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence_interval_narrows_with_samples() {
+        let mut few = EstimationQualityTracker::new(0.01);
+        let mut many = EstimationQualityTracker::new(0.01);
+        let pattern = [0.009, 0.011, 0.0095, 0.0105];
+        for i in 0..8 {
+            few.record(pattern[i % 4]);
+        }
+        for i in 0..800 {
+            many.record(pattern[i % 4]);
+        }
+        let wide = few.summary().ci90_high - few.summary().ci90_low;
+        let narrow = many.summary().ci90_high - many.summary().ci90_low;
+        assert!(narrow < wide);
+    }
+
+    #[test]
+    fn smoothed_history_averages_over_window() {
+        let mut t = EstimationQualityTracker::new(0.01);
+        for &x in &[0.02, 0.0, 0.02, 0.0] {
+            t.record(x);
+        }
+        assert_eq!(t.history().len(), 4);
+        let smoothed = t.smoothed_history(2);
+        assert_eq!(smoothed.len(), 4);
+        assert!((smoothed[3] - 0.01).abs() < 1e-12);
+        // Window 0/1 returns raw values.
+        assert_eq!(t.smoothed_history(1), t.history());
+    }
+
+    #[test]
+    fn empty_tracker_summary() {
+        let t = EstimationQualityTracker::new(0.1);
+        let s = t.summary();
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.mean_normalized_ratio, 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Gradient quantization baselines.
+//!
+//! Section 1.1 of the paper contrasts sparsification with quantization: quantization
+//! compresses each element to a few bits but its volume reduction is bounded by 32×,
+//! whereas sparsification reaches `d×`. These reference implementations (sign-SGD
+//! with norm scaling à la TernGrad, and QSGD-style stochastic multi-level
+//! quantization) exist so the volume/accuracy trade-off can be measured against the
+//! sparsifiers in the same harness.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sidco_tensor::GradientVector;
+
+/// A quantized gradient: per-element low-bit levels plus a shared scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedGradient {
+    /// Number of quantization levels per sign (1 = sign-SGD / ternary).
+    levels: u32,
+    /// Shared positive scale (the gradient's max-abs or l2 norm depending on scheme).
+    scale: f32,
+    /// Quantized values in `[-levels, levels]`, stored as `i8` (levels ≤ 127).
+    codes: Vec<i8>,
+}
+
+impl QuantizedGradient {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Returns `true` for an empty gradient.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The shared scale factor.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Number of quantization levels per sign.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Bits needed per element (sign + level bits).
+    pub fn bits_per_element(&self) -> u32 {
+        // ceil(log2(2*levels + 1)) — e.g. ternary needs 2 bits, 4-level needs 4.
+        32 - (2 * self.levels + 1).leading_zeros()
+    }
+
+    /// Bytes on the wire: packed element codes plus the 4-byte scale.
+    pub fn wire_bytes(&self) -> usize {
+        (self.codes.len() * self.bits_per_element() as usize).div_ceil(8) + 4
+    }
+
+    /// Volume reduction relative to dense fp32.
+    pub fn compression_factor(&self) -> f64 {
+        if self.codes.is_empty() {
+            return 1.0;
+        }
+        (self.codes.len() * 4) as f64 / self.wire_bytes() as f64
+    }
+
+    /// Dequantizes back to a dense gradient.
+    pub fn dequantize(&self) -> GradientVector {
+        let step = if self.levels == 0 {
+            0.0
+        } else {
+            self.scale / self.levels as f32
+        };
+        GradientVector::from_vec(self.codes.iter().map(|&c| c as f32 * step).collect())
+    }
+}
+
+/// QSGD-style stochastic quantizer with `levels` positive levels (1 = ternary).
+///
+/// Each element is mapped to `sign(g) · scale · l/levels` where `l` is chosen
+/// stochastically between the two bracketing levels so the quantization is unbiased.
+///
+/// # Example
+///
+/// ```
+/// use sidco_core::quantize::StochasticQuantizer;
+///
+/// let grad: Vec<f32> = (0..1_000).map(|i| (i as f32 - 500.0) / 1_000.0).collect();
+/// let mut q = StochasticQuantizer::new(4, 7);
+/// let quantized = q.quantize(&grad);
+/// assert_eq!(quantized.len(), 1_000);
+/// // 4 bits per element instead of 32.
+/// assert!(quantized.compression_factor() > 7.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StochasticQuantizer {
+    levels: u32,
+    rng: SmallRng,
+}
+
+impl StochasticQuantizer {
+    /// Creates a quantizer with the given number of positive levels (1..=127).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is 0 or above 127.
+    pub fn new(levels: u32, seed: u64) -> Self {
+        assert!(
+            (1..=127).contains(&levels),
+            "levels must lie in 1..=127, got {levels}"
+        );
+        Self {
+            levels,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Quantizes a gradient buffer.
+    pub fn quantize(&mut self, grad: &[f32]) -> QuantizedGradient {
+        let scale = grad.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        if scale == 0.0 {
+            return QuantizedGradient {
+                levels: self.levels,
+                scale: 0.0,
+                codes: vec![0; grad.len()],
+            };
+        }
+        let levels_f = self.levels as f32;
+        let codes = grad
+            .iter()
+            .map(|&g| {
+                let normalized = g.abs() / scale * levels_f;
+                let lower = normalized.floor();
+                let p_upper = normalized - lower;
+                let level = if self.rng.gen::<f32>() < p_upper {
+                    lower + 1.0
+                } else {
+                    lower
+                };
+                let signed = level.min(levels_f) * g.signum();
+                signed as i8
+            })
+            .collect();
+        QuantizedGradient {
+            levels: self.levels,
+            scale,
+            codes,
+        }
+    }
+}
+
+/// Deterministic sign quantizer (sign-SGD with mean-magnitude scaling, as in
+/// TernGrad / signSGD-with-majority-vote): every non-zero element becomes
+/// `±mean(|g|)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SignQuantizer;
+
+impl SignQuantizer {
+    /// Creates a sign quantizer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Quantizes a gradient buffer to signs scaled by the mean absolute value.
+    pub fn quantize(&self, grad: &[f32]) -> QuantizedGradient {
+        let n = grad.len().max(1);
+        let mean_abs = grad.iter().map(|x| x.abs() as f64).sum::<f64>() / n as f64;
+        let codes = grad
+            .iter()
+            .map(|&g| {
+                if g > 0.0 {
+                    1i8
+                } else if g < 0.0 {
+                    -1i8
+                } else {
+                    0i8
+                }
+            })
+            .collect();
+        QuantizedGradient {
+            levels: 1,
+            scale: mean_abs as f32,
+            codes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sidco_stats::distribution::Continuous;
+    use sidco_stats::Laplace;
+
+    fn laplace_gradient(n: usize, seed: u64) -> Vec<f32> {
+        let d = Laplace::new(0.0, 0.01).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        d.sample_vec(&mut rng, n).into_iter().map(|x| x as f32).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "levels")]
+    fn rejects_zero_levels() {
+        StochasticQuantizer::new(0, 1);
+    }
+
+    #[test]
+    fn stochastic_quantization_is_unbiased() {
+        let grad = laplace_gradient(2_000, 71);
+        let mut q = StochasticQuantizer::new(4, 3);
+        // Average many quantizations: the mean dequantized value approaches the input.
+        let mut acc = GradientVector::zeros(grad.len());
+        let reps = 200;
+        for _ in 0..reps {
+            acc.add_assign(&q.quantize(&grad).dequantize());
+        }
+        acc.scale(1.0 / reps as f32);
+        let err: f64 = acc
+            .as_slice()
+            .iter()
+            .zip(&grad)
+            .map(|(&a, &b)| ((a - b) as f64).abs())
+            .sum::<f64>()
+            / grad.len() as f64;
+        let mean_abs: f64 = grad.iter().map(|x| x.abs() as f64).sum::<f64>() / grad.len() as f64;
+        assert!(
+            err < mean_abs * 0.15,
+            "stochastic quantization should be unbiased: err {err} vs mean |g| {mean_abs}"
+        );
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_more_levels() {
+        let grad = laplace_gradient(5_000, 73);
+        let mut errors = Vec::new();
+        for levels in [1u32, 4, 16, 64] {
+            let mut q = StochasticQuantizer::new(levels, 5);
+            let deq = q.quantize(&grad).dequantize();
+            let err: f64 = deq
+                .as_slice()
+                .iter()
+                .zip(&grad)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            errors.push(err);
+        }
+        for w in errors.windows(2) {
+            assert!(w[1] < w[0], "error must shrink with more levels: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn wire_size_and_compression_factor() {
+        let grad = laplace_gradient(1_000, 75);
+        let mut q = StochasticQuantizer::new(1, 7); // ternary: 2 bits/element
+        let quantized = q.quantize(&grad);
+        assert_eq!(quantized.bits_per_element(), 2);
+        assert_eq!(quantized.wire_bytes(), 1_000 * 2 / 8 + 4);
+        assert!(quantized.compression_factor() > 15.0);
+        // The paper's point: quantization cannot exceed 32x, sparsification can.
+        assert!(quantized.compression_factor() <= 32.0);
+    }
+
+    #[test]
+    fn sign_quantizer_preserves_signs_and_scale() {
+        let grad = [0.5f32, -0.25, 0.0, 0.125];
+        let quantized = SignQuantizer::new().quantize(&grad);
+        assert_eq!(quantized.levels(), 1);
+        let deq = quantized.dequantize();
+        assert!(deq[0] > 0.0 && deq[1] < 0.0 && deq[2] == 0.0 && deq[3] > 0.0);
+        let expected_scale = (0.5 + 0.25 + 0.0 + 0.125) / 4.0;
+        assert!((quantized.scale() - expected_scale).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_gradient_quantizes_to_zero() {
+        let mut q = StochasticQuantizer::new(4, 9);
+        let quantized = q.quantize(&[0.0; 16]);
+        assert_eq!(quantized.scale(), 0.0);
+        assert!(quantized.dequantize().as_slice().iter().all(|&x| x == 0.0));
+        assert!(!quantized.is_empty());
+    }
+}

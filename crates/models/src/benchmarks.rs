@@ -1,0 +1,257 @@
+//! The benchmark matrix of Table 1 in the paper.
+
+/// Task category of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Word-level language modelling (LSTM on PTB).
+    LanguageModeling,
+    /// Speech recognition (LSTM on AN4).
+    SpeechRecognition,
+    /// Image classification (CNNs on CIFAR-10 / ImageNet).
+    ImageClassification,
+}
+
+/// Local optimizer used by a benchmark (Table 1's "Local Optimizer" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptimizerKind {
+    /// Vanilla SGD.
+    Sgd,
+    /// SGD with Nesterov momentum.
+    NesterovMomentumSgd,
+}
+
+/// Identifier of one of the six benchmarks in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkId {
+    /// 2-layer LSTM (1500 hidden units) on the Penn Treebank corpus.
+    LstmPtb,
+    /// 5-layer LSTM (1024 hidden units) on the AN4 speech corpus.
+    LstmAn4,
+    /// ResNet-20 on CIFAR-10.
+    ResNet20Cifar10,
+    /// VGG16 on CIFAR-10.
+    Vgg16Cifar10,
+    /// ResNet-50 on ImageNet.
+    ResNet50ImageNet,
+    /// VGG19 on ImageNet.
+    Vgg19ImageNet,
+}
+
+impl BenchmarkId {
+    /// All benchmarks, in the order Table 1 lists them.
+    pub const ALL: [BenchmarkId; 6] = [
+        BenchmarkId::LstmPtb,
+        BenchmarkId::LstmAn4,
+        BenchmarkId::ResNet20Cifar10,
+        BenchmarkId::Vgg16Cifar10,
+        BenchmarkId::ResNet50ImageNet,
+        BenchmarkId::Vgg19ImageNet,
+    ];
+
+    /// The full specification row for this benchmark.
+    pub fn spec(&self) -> BenchmarkSpec {
+        match self {
+            BenchmarkId::LstmPtb => BenchmarkSpec {
+                id: *self,
+                name: "LSTM-PTB",
+                task: TaskKind::LanguageModeling,
+                model: "2-layer LSTM, 1500 hidden units",
+                dataset: "Penn Treebank",
+                parameters: 66_034_000,
+                per_worker_batch: 20,
+                learning_rate: 22.0,
+                epochs: 30,
+                communication_overhead: 0.94,
+                optimizer: OptimizerKind::NesterovMomentumSgd,
+                quality_metric: "test perplexity",
+                iterations_per_epoch: 1_327,
+            },
+            BenchmarkId::LstmAn4 => BenchmarkSpec {
+                id: *self,
+                name: "LSTM-AN4",
+                task: TaskKind::SpeechRecognition,
+                model: "5-layer LSTM, 1024 hidden units",
+                dataset: "AN4",
+                parameters: 43_476_256,
+                per_worker_batch: 20,
+                learning_rate: 0.004,
+                epochs: 150,
+                communication_overhead: 0.80,
+                optimizer: OptimizerKind::NesterovMomentumSgd,
+                quality_metric: "WER & CER",
+                iterations_per_epoch: 6,
+            },
+            BenchmarkId::ResNet20Cifar10 => BenchmarkSpec {
+                id: *self,
+                name: "ResNet20-CIFAR10",
+                task: TaskKind::ImageClassification,
+                model: "ResNet-20",
+                dataset: "CIFAR-10",
+                parameters: 269_467,
+                per_worker_batch: 512,
+                learning_rate: 0.1,
+                epochs: 140,
+                communication_overhead: 0.10,
+                optimizer: OptimizerKind::Sgd,
+                quality_metric: "top-1 accuracy",
+                iterations_per_epoch: 13,
+            },
+            BenchmarkId::Vgg16Cifar10 => BenchmarkSpec {
+                id: *self,
+                name: "VGG16-CIFAR10",
+                task: TaskKind::ImageClassification,
+                model: "VGG16",
+                dataset: "CIFAR-10",
+                parameters: 14_982_987,
+                per_worker_batch: 512,
+                learning_rate: 0.1,
+                epochs: 140,
+                communication_overhead: 0.60,
+                optimizer: OptimizerKind::Sgd,
+                quality_metric: "top-1 accuracy",
+                iterations_per_epoch: 13,
+            },
+            BenchmarkId::ResNet50ImageNet => BenchmarkSpec {
+                id: *self,
+                name: "ResNet50-ImageNet",
+                task: TaskKind::ImageClassification,
+                model: "ResNet-50",
+                dataset: "ImageNet",
+                parameters: 25_559_081,
+                per_worker_batch: 160,
+                learning_rate: 0.2,
+                epochs: 90,
+                communication_overhead: 0.72,
+                optimizer: OptimizerKind::NesterovMomentumSgd,
+                quality_metric: "top-1 accuracy",
+                iterations_per_epoch: 1_001,
+            },
+            BenchmarkId::Vgg19ImageNet => BenchmarkSpec {
+                id: *self,
+                name: "VGG19-ImageNet",
+                task: TaskKind::ImageClassification,
+                model: "VGG19",
+                dataset: "ImageNet",
+                parameters: 143_671_337,
+                per_worker_batch: 160,
+                learning_rate: 0.05,
+                epochs: 90,
+                communication_overhead: 0.83,
+                optimizer: OptimizerKind::NesterovMomentumSgd,
+                quality_metric: "top-1 accuracy",
+                iterations_per_epoch: 1_001,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Which benchmark this row describes.
+    pub id: BenchmarkId,
+    /// Human-readable name (e.g. `"VGG16-CIFAR10"`).
+    pub name: &'static str,
+    /// Task category.
+    pub task: TaskKind,
+    /// Model description.
+    pub model: &'static str,
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Number of trainable parameters (the gradient dimension `d`).
+    pub parameters: usize,
+    /// Per-worker mini-batch size.
+    pub per_worker_batch: usize,
+    /// Base learning rate.
+    pub learning_rate: f64,
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Fraction of the no-compression iteration time spent in communication
+    /// (Table 1's "Comm Overhead" column). Drives the simulator's network model.
+    pub communication_overhead: f64,
+    /// Local optimizer.
+    pub optimizer: OptimizerKind,
+    /// Quality metric the paper reports for this benchmark.
+    pub quality_metric: &'static str,
+    /// Approximate number of iterations per epoch on 8 workers (dataset size /
+    /// (workers × per-worker batch)), used to scale the simulated runs.
+    pub iterations_per_epoch: usize,
+}
+
+impl BenchmarkSpec {
+    /// Gradient size in bytes assuming 32-bit floats.
+    pub fn gradient_bytes(&self) -> usize {
+        self.parameters * std::mem::size_of::<f32>()
+    }
+
+    /// Whether this benchmark is communication-bound (overhead above 50%), which is
+    /// where the paper expects compression to pay off.
+    pub fn is_communication_bound(&self) -> bool {
+        self.communication_overhead > 0.5
+    }
+}
+
+/// The compression ratios the paper sweeps in every end-to-end experiment.
+pub const EVALUATED_RATIOS: [f64; 3] = [0.1, 0.01, 0.001];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_benchmarks_with_table1_parameters() {
+        assert_eq!(BenchmarkId::ALL.len(), 6);
+        let params: Vec<usize> = BenchmarkId::ALL.iter().map(|b| b.spec().parameters).collect();
+        assert_eq!(
+            params,
+            vec![66_034_000, 43_476_256, 269_467, 14_982_987, 25_559_081, 143_671_337]
+        );
+    }
+
+    #[test]
+    fn communication_overheads_match_table1() {
+        assert_eq!(BenchmarkId::LstmPtb.spec().communication_overhead, 0.94);
+        assert_eq!(BenchmarkId::LstmAn4.spec().communication_overhead, 0.80);
+        assert_eq!(BenchmarkId::ResNet20Cifar10.spec().communication_overhead, 0.10);
+        assert_eq!(BenchmarkId::Vgg16Cifar10.spec().communication_overhead, 0.60);
+        assert_eq!(BenchmarkId::ResNet50ImageNet.spec().communication_overhead, 0.72);
+        assert_eq!(BenchmarkId::Vgg19ImageNet.spec().communication_overhead, 0.83);
+    }
+
+    #[test]
+    fn communication_bound_classification() {
+        assert!(BenchmarkId::LstmPtb.spec().is_communication_bound());
+        assert!(!BenchmarkId::ResNet20Cifar10.spec().is_communication_bound());
+        assert!(BenchmarkId::Vgg19ImageNet.spec().is_communication_bound());
+    }
+
+    #[test]
+    fn optimizers_and_metrics() {
+        assert_eq!(BenchmarkId::ResNet20Cifar10.spec().optimizer, OptimizerKind::Sgd);
+        assert_eq!(
+            BenchmarkId::LstmPtb.spec().optimizer,
+            OptimizerKind::NesterovMomentumSgd
+        );
+        assert_eq!(BenchmarkId::LstmPtb.spec().quality_metric, "test perplexity");
+        assert_eq!(BenchmarkId::LstmPtb.to_string(), "LSTM-PTB");
+    }
+
+    #[test]
+    fn gradient_bytes() {
+        assert_eq!(
+            BenchmarkId::ResNet20Cifar10.spec().gradient_bytes(),
+            269_467 * 4
+        );
+    }
+
+    #[test]
+    fn evaluated_ratios_span_paper_range() {
+        assert_eq!(EVALUATED_RATIOS, [0.1, 0.01, 0.001]);
+    }
+}

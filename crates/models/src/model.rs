@@ -1,0 +1,80 @@
+//! The [`DifferentiableModel`] trait implemented by every trainable workload.
+
+use sidco_tensor::GradientVector;
+
+/// A model that the distributed-SGD simulator can train.
+///
+/// The trait deliberately mirrors what a data-parallel framework sees: given the
+/// current flat parameter vector and a mini-batch of example indices, produce the
+/// mini-batch loss and the flat gradient. Implementations own their (synthetic)
+/// dataset, so a worker only needs its shard of example indices.
+pub trait DifferentiableModel: Send + Sync {
+    /// Total number of trainable parameters (the gradient dimension `d`).
+    fn num_parameters(&self) -> usize;
+
+    /// Number of training examples in the dataset.
+    fn num_examples(&self) -> usize;
+
+    /// Deterministic parameter initialisation.
+    fn initial_parameters(&self, seed: u64) -> GradientVector;
+
+    /// Mini-batch loss and gradient at `params` over the given example indices.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `params.len() != num_parameters()` or an example
+    /// index is out of range.
+    fn loss_and_gradient(&self, params: &[f32], examples: &[usize]) -> (f64, GradientVector);
+
+    /// Evaluation metric over the full dataset (by convention: the mean loss, so
+    /// "lower is better" uniformly across workloads). Used for the
+    /// loss-vs-time/iteration curves of Figures 4 and 10.
+    fn evaluate(&self, params: &[f32]) -> f64;
+
+    /// Optional accuracy-style metric in `[0, 1]` ("higher is better"), for the
+    /// workloads where the paper reports top-1 accuracy. Defaults to `None`.
+    fn accuracy(&self, _params: &[f32]) -> Option<f64> {
+        None
+    }
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant;
+
+    impl DifferentiableModel for Constant {
+        fn num_parameters(&self) -> usize {
+            1
+        }
+        fn num_examples(&self) -> usize {
+            1
+        }
+        fn initial_parameters(&self, _seed: u64) -> GradientVector {
+            GradientVector::zeros(1)
+        }
+        fn loss_and_gradient(&self, params: &[f32], _examples: &[usize]) -> (f64, GradientVector) {
+            (params[0] as f64, GradientVector::from_vec(vec![1.0]))
+        }
+        fn evaluate(&self, params: &[f32]) -> f64 {
+            params[0] as f64
+        }
+        fn name(&self) -> &'static str {
+            "constant"
+        }
+    }
+
+    #[test]
+    fn default_accuracy_is_none_and_trait_is_object_safe() {
+        let model: Box<dyn DifferentiableModel> = Box::new(Constant);
+        assert_eq!(model.accuracy(&[0.0]), None);
+        assert_eq!(model.name(), "constant");
+        let (loss, grad) = model.loss_and_gradient(&[2.0], &[0]);
+        assert_eq!(loss, 2.0);
+        assert_eq!(grad.len(), 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! Synthetic gradient generation calibrated to the paper's observations.
+//!
+//! The paper establishes two empirical properties of real DNN gradients:
+//!
+//! 1. **Compressibility** (Property 1, Figure 7): sorted magnitudes decay like a
+//!    power law with exponent above 0.5;
+//! 2. **SID shape** (Property 2, Figure 2/8): the marginal distribution is well
+//!    approximated by a double exponential / double gamma / double generalized
+//!    Pareto whose sparsity increases (tail gets lighter in absolute scale, mass
+//!    concentrates near zero) as training progresses.
+//!
+//! [`SyntheticGradientGenerator`] reproduces both: each call draws an i.i.d. vector
+//! from a chosen signed SID whose scale decays with the iteration number (mimicking
+//! the shrinking gradient norm) and whose shape drifts toward a sparser profile.
+//! This is the stand-in for "run PyTorch and collect the gradient" everywhere the
+//! experiments only care about the gradient's statistics rather than the loss
+//! surface.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sidco_stats::distribution::Continuous;
+use sidco_stats::{DoubleGamma, DoubleGeneralizedPareto, Laplace, Normal};
+use sidco_tensor::GradientVector;
+
+/// The marginal-distribution family the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GradientProfile {
+    /// Double exponential (Laplace) gradients — the best case for SIDCo-E.
+    LaplaceLike,
+    /// Double-gamma gradients with shape < 1 — sparser than Laplace, the profile the
+    /// paper observes late in training.
+    SparseGamma,
+    /// Double generalized-Pareto gradients — heavier tails, the stress case for
+    /// single-stage estimators.
+    HeavyTail,
+    /// Gaussian gradients — lighter tails than any SID; included so experiments can
+    /// show when the Gaussian-based baselines *do* work.
+    Gaussian,
+}
+
+impl GradientProfile {
+    /// All profiles, for sweep-style experiments.
+    pub const ALL: [GradientProfile; 4] = [
+        GradientProfile::LaplaceLike,
+        GradientProfile::SparseGamma,
+        GradientProfile::HeavyTail,
+        GradientProfile::Gaussian,
+    ];
+}
+
+impl std::fmt::Display for GradientProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GradientProfile::LaplaceLike => "laplace",
+            GradientProfile::SparseGamma => "sparse-gamma",
+            GradientProfile::HeavyTail => "heavy-tail",
+            GradientProfile::Gaussian => "gaussian",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Deterministic synthetic gradient source.
+///
+/// # Example
+///
+/// ```
+/// use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
+///
+/// let mut gen = SyntheticGradientGenerator::new(50_000, GradientProfile::LaplaceLike, 42);
+/// let early = gen.gradient(100);
+/// let late = gen.gradient(10_000);
+/// // The gradient scale shrinks as training progresses.
+/// assert!(late.l2_norm() < early.l2_norm());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticGradientGenerator {
+    dim: usize,
+    profile: GradientProfile,
+    rng: SmallRng,
+    seed: u64,
+    base_scale: f64,
+}
+
+impl SyntheticGradientGenerator {
+    /// Creates a generator for gradients of dimension `dim` with the given profile
+    /// and RNG seed. The base scale (0.01) matches the magnitude range seen in the
+    /// paper's Figure 2 histograms of ℓ2-normalised ResNet-20 gradients.
+    pub fn new(dim: usize, profile: GradientProfile, seed: u64) -> Self {
+        Self {
+            dim,
+            profile,
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+            base_scale: 0.01,
+        }
+    }
+
+    /// Overrides the base scale of the generated gradients.
+    pub fn with_base_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        self.base_scale = scale;
+        self
+    }
+
+    /// Gradient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The configured profile.
+    pub fn profile(&self) -> GradientProfile {
+        self.profile
+    }
+
+    /// Resets the RNG stream so the same sequence of gradients can be replayed.
+    pub fn reset(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+    }
+
+    /// The gradient scale at a given iteration: an exponential-ish decay
+    /// `scale₀ / (1 + i/2000)^0.4` that reproduces the norm shrinkage between the
+    /// paper's iteration-100 and iteration-10000 snapshots (roughly 2–3× smaller).
+    pub fn scale_at(&self, iteration: u64) -> f64 {
+        self.base_scale / (1.0 + iteration as f64 / 2000.0).powf(0.4)
+    }
+
+    /// The distribution shape parameter at a given iteration (only meaningful for
+    /// the gamma/GP profiles): drifts from ~0.9 toward ~0.55, i.e. sparser over time.
+    pub fn shape_at(&self, iteration: u64) -> f64 {
+        let progress = (iteration as f64 / 20_000.0).min(1.0);
+        0.9 - 0.35 * progress
+    }
+
+    /// Generates the gradient for the given training iteration.
+    pub fn gradient(&mut self, iteration: u64) -> GradientVector {
+        let scale = self.scale_at(iteration);
+        let data: Vec<f32> = match self.profile {
+            GradientProfile::LaplaceLike => {
+                let d = Laplace::new(0.0, scale).expect("valid scale");
+                (0..self.dim).map(|_| d.sample(&mut self.rng) as f32).collect()
+            }
+            GradientProfile::SparseGamma => {
+                let shape = self.shape_at(iteration);
+                let d = DoubleGamma::new(shape, scale / shape).expect("valid parameters");
+                (0..self.dim).map(|_| d.sample(&mut self.rng) as f32).collect()
+            }
+            GradientProfile::HeavyTail => {
+                let d = DoubleGeneralizedPareto::new(0.25, scale).expect("valid parameters");
+                (0..self.dim).map(|_| d.sample(&mut self.rng) as f32).collect()
+            }
+            GradientProfile::Gaussian => {
+                let d = Normal::new(0.0, scale).expect("valid scale");
+                (0..self.dim).map(|_| d.sample(&mut self.rng) as f32).collect()
+            }
+        };
+        GradientVector::from_vec(data)
+    }
+
+    /// Generates a batch of per-worker gradients for the same iteration: every
+    /// worker sees the same distribution but different noise, as in data-parallel
+    /// training with i.i.d. shards.
+    pub fn worker_gradients(&mut self, iteration: u64, workers: usize) -> Vec<GradientVector> {
+        (0..workers).map(|_| self.gradient(iteration)).collect()
+    }
+
+    /// Generates a gradient composed of `layers` contiguous blocks whose scales are
+    /// log-spaced over three orders of magnitude, emulating the per-layer magnitude
+    /// disparity of real DNNs (convolution kernels vs biases vs normalisation
+    /// parameters). This disparity is what gives real gradient vectors their
+    /// power-law sorted-magnitude profile (Property 1 / Figure 7 of the paper), so
+    /// the compressibility experiments use this mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is zero or exceeds the gradient dimension.
+    pub fn layered_gradient(&mut self, iteration: u64, layers: usize) -> GradientVector {
+        assert!(
+            layers > 0 && layers <= self.dim,
+            "layers must be in 1..=dim, got {layers}"
+        );
+        let mut g = self.gradient(iteration);
+        let slice = g.as_mut_slice();
+        let block = slice.len().div_ceil(layers);
+        for (layer, chunk) in slice.chunks_mut(block).enumerate() {
+            // Log-spaced multipliers from 1.0 down to 1e-3.
+            let t = if layers > 1 {
+                layer as f64 / (layers - 1) as f64
+            } else {
+                0.0
+            };
+            let multiplier = 10f64.powf(-3.0 * t) as f32;
+            for value in chunk.iter_mut() {
+                *value *= multiplier;
+            }
+        }
+        g
+    }
+
+    /// Generates a gradient with an explicit fraction of exact zeros, emulating
+    /// layers (e.g. embedding tables) whose gradient is structurally sparse.
+    pub fn gradient_with_zeros(&mut self, iteration: u64, zero_fraction: f64) -> GradientVector {
+        assert!((0.0..1.0).contains(&zero_fraction));
+        let mut g = self.gradient(iteration);
+        let slice = g.as_mut_slice();
+        for value in slice.iter_mut() {
+            if self.rng.gen::<f64>() < zero_fraction {
+                *value = 0.0;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidco_stats::fit::{fit_sid, SidKind};
+    use sidco_tensor::compressibility;
+
+    #[test]
+    fn generates_requested_dimension_and_is_deterministic() {
+        let mut a = SyntheticGradientGenerator::new(5_000, GradientProfile::LaplaceLike, 1);
+        let mut b = SyntheticGradientGenerator::new(5_000, GradientProfile::LaplaceLike, 1);
+        let ga = a.gradient(10);
+        let gb = b.gradient(10);
+        assert_eq!(ga.len(), 5_000);
+        assert_eq!(ga.as_slice(), gb.as_slice());
+        // Different seeds differ.
+        let mut c = SyntheticGradientGenerator::new(5_000, GradientProfile::LaplaceLike, 2);
+        assert_ne!(ga.as_slice(), c.gradient(10).as_slice());
+    }
+
+    #[test]
+    fn reset_replays_the_stream() {
+        let mut g = SyntheticGradientGenerator::new(1_000, GradientProfile::SparseGamma, 3);
+        let first = g.gradient(0);
+        g.reset();
+        let replay = g.gradient(0);
+        assert_eq!(first.as_slice(), replay.as_slice());
+    }
+
+    #[test]
+    fn scale_decays_and_shape_sparsifies_over_iterations() {
+        let g = SyntheticGradientGenerator::new(10, GradientProfile::SparseGamma, 4);
+        assert!(g.scale_at(10_000) < g.scale_at(100));
+        assert!(g.shape_at(20_000) < g.shape_at(0));
+        assert!(g.shape_at(100_000) >= 0.5);
+    }
+
+    #[test]
+    fn generated_gradients_are_compressible() {
+        // Property 1 must hold for the synthetic stand-in, otherwise the
+        // compressibility experiments would be meaningless.
+        for profile in [
+            GradientProfile::LaplaceLike,
+            GradientProfile::SparseGamma,
+            GradientProfile::HeavyTail,
+        ] {
+            let mut generator = SyntheticGradientGenerator::new(50_000, profile, 5);
+            let grad = generator.gradient(1_000);
+            let report = compressibility::analyze(grad.as_slice(), 0.3);
+            // i.i.d. Laplace captures ~59% of the energy in its top decile (residual
+            // ≈ 0.64); the sparser gamma/GP profiles do considerably better. Use a
+            // bound that admits the Laplace case but rejects flat spectra (≈ 0.95).
+            assert!(
+                report.relative_sparsification_error(grad.len() / 10) < 0.75,
+                "{profile}: top-10% should capture most of the energy"
+            );
+        }
+    }
+
+    #[test]
+    fn laplace_profile_is_well_fit_by_exponential_sid() {
+        let mut generator = SyntheticGradientGenerator::new(100_000, GradientProfile::LaplaceLike, 6);
+        let grad = generator.gradient(500);
+        let (fit, moments) = fit_sid(grad.as_slice(), SidKind::Exponential).unwrap();
+        // The fitted scale should match the generator's configured scale.
+        let expected = generator.scale_at(500);
+        match fit {
+            sidco_stats::fit::FittedSid::Exponential { scale } => {
+                assert!((scale - expected).abs() / expected < 0.05);
+            }
+            other => panic!("unexpected fit {other:?}"),
+        }
+        assert_eq!(moments.count, 100_000);
+    }
+
+    #[test]
+    fn worker_gradients_differ_across_workers() {
+        let mut generator = SyntheticGradientGenerator::new(2_000, GradientProfile::LaplaceLike, 7);
+        let grads = generator.worker_gradients(50, 4);
+        assert_eq!(grads.len(), 4);
+        assert_ne!(grads[0].as_slice(), grads[1].as_slice());
+        // Same scale though: norms are comparable.
+        let n0 = grads[0].l2_norm();
+        let n1 = grads[1].l2_norm();
+        assert!((n0 - n1).abs() / n0 < 0.2);
+    }
+
+    #[test]
+    fn layered_gradient_is_power_law_compressible() {
+        // Property 1: with per-layer scale disparity the sorted magnitudes follow a
+        // power law with exponent above 1/2 (the condition of Definition 1).
+        let mut generator =
+            SyntheticGradientGenerator::new(60_000, GradientProfile::SparseGamma, 19);
+        let grad = generator.layered_gradient(100, 24);
+        let report = compressibility::analyze(grad.as_slice(), 0.4);
+        assert!(
+            report.decay_exponent > 0.5,
+            "decay exponent {} should exceed 1/2",
+            report.decay_exponent
+        );
+        assert!(report.is_compressible());
+        // Layer structure preserves the dimension and determinism.
+        assert_eq!(grad.len(), 60_000);
+        let mut replay =
+            SyntheticGradientGenerator::new(60_000, GradientProfile::SparseGamma, 19);
+        assert_eq!(replay.layered_gradient(100, 24).as_slice(), grad.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "layers must be")]
+    fn layered_gradient_rejects_zero_layers() {
+        let mut generator =
+            SyntheticGradientGenerator::new(100, GradientProfile::LaplaceLike, 1);
+        generator.layered_gradient(0, 0);
+    }
+
+    #[test]
+    fn zero_injection_produces_requested_sparsity() {
+        let mut generator = SyntheticGradientGenerator::new(20_000, GradientProfile::LaplaceLike, 8);
+        let g = generator.gradient_with_zeros(10, 0.5);
+        let zero_fraction = g.count_zeros() as f64 / g.len() as f64;
+        assert!((zero_fraction - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(GradientProfile::LaplaceLike.to_string(), "laplace");
+        assert_eq!(GradientProfile::ALL.len(), 4);
+    }
+}

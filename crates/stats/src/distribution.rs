@@ -1,0 +1,126 @@
+//! The [`Continuous`] distribution trait shared by all sparsity-inducing distributions.
+
+use rand::Rng;
+
+/// A continuous univariate distribution.
+///
+/// All SIDCo threshold estimators work through this interface: the threshold for a
+/// target compression ratio `δ` is simply `quantile(1 - δ)` of the fitted
+/// distribution of the *absolute* gradient (Lemma 1 in the paper).
+///
+/// Implementors must return finite values for all arguments inside the support and
+/// must keep `cdf` and `quantile` mutually consistent (`cdf(quantile(p)) ≈ p`).
+pub trait Continuous {
+    /// Probability density function evaluated at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Natural logarithm of the density at `x`, `-inf` outside the support.
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let p = self.pdf(x);
+        if p > 0.0 {
+            p.ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Cumulative distribution function `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile function (inverse CDF, also called percent-point function).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic in debug builds when `p` is outside `(0, 1)`.
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Survival function `P(X > x) = 1 - cdf(x)`.
+    ///
+    /// Implementations may override this for better far-tail accuracy.
+    fn survival(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+
+    /// Distribution variance.
+    fn variance(&self) -> f64;
+
+    /// Draw one sample using the supplied random number generator.
+    ///
+    /// The default implementation uses inverse-transform sampling via
+    /// [`quantile`](Continuous::quantile).
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64
+    where
+        Self: Sized,
+    {
+        // Uniform in the open interval (0, 1) to avoid hitting quantile(0)/quantile(1).
+        let u: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 && u < 1.0 {
+                break u;
+            }
+        };
+        self.quantile(u)
+    }
+
+    /// Draw `n` samples into a freshly allocated vector.
+    fn sample_vec<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A trivial uniform(0,1) distribution used to exercise the default methods.
+    struct Unit;
+
+    impl Continuous for Unit {
+        fn pdf(&self, x: f64) -> f64 {
+            if (0.0..=1.0).contains(&x) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn cdf(&self, x: f64) -> f64 {
+            x.clamp(0.0, 1.0)
+        }
+        fn quantile(&self, p: f64) -> f64 {
+            p
+        }
+        fn mean(&self) -> f64 {
+            0.5
+        }
+        fn variance(&self) -> f64 {
+            1.0 / 12.0
+        }
+    }
+
+    #[test]
+    fn default_ln_pdf_and_survival() {
+        let d = Unit;
+        assert_eq!(d.ln_pdf(0.5), 0.0);
+        assert_eq!(d.ln_pdf(2.0), f64::NEG_INFINITY);
+        assert!((d.survival(0.25) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_sampling_stays_in_support() {
+        let d = Unit;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let xs = d.sample_vec(&mut rng, 1000);
+        assert_eq!(xs.len(), 1000);
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05);
+    }
+}

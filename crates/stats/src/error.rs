@@ -1,0 +1,94 @@
+//! Error type shared by the statistical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing distributions or fitting parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter (e.g. `"scale"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// The input sample was empty or otherwise unusable for fitting.
+    InsufficientData {
+        /// Number of observations supplied.
+        len: usize,
+        /// Minimum number of observations required.
+        required: usize,
+    },
+    /// A probability argument was outside `(0, 1)`.
+    InvalidProbability(f64),
+    /// A numerical routine failed to converge.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid {name} parameter {value}: expected {expected}"),
+            StatsError::InsufficientData { len, required } => write!(
+                f,
+                "insufficient data: got {len} observations, need at least {required}"
+            ),
+            StatsError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside the open interval (0, 1)")
+            }
+            StatsError::NoConvergence {
+                routine,
+                iterations,
+            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = StatsError::InvalidParameter {
+            name: "scale",
+            value: -1.0,
+            expected: "a positive finite value",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("scale"));
+        assert!(msg.contains("-1"));
+
+        let err = StatsError::InsufficientData { len: 0, required: 2 };
+        assert!(err.to_string().contains("0 observations"));
+
+        let err = StatsError::InvalidProbability(1.5);
+        assert!(err.to_string().contains("1.5"));
+
+        let err = StatsError::NoConvergence {
+            routine: "inverse_reg_gamma",
+            iterations: 100,
+        };
+        assert!(err.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

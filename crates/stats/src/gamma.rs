@@ -1,0 +1,409 @@
+//! Gamma and double-gamma distributions — the SID behind SIDCo-GP's first stage
+//! (Corollary 1.2 of the paper).
+
+use crate::distribution::Continuous;
+use crate::error::StatsError;
+use crate::special::{digamma, inv_reg_lower_gamma, ln_gamma, reg_lower_gamma};
+
+/// Gamma distribution with shape `α > 0` and scale `β > 0`.
+///
+/// This models the *absolute* gradient when the signed gradient follows a
+/// double-gamma distribution.
+///
+/// # Example
+///
+/// ```
+/// use sidco_stats::{Continuous, Gamma};
+///
+/// let d = Gamma::new(2.0, 3.0)?;
+/// assert!((d.mean() - 6.0).abs() < 1e-12);
+/// assert!((d.cdf(d.quantile(0.9)) - 0.9).abs() < 1e-7);
+/// # Ok::<(), sidco_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution with shape `α > 0` and scale `β > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if either parameter is not positive
+    /// and finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, StatsError> {
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "shape",
+                value: shape,
+                expected: "a positive finite value",
+            });
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "scale",
+                value: scale,
+                expected: "a positive finite value",
+            });
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// The shape parameter `α`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `β`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Closed-form approximate MLE due to Minka (2002), as used by the paper
+    /// (equation 27 / Algorithm 1, `Thresh_Estimation` for the gamma case):
+    ///
+    /// `s = ln(mean) - mean(ln x)`,
+    /// `α̂ = (3 - s + sqrt((s - 3)² + 24 s)) / (12 s)`,
+    /// `β̂ = mean / α̂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] for an empty sample and
+    /// [`StatsError::InvalidParameter`] if the sample contains no positive values.
+    pub fn fit_closed_form(sample: &[f64]) -> Result<Self, StatsError> {
+        let (mean, mean_ln, n) = positive_log_moments(sample)?;
+        let s = mean.ln() - mean_ln;
+        if !(s.is_finite() && s > 0.0) {
+            // A constant sample yields s = 0; treat as exponential-like (α = 1).
+            return Self::new(1.0, mean);
+        }
+        let _ = n;
+        let shape = (3.0 - s + ((s - 3.0) * (s - 3.0) + 24.0 * s).sqrt()) / (12.0 * s);
+        Self::new(shape, mean / shape)
+    }
+
+    /// Full MLE: starts from [`fit_closed_form`](Self::fit_closed_form) and refines
+    /// the shape with Newton iterations on the likelihood equation
+    /// `ln α - ψ(α) = s`.
+    ///
+    /// This is the "exact" variant used by the `ablation_gamma_fit` bench; the paper
+    /// deliberately avoids it at runtime because of the digamma evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`fit_closed_form`](Self::fit_closed_form).
+    pub fn fit_mle(sample: &[f64]) -> Result<Self, StatsError> {
+        let (mean, mean_ln, _) = positive_log_moments(sample)?;
+        let s = mean.ln() - mean_ln;
+        if !(s.is_finite() && s > 0.0) {
+            return Self::new(1.0, mean);
+        }
+        let init = Self::fit_closed_form(sample)?;
+        let mut alpha = init.shape();
+        for _ in 0..25 {
+            // f(α) = ln α - ψ(α) - s, f'(α) = 1/α - ψ'(α) ≈ 1/α - (1/α + 1/(2α²)) .
+            let f = alpha.ln() - digamma(alpha) - s;
+            // Numerical derivative of ψ via central difference keeps this simple and
+            // accurate enough for a handful of Newton steps.
+            let h = (alpha * 1e-6).max(1e-9);
+            let dpsi = (digamma(alpha + h) - digamma(alpha - h)) / (2.0 * h);
+            let df = 1.0 / alpha - dpsi;
+            if df.abs() < 1e-300 {
+                break;
+            }
+            let next = alpha - f / df;
+            if !(next.is_finite() && next > 0.0) {
+                break;
+            }
+            if (next - alpha).abs() < 1e-12 * alpha {
+                alpha = next;
+                break;
+            }
+            alpha = next;
+        }
+        Self::new(alpha, mean / alpha)
+    }
+
+    /// The paper's closed-form threshold approximation for `P(|G| > η) = δ`
+    /// (equation 15): `η ≈ -β [ln δ + ln Γ(α)]`, valid for `α ≤ 1` and tight when
+    /// `α` is close to one.
+    pub fn approximate_upper_quantile(&self, delta: f64) -> f64 {
+        -self.scale * (delta.ln() + ln_gamma(self.shape))
+    }
+}
+
+impl Continuous for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            // Density at zero: infinite for α < 1, 1/β for α = 1, zero for α > 1.
+            return if self.shape < 1.0 {
+                f64::INFINITY
+            } else if self.shape == 1.0 {
+                1.0 / self.scale
+            } else {
+                0.0
+            };
+        }
+        self.ln_pdf(x).exp()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.shape - 1.0) * x.ln() - x / self.scale
+            - self.shape * self.scale.ln()
+            - ln_gamma(self.shape)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            reg_lower_gamma(self.shape, x / self.scale)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        self.scale * inv_reg_lower_gamma(self.shape, p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+}
+
+/// Double-gamma distribution: a symmetric distribution on the whole real line whose
+/// absolute value is [`Gamma`] distributed. The paper uses it with shape `α ≤ 1` as a
+/// sparsity-inducing prior for signed gradients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoubleGamma {
+    abs: Gamma,
+}
+
+impl DoubleGamma {
+    /// Creates a double-gamma distribution with shape `α > 0` and scale `β > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if either parameter is invalid.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, StatsError> {
+        Ok(Self {
+            abs: Gamma::new(shape, scale)?,
+        })
+    }
+
+    /// The shape parameter `α`.
+    pub fn shape(&self) -> f64 {
+        self.abs.shape()
+    }
+
+    /// The scale parameter `β`.
+    pub fn scale(&self) -> f64 {
+        self.abs.scale()
+    }
+
+    /// Distribution of the absolute value.
+    pub fn abs_distribution(&self) -> Gamma {
+        self.abs
+    }
+
+    /// Fits a double-gamma distribution to signed observations by fitting a gamma
+    /// to their absolute values with the closed-form estimator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Gamma::fit_closed_form`].
+    pub fn fit_closed_form(sample: &[f64]) -> Result<Self, StatsError> {
+        let abs: Vec<f64> = sample.iter().map(|x| x.abs()).collect();
+        Ok(Self {
+            abs: Gamma::fit_closed_form(&abs)?,
+        })
+    }
+}
+
+impl Continuous for DoubleGamma {
+    fn pdf(&self, x: f64) -> f64 {
+        0.5 * self.abs.pdf(x.abs())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (1.0 - self.abs.cdf(-x))
+        } else {
+            0.5 + 0.5 * self.abs.cdf(x)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        if p < 0.5 {
+            -self.abs.quantile(1.0 - 2.0 * p)
+        } else {
+            self.abs.quantile(2.0 * p - 1.0)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        0.0
+    }
+
+    fn variance(&self) -> f64 {
+        // E[X²] = E[|X|²] = Var(|X|) + E[|X|]² = αβ² + (αβ)² = αβ²(1 + α).
+        let a = self.abs.shape();
+        let b = self.abs.scale();
+        a * b * b * (1.0 + a)
+    }
+}
+
+fn positive_log_moments(sample: &[f64]) -> Result<(f64, f64, usize), StatsError> {
+    if sample.is_empty() {
+        return Err(StatsError::InsufficientData {
+            len: 0,
+            required: 1,
+        });
+    }
+    let mut sum = 0.0;
+    let mut sum_ln = 0.0;
+    let mut n = 0usize;
+    for &x in sample {
+        if x > 0.0 && x.is_finite() {
+            sum += x;
+            sum_ln += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "sample",
+            value: 0.0,
+            expected: "at least one strictly positive observation",
+        });
+    }
+    Ok((sum / n as f64, sum_ln / n as f64, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+        assert!(DoubleGamma::new(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_special_case() {
+        // Gamma(1, β) is exponential(β).
+        let g = Gamma::new(1.0, 2.0).unwrap();
+        let e = crate::Exponential::new(2.0).unwrap();
+        for &x in &[0.1, 0.5, 1.0, 4.0] {
+            assert!((g.pdf(x) - e.pdf(x)).abs() < 1e-10);
+            assert!((g.cdf(x) - e.cdf(x)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        for &(a, b) in &[(0.5, 1.0), (0.9, 0.01), (2.0, 3.0), (7.5, 0.3)] {
+            let d = Gamma::new(a, b).unwrap();
+            for &p in &[0.001, 0.1, 0.5, 0.9, 0.999] {
+                let x = d.quantile(p);
+                assert!(
+                    (d.cdf(x) - p).abs() < 1e-6,
+                    "roundtrip failed for α={a}, β={b}, p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_fit_recovers_parameters() {
+        let d = Gamma::new(0.8, 0.005).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let xs = d.sample_vec(&mut rng, 30_000);
+        let fitted = Gamma::fit_closed_form(&xs).unwrap();
+        assert!(
+            (fitted.shape() - 0.8).abs() < 0.08,
+            "shape {} too far from 0.8",
+            fitted.shape()
+        );
+        assert!((fitted.mean() - d.mean()).abs() / d.mean() < 0.05);
+    }
+
+    #[test]
+    fn mle_fit_is_at_least_as_good_as_closed_form() {
+        let d = Gamma::new(0.6, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let xs = d.sample_vec(&mut rng, 30_000);
+        let cf = Gamma::fit_closed_form(&xs).unwrap();
+        let mle = Gamma::fit_mle(&xs).unwrap();
+        let err_cf = (cf.shape() - 0.6).abs();
+        let err_mle = (mle.shape() - 0.6).abs();
+        assert!(
+            err_mle <= err_cf + 0.02,
+            "MLE ({}) should not be much worse than closed form ({})",
+            mle.shape(),
+            cf.shape()
+        );
+    }
+
+    #[test]
+    fn approximate_upper_quantile_close_to_exact_near_alpha_one() {
+        let d = Gamma::new(0.95, 0.01).unwrap();
+        for &delta in &[0.01, 0.001] {
+            let exact = d.quantile(1.0 - delta);
+            let approx = d.approximate_upper_quantile(delta);
+            let rel = (exact - approx).abs() / exact;
+            assert!(rel < 0.15, "delta={delta}: exact={exact}, approx={approx}");
+        }
+    }
+
+    #[test]
+    fn fit_handles_degenerate_samples() {
+        assert!(Gamma::fit_closed_form(&[]).is_err());
+        assert!(Gamma::fit_closed_form(&[0.0, 0.0]).is_err());
+        // Constant positive sample falls back to α = 1.
+        let fitted = Gamma::fit_closed_form(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(fitted.shape(), 1.0);
+        assert_eq!(fitted.scale(), 2.0);
+    }
+
+    #[test]
+    fn double_gamma_symmetry_and_quantile() {
+        let d = DoubleGamma::new(0.7, 1.5).unwrap();
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-12);
+        for &x in &[0.2, 1.0, 3.0] {
+            assert!((d.pdf(x) - d.pdf(-x)).abs() < 1e-12);
+            assert!((d.cdf(-x) + d.cdf(x) - 1.0).abs() < 1e-9);
+        }
+        for &p in &[0.05, 0.3, 0.5001, 0.7, 0.99] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn double_gamma_fit_from_signed_sample() {
+        let d = DoubleGamma::new(0.9, 0.02).unwrap();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let xs = d.sample_vec(&mut rng, 30_000);
+        let fitted = DoubleGamma::fit_closed_form(&xs).unwrap();
+        assert!((fitted.shape() - 0.9).abs() < 0.1);
+    }
+}

@@ -1,0 +1,399 @@
+//! Running and one-pass moment computations.
+//!
+//! The SIDCo estimators only ever need a handful of sample moments of the absolute
+//! gradient (mean, variance, mean of logs). Computing them in a single pass over the
+//! `f32` gradient buffer — accumulating in `f64` — is what gives the scheme its
+//! linear-time, GPU-friendly profile, so this module is deliberately allocation-free.
+
+/// Welford online estimator of mean and variance.
+///
+/// # Example
+///
+/// ```
+/// use sidco_stats::moments::RunningMoments;
+///
+/// let mut m = RunningMoments::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 4);
+/// assert!((m.mean() - 2.5).abs() < 1e-12);
+/// assert!((m.variance() - 1.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`; 0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`; 0 when fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another estimator into this one (parallel Welford / Chan's method).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean =
+            self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+    }
+}
+
+/// One-pass statistics of the absolute values of a gradient buffer.
+///
+/// Everything the three SID estimators need (Corollary 1.1, 1.2, 1.3) is derived
+/// from these fields, so a single scan of the gradient suffices per stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsMoments {
+    /// Number of elements scanned (including zeros).
+    pub count: usize,
+    /// Number of strictly positive absolute values (used by the log-moment).
+    pub positive_count: usize,
+    /// Mean of `|g|` over all elements.
+    pub mean: f64,
+    /// Population variance of `|g|` over all elements.
+    pub variance: f64,
+    /// Mean of `ln |g|` over the strictly positive elements.
+    pub mean_ln: f64,
+    /// Maximum of `|g|`.
+    pub max: f64,
+}
+
+impl AbsMoments {
+    /// Computes the absolute-value moments of `grad` in one pass.
+    ///
+    /// Zero and non-finite elements contribute to `mean`/`variance` (as zeros for the
+    /// non-finite case they are skipped entirely) but not to `mean_ln`.
+    pub fn compute(grad: &[f32]) -> Self {
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut sum_ln = 0.0f64;
+        let mut positive = 0usize;
+        let mut max = 0.0f64;
+        let mut count = 0usize;
+        for &g in grad {
+            let a = g.abs() as f64;
+            if !a.is_finite() {
+                continue;
+            }
+            count += 1;
+            sum += a;
+            sum_sq += a * a;
+            if a > 0.0 {
+                sum_ln += a.ln();
+                positive += 1;
+            }
+            if a > max {
+                max = a;
+            }
+        }
+        if count == 0 {
+            return Self {
+                count: 0,
+                positive_count: 0,
+                mean: 0.0,
+                variance: 0.0,
+                mean_ln: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = count as f64;
+        let mean = sum / n;
+        let variance = (sum_sq / n - mean * mean).max(0.0);
+        Self {
+            count,
+            positive_count: positive,
+            mean,
+            variance,
+            mean_ln: if positive > 0 {
+                sum_ln / positive as f64
+            } else {
+                0.0
+            },
+            max,
+        }
+    }
+
+    /// Computes absolute-value moments of the elements of `grad` that exceed
+    /// `threshold` in magnitude, *after shifting them by the threshold*
+    /// (i.e. the statistics of `|g| - threshold` for `|g| > threshold`).
+    ///
+    /// This is exactly the input required by the peaks-over-threshold refits of
+    /// Lemma 2 and Corollary 2.1.
+    pub fn compute_exceedances(grad: &[f32], threshold: f64) -> Self {
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut sum_ln = 0.0f64;
+        let mut positive = 0usize;
+        let mut max = 0.0f64;
+        let mut count = 0usize;
+        for &g in grad {
+            let a = g.abs() as f64;
+            if !a.is_finite() || a <= threshold {
+                continue;
+            }
+            let x = a - threshold;
+            count += 1;
+            sum += x;
+            sum_sq += x * x;
+            if x > 0.0 {
+                sum_ln += x.ln();
+                positive += 1;
+            }
+            if x > max {
+                max = x;
+            }
+        }
+        if count == 0 {
+            return Self {
+                count: 0,
+                positive_count: 0,
+                mean: 0.0,
+                variance: 0.0,
+                mean_ln: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = count as f64;
+        let mean = sum / n;
+        let variance = (sum_sq / n - mean * mean).max(0.0);
+        Self {
+            count,
+            positive_count: positive,
+            mean,
+            variance,
+            mean_ln: if positive > 0 {
+                sum_ln / positive as f64
+            } else {
+                0.0
+            },
+            max,
+        }
+    }
+}
+
+/// Signed-value summary statistics of a gradient buffer (used when fitting symmetric
+/// distributions such as the Gaussian of the GaussianKSGD baseline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignedMoments {
+    /// Number of finite elements.
+    pub count: usize,
+    /// Mean of the signed values.
+    pub mean: f64,
+    /// Population variance of the signed values.
+    pub variance: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl SignedMoments {
+    /// Computes signed-value moments of `grad` in one pass.
+    pub fn compute(grad: &[f32]) -> Self {
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut count = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &g in grad {
+            let x = g as f64;
+            if !x.is_finite() {
+                continue;
+            }
+            count += 1;
+            sum += x;
+            sum_sq += x * x;
+            if x < min {
+                min = x;
+            }
+            if x > max {
+                max = x;
+            }
+        }
+        if count == 0 {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                variance: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = count as f64;
+        let mean = sum / n;
+        let variance = (sum_sq / n - mean * mean).max(0.0);
+        Self {
+            count,
+            mean,
+            variance,
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_moments_matches_direct_computation() {
+        let data = [0.5, -1.0, 2.25, 3.0, -0.75, 10.0];
+        let mut m = RunningMoments::new();
+        for &x in &data {
+            m.push(x);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+        assert!((m.sample_variance() - var * n / (n - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_moments_empty_and_single() {
+        let m = RunningMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        let mut m = RunningMoments::new();
+        m.push(3.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.mean(), 3.0);
+    }
+
+    #[test]
+    fn running_moments_merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let mut all = RunningMoments::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        for &x in &data[..300] {
+            a.push(x);
+        }
+        for &x in &data[300..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn abs_moments_simple() {
+        let grad = [1.0f32, -2.0, 0.0, 3.0];
+        let m = AbsMoments::compute(&grad);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.positive_count, 3);
+        assert!((m.mean - 1.5).abs() < 1e-9);
+        assert!((m.max - 3.0).abs() < 1e-9);
+        let expected_var = (1.0 + 4.0 + 0.0 + 9.0) / 4.0 - 1.5 * 1.5;
+        assert!((m.variance - expected_var).abs() < 1e-9);
+        let expected_ln = (1.0f64.ln() + 2.0f64.ln() + 3.0f64.ln()) / 3.0;
+        assert!((m.mean_ln - expected_ln).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abs_moments_skips_non_finite() {
+        let grad = [1.0f32, f32::NAN, -1.0, f32::INFINITY];
+        let m = AbsMoments::compute(&grad);
+        assert_eq!(m.count, 2);
+        assert!((m.mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abs_moments_empty() {
+        let m = AbsMoments::compute(&[]);
+        assert_eq!(m.count, 0);
+        assert_eq!(m.mean, 0.0);
+    }
+
+    #[test]
+    fn exceedance_moments_shift_by_threshold() {
+        let grad = [0.1f32, -0.5, 0.9, -1.5, 2.0];
+        let m = AbsMoments::compute_exceedances(&grad, 0.8);
+        // Exceedances of |g| over 0.8: 0.9, 1.5, 2.0 → shifted 0.1, 0.7, 1.2.
+        assert_eq!(m.count, 3);
+        assert!((m.mean - (0.1 + 0.7 + 1.2) / 3.0).abs() < 1e-6);
+        assert!((m.max - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exceedance_moments_none_above_threshold() {
+        let grad = [0.1f32, -0.2];
+        let m = AbsMoments::compute_exceedances(&grad, 10.0);
+        assert_eq!(m.count, 0);
+    }
+
+    #[test]
+    fn signed_moments() {
+        let grad = [1.0f32, -1.0, 3.0, -3.0];
+        let m = SignedMoments::compute(&grad);
+        assert_eq!(m.count, 4);
+        assert!((m.mean - 0.0).abs() < 1e-9);
+        assert!((m.variance - 5.0).abs() < 1e-9);
+        assert_eq!(m.min, -3.0);
+        assert_eq!(m.max, 3.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Dense gradient vectors and BLAS-1 style operations.
+
+use std::ops::{Index, IndexMut};
+
+/// An owned dense gradient vector (`f32`, matching the wire precision of the
+/// frameworks the paper targets).
+///
+/// The type is a thin wrapper over `Vec<f32>` that adds the reductions and update
+/// operations the distributed-SGD simulator needs; it intentionally stays `f32`
+/// end-to-end while all statistical accumulation happens in `f64` inside
+/// `sidco-stats`.
+///
+/// # Example
+///
+/// ```
+/// use sidco_tensor::GradientVector;
+///
+/// let mut g = GradientVector::zeros(4);
+/// g.as_mut_slice().copy_from_slice(&[1.0, -2.0, 3.0, 0.0]);
+/// assert_eq!(g.len(), 4);
+/// assert!((g.l2_norm() - 14.0f64.sqrt()).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GradientVector {
+    data: Vec<f32>,
+}
+
+impl GradientVector {
+    /// Creates a zero-filled gradient of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Wraps an existing buffer without copying.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Self { data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Euclidean norm, accumulated in `f64`.
+    pub fn l2_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Sum of absolute values, accumulated in `f64`.
+    pub fn l1_norm(&self) -> f64 {
+        self.data.iter().map(|&x| x.abs() as f64).sum()
+    }
+
+    /// Maximum absolute value (0 for an empty vector).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Number of exactly-zero elements.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&x| x == 0.0).count()
+    }
+
+    /// Scales every element by `factor`.
+    pub fn scale(&mut self, factor: f32) {
+        self.data.iter_mut().for_each(|x| *x *= factor);
+    }
+
+    /// `self += alpha * other`, element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, alpha: f32, other: &GradientVector) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "axpy requires equal lengths ({} vs {})",
+            self.len(),
+            other.len()
+        );
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self += other`, element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn add_assign(&mut self, other: &GradientVector) {
+        self.axpy(1.0, other);
+    }
+
+    /// Element-wise average of several gradients (the aggregation step of
+    /// synchronous SGD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` is empty or the lengths differ.
+    pub fn mean_of(grads: &[GradientVector]) -> GradientVector {
+        assert!(!grads.is_empty(), "mean_of requires at least one gradient");
+        let len = grads[0].len();
+        let mut out = GradientVector::zeros(len);
+        for g in grads {
+            out.add_assign(g);
+        }
+        out.scale(1.0 / grads.len() as f32);
+        out
+    }
+
+    /// Returns a clipped copy whose L2 norm does not exceed `max_norm`
+    /// (gradient clipping as used by the RNN benchmarks in Table 1).
+    pub fn clipped_by_norm(&self, max_norm: f64) -> GradientVector {
+        let norm = self.l2_norm();
+        let mut out = self.clone();
+        if norm > max_norm && norm > 0.0 {
+            out.scale((max_norm / norm) as f32);
+        }
+        out
+    }
+
+    /// Euclidean distance to another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn l2_distance(&self, other: &GradientVector) -> f64 {
+        assert_eq!(self.len(), other.len(), "l2_distance requires equal lengths");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl From<Vec<f32>> for GradientVector {
+    fn from(data: Vec<f32>) -> Self {
+        Self::from_vec(data)
+    }
+}
+
+impl AsRef<[f32]> for GradientVector {
+    fn as_ref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl Index<usize> for GradientVector {
+    type Output = f32;
+
+    fn index(&self, index: usize) -> &f32 {
+        &self.data[index]
+    }
+}
+
+impl IndexMut<usize> for GradientVector {
+    fn index_mut(&mut self, index: usize) -> &mut f32 {
+        &mut self.data[index]
+    }
+}
+
+impl FromIterator<f32> for GradientVector {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        Self {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_views() {
+        let g = GradientVector::zeros(3);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0]);
+        let g = GradientVector::from_vec(vec![1.0, 2.0]);
+        assert_eq!(g.into_vec(), vec![1.0, 2.0]);
+        let g: GradientVector = vec![1.0f32, 2.0].into();
+        assert_eq!(g[1], 2.0);
+        let g: GradientVector = [3.0f32, 4.0].into_iter().collect();
+        assert_eq!(g.as_ref(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let g = GradientVector::from_vec(vec![3.0, -4.0]);
+        assert!((g.l2_norm() - 5.0).abs() < 1e-9);
+        assert!((g.l1_norm() - 7.0).abs() < 1e-9);
+        assert_eq!(g.max_abs(), 4.0);
+        assert_eq!(GradientVector::zeros(0).max_abs(), 0.0);
+        assert_eq!(GradientVector::from_vec(vec![0.0, 1.0, 0.0]).count_zeros(), 2);
+    }
+
+    #[test]
+    fn scale_axpy_add() {
+        let mut a = GradientVector::from_vec(vec![1.0, 2.0]);
+        let b = GradientVector::from_vec(vec![10.0, 20.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[12.0, 24.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[22.0, 44.0]);
+        a.fill_zero();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn axpy_length_mismatch_panics() {
+        let mut a = GradientVector::zeros(2);
+        let b = GradientVector::zeros(3);
+        a.axpy(1.0, &b);
+    }
+
+    #[test]
+    fn mean_of_gradients() {
+        let a = GradientVector::from_vec(vec![1.0, 3.0]);
+        let b = GradientVector::from_vec(vec![3.0, 5.0]);
+        let m = GradientVector::mean_of(&[a, b]);
+        assert_eq!(m.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gradient")]
+    fn mean_of_empty_panics() {
+        GradientVector::mean_of(&[]);
+    }
+
+    #[test]
+    fn clipping() {
+        let g = GradientVector::from_vec(vec![3.0, 4.0]);
+        let clipped = g.clipped_by_norm(1.0);
+        assert!((clipped.l2_norm() - 1.0).abs() < 1e-6);
+        // Already inside the ball: unchanged.
+        let clipped = g.clipped_by_norm(10.0);
+        assert_eq!(clipped.as_slice(), g.as_slice());
+    }
+
+    #[test]
+    fn distance() {
+        let a = GradientVector::from_vec(vec![1.0, 1.0]);
+        let b = GradientVector::from_vec(vec![4.0, 5.0]);
+        assert!((a.l2_distance(&b) - 5.0).abs() < 1e-9);
+    }
+}

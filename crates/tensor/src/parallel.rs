@@ -1,0 +1,156 @@
+//! Chunked multi-threaded reductions for large gradient vectors.
+//!
+//! The ImageNet-scale benchmarks in the paper compress vectors with up to 144M
+//! elements; a single pass is memory-bandwidth bound, so these helpers split the
+//! buffer into contiguous chunks and reduce them on crossbeam scoped threads. They
+//! are drop-in replacements for the sequential reductions used by the estimators and
+//! are exercised by the device-profile micro-benchmarks.
+
+use crossbeam::thread;
+use sidco_stats::moments::AbsMoments;
+
+/// Minimum number of elements per chunk below which spawning threads is not worth it.
+const MIN_CHUNK: usize = 1 << 16;
+
+/// Computes [`AbsMoments`] of a gradient using up to `threads` worker threads.
+///
+/// Falls back to the sequential implementation for small inputs or `threads <= 1`.
+/// The result is identical (up to floating-point reassociation) to
+/// [`AbsMoments::compute`].
+pub fn abs_moments_parallel(grad: &[f32], threads: usize) -> AbsMoments {
+    if threads <= 1 || grad.len() < 2 * MIN_CHUNK {
+        return AbsMoments::compute(grad);
+    }
+    let threads = threads.min(grad.len() / MIN_CHUNK).max(1);
+    let chunk_size = grad.len().div_ceil(threads);
+    let partials: Vec<AbsMoments> = thread::scope(|s| {
+        let handles: Vec<_> = grad
+            .chunks(chunk_size)
+            .map(|chunk| s.spawn(move |_| AbsMoments::compute(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("moment worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+    merge_abs_moments(&partials)
+}
+
+/// Counts elements with `|g| >= threshold` using up to `threads` worker threads.
+pub fn count_above_threshold_parallel(grad: &[f32], threshold: f64, threads: usize) -> usize {
+    if threads <= 1 || grad.len() < 2 * MIN_CHUNK {
+        return crate::threshold::count_above_threshold(grad, threshold);
+    }
+    let threads = threads.min(grad.len() / MIN_CHUNK).max(1);
+    let chunk_size = grad.len().div_ceil(threads);
+    thread::scope(|s| {
+        let handles: Vec<_> = grad
+            .chunks(chunk_size)
+            .map(|chunk| {
+                s.spawn(move |_| crate::threshold::count_above_threshold(chunk, threshold))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("count worker panicked"))
+            .sum()
+    })
+    .expect("crossbeam scope failed")
+}
+
+/// Merges per-chunk absolute moments into the moments of the concatenated data.
+fn merge_abs_moments(parts: &[AbsMoments]) -> AbsMoments {
+    let total: usize = parts.iter().map(|p| p.count).sum();
+    if total == 0 {
+        return AbsMoments {
+            count: 0,
+            positive_count: 0,
+            mean: 0.0,
+            variance: 0.0,
+            mean_ln: 0.0,
+            max: 0.0,
+        };
+    }
+    let positive: usize = parts.iter().map(|p| p.positive_count).sum();
+    let n = total as f64;
+    let mean = parts.iter().map(|p| p.mean * p.count as f64).sum::<f64>() / n;
+    // E[X²] per part = var + mean², combine then re-centre.
+    let second_moment = parts
+        .iter()
+        .map(|p| (p.variance + p.mean * p.mean) * p.count as f64)
+        .sum::<f64>()
+        / n;
+    let variance = (second_moment - mean * mean).max(0.0);
+    let mean_ln = if positive > 0 {
+        parts
+            .iter()
+            .map(|p| p.mean_ln * p.positive_count as f64)
+            .sum::<f64>()
+            / positive as f64
+    } else {
+        0.0
+    };
+    let max = parts.iter().fold(0.0f64, |m, p| m.max(p.max));
+    AbsMoments {
+        count: total,
+        positive_count: positive,
+        mean,
+        variance,
+        mean_ln,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_gradient(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn parallel_moments_match_sequential() {
+        let grad = random_gradient(300_000, 61);
+        let seq = AbsMoments::compute(&grad);
+        for threads in [1, 2, 4, 8] {
+            let par = abs_moments_parallel(&grad, threads);
+            assert_eq!(par.count, seq.count);
+            assert_eq!(par.positive_count, seq.positive_count);
+            assert!((par.mean - seq.mean).abs() < 1e-9);
+            assert!((par.variance - seq.variance).abs() < 1e-9);
+            assert!((par.mean_ln - seq.mean_ln).abs() < 1e-9);
+            assert!((par.max - seq.max).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let grad = random_gradient(300_000, 62);
+        let seq = crate::threshold::count_above_threshold(&grad, 0.5);
+        for threads in [1, 3, 7] {
+            assert_eq!(count_above_threshold_parallel(&grad, 0.5, threads), seq);
+        }
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let grad = random_gradient(100, 63);
+        let par = abs_moments_parallel(&grad, 8);
+        let seq = AbsMoments::compute(&grad);
+        assert_eq!(par, seq);
+        assert_eq!(count_above_threshold_parallel(&grad, 0.2, 8), crate::threshold::count_above_threshold(&grad, 0.2));
+    }
+
+    #[test]
+    fn merge_handles_empty_parts() {
+        let empty = AbsMoments::compute(&[]);
+        let merged = merge_abs_moments(&[empty, empty]);
+        assert_eq!(merged.count, 0);
+        assert_eq!(merged.mean, 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Random sub-sampling of gradient vectors, the expensive primitive inside DGC.
+
+use rand::Rng;
+
+/// Uniformly samples `sample_size` elements (with replacement) from `grad` and
+/// returns their values.
+///
+/// With-replacement sampling is what the DGC reference implementation does
+/// (`torch.randint` into the flattened gradient); it is cheaper than reservoir
+/// sampling and statistically indistinguishable for the percentile estimate when
+/// `sample_size ≪ d`.
+///
+/// Returns an empty vector if `grad` is empty or `sample_size` is zero.
+pub fn sample_values<R: Rng + ?Sized>(grad: &[f32], sample_size: usize, rng: &mut R) -> Vec<f32> {
+    if grad.is_empty() || sample_size == 0 {
+        return Vec::new();
+    }
+    (0..sample_size)
+        .map(|_| grad[rng.gen_range(0..grad.len())])
+        .collect()
+}
+
+/// Uniformly samples a fraction `fraction` of the gradient (with replacement),
+/// clamped to at least `min_elements` values so tiny layers still produce a usable
+/// sample (DGC uses 1% with a floor).
+pub fn sample_fraction<R: Rng + ?Sized>(
+    grad: &[f32],
+    fraction: f64,
+    min_elements: usize,
+    rng: &mut R,
+) -> Vec<f32> {
+    if grad.is_empty() {
+        return Vec::new();
+    }
+    let target = ((grad.len() as f64 * fraction).ceil() as usize)
+        .max(min_elements)
+        .min(grad.len());
+    sample_values(grad, target, rng)
+}
+
+/// Selects `k` random element indices without replacement (Random-k baseline).
+/// Uses Floyd's algorithm so the cost is `O(k)` expected regardless of `d`.
+pub fn random_indices<R: Rng + ?Sized>(len: usize, k: usize, rng: &mut R) -> Vec<u32> {
+    let k = k.min(len);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (len - k)..len {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&(t as u32)) { j as u32 } else { t as u32 };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_values_size_and_membership() {
+        let grad = [1.0f32, 2.0, 3.0];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = sample_values(&grad, 100, &mut rng);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|v| grad.contains(v)));
+        assert!(sample_values(&[], 10, &mut rng).is_empty());
+        assert!(sample_values(&grad, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_fraction_respects_floor_and_cap() {
+        let grad = vec![0.5f32; 1000];
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(sample_fraction(&grad, 0.01, 1, &mut rng).len(), 10);
+        assert_eq!(sample_fraction(&grad, 0.0001, 64, &mut rng).len(), 64);
+        assert_eq!(sample_fraction(&grad, 10.0, 1, &mut rng).len(), 1000);
+        assert!(sample_fraction(&[], 0.5, 8, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn random_indices_unique_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for &(len, k) in &[(100usize, 10usize), (50, 50), (10, 0), (5, 20)] {
+            let idx = random_indices(len, k, &mut rng);
+            assert_eq!(idx.len(), k.min(len));
+            let unique: std::collections::HashSet<_> = idx.iter().collect();
+            assert_eq!(unique.len(), idx.len(), "indices must be unique");
+            assert!(idx.iter().all(|&i| (i as usize) < len));
+        }
+    }
+
+    #[test]
+    fn random_indices_cover_range_over_many_draws() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            for i in random_indices(10, 3, &mut rng) {
+                seen.insert(i);
+            }
+        }
+        assert_eq!(seen.len(), 10, "all positions should eventually be sampled");
+    }
+
+    #[test]
+    fn sample_percentile_estimates_true_percentile() {
+        // The DGC use-case: the percentile of a 1% sample approximates the
+        // percentile of the full vector.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let grad: Vec<f32> = (0..100_000).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let sample = sample_fraction(&grad, 0.01, 64, &mut rng);
+        let mut abs_sample: Vec<f32> = sample.iter().map(|x| x.abs()).collect();
+        abs_sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let approx = abs_sample[(abs_sample.len() as f64 * 0.99) as usize];
+        let mut abs_full: Vec<f32> = grad.iter().map(|x| x.abs()).collect();
+        abs_full.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = abs_full[(abs_full.len() as f64 * 0.99) as usize];
+        assert!((approx - exact).abs() / exact < 0.05);
+    }
+}

@@ -1,0 +1,132 @@
+//! Linear-time threshold scans.
+//!
+//! Every threshold-estimation compressor (SIDCo, RedSync, GaussianKSGD, and the
+//! threshold stage of DGC) finishes with one of these scans, so they are kept
+//! allocation-lean and branch-simple.
+
+use crate::sparse::SparseGradient;
+
+/// Counts how many elements satisfy `|g| >= threshold` without materialising them.
+pub fn count_above_threshold(grad: &[f32], threshold: f64) -> usize {
+    let t = threshold as f32;
+    grad.iter().filter(|g| g.abs() >= t).count()
+}
+
+/// Selects all elements with `|g| >= threshold` into a sparse gradient
+/// (the `C_η` operator of the paper).
+pub fn select_above_threshold(grad: &[f32], threshold: f64) -> SparseGradient {
+    let t = threshold as f32;
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for (i, &g) in grad.iter().enumerate() {
+        if g.abs() >= t {
+            indices.push(i as u32);
+            values.push(g);
+        }
+    }
+    SparseGradient::new(indices, values, grad.len())
+}
+
+/// Selects elements with `|g| >= threshold` but never more than `max_elements`,
+/// preferring the largest magnitudes when the cap binds.
+///
+/// DGC's hierarchical step and the capped variants of the heuristic estimators use
+/// this to guarantee they never exceed the target `k` by an unbounded amount.
+pub fn select_above_threshold_capped(
+    grad: &[f32],
+    threshold: f64,
+    max_elements: usize,
+) -> SparseGradient {
+    let selected = select_above_threshold(grad, threshold);
+    if selected.nnz() <= max_elements {
+        return selected;
+    }
+    // Cap bound: keep only the top `max_elements` of the already-selected subset.
+    let mut pairs: Vec<(u32, f32)> = selected.iter().collect();
+    pairs.sort_by(|a, b| {
+        b.1.abs()
+            .partial_cmp(&a.1.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    pairs.truncate(max_elements);
+    SparseGradient::from_pairs(pairs, grad.len())
+}
+
+/// Collects the absolute values of the elements whose magnitude strictly exceeds
+/// `threshold` (the exceedance set used by the multi-stage estimator when it needs
+/// the raw values rather than just moments).
+pub fn exceedance_magnitudes(grad: &[f32], threshold: f64) -> Vec<f32> {
+    let t = threshold as f32;
+    grad.iter()
+        .map(|g| g.abs())
+        .filter(|&a| a > t)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRAD: [f32; 6] = [0.1, -0.5, 0.25, -0.05, 0.9, -0.3];
+
+    #[test]
+    fn count_matches_select() {
+        for &t in &[0.0, 0.05, 0.2, 0.5, 1.0] {
+            let count = count_above_threshold(&GRAD, t);
+            let selected = select_above_threshold(&GRAD, t);
+            assert_eq!(count, selected.nnz(), "mismatch at threshold {t}");
+        }
+    }
+
+    #[test]
+    fn select_preserves_signs_and_positions() {
+        // >= semantics: |-0.3| == 0.3 is included.
+        let s = select_above_threshold(&GRAD, 0.3);
+        assert_eq!(s.indices(), &[1, 4, 5]);
+        assert_eq!(s.values(), &[-0.5, 0.9, -0.3]);
+        assert_eq!(s.dense_len(), 6);
+        let strict = select_above_threshold(&GRAD, 0.31);
+        assert_eq!(strict.indices(), &[1, 4]);
+    }
+
+    #[test]
+    fn threshold_zero_selects_everything() {
+        let s = select_above_threshold(&GRAD, 0.0);
+        assert_eq!(s.nnz(), GRAD.len());
+    }
+
+    #[test]
+    fn threshold_above_max_selects_nothing() {
+        let s = select_above_threshold(&GRAD, 2.0);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(count_above_threshold(&GRAD, 2.0), 0);
+    }
+
+    #[test]
+    fn capped_selection_keeps_largest() {
+        let s = select_above_threshold_capped(&GRAD, 0.0, 2);
+        assert_eq!(s.nnz(), 2);
+        let mut mags: Vec<f32> = s.values().iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(mags, vec![0.9, 0.5]);
+        // Cap not binding: identical to the plain selection.
+        let uncapped = select_above_threshold_capped(&GRAD, 0.31, 10);
+        assert_eq!(uncapped.nnz(), 2);
+    }
+
+    #[test]
+    fn exceedances_are_strict_and_absolute() {
+        let ex = exceedance_magnitudes(&GRAD, 0.25);
+        let mut sorted = ex.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sorted, vec![0.3, 0.5, 0.9]);
+        assert!(exceedance_magnitudes(&GRAD, 1.0).is_empty());
+    }
+
+    #[test]
+    fn empty_gradient() {
+        assert_eq!(count_above_threshold(&[], 0.1), 0);
+        assert_eq!(select_above_threshold(&[], 0.1).nnz(), 0);
+        assert!(exceedance_magnitudes(&[], 0.1).is_empty());
+    }
+}

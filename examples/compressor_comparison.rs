@@ -1,0 +1,69 @@
+//! Micro-benchmark walk-through: estimation quality and modelled compression cost of
+//! every scheme across gradient profiles and compression ratios (the scenario behind
+//! the paper's Figure 1 and Figure 9).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example compressor_comparison
+//! ```
+
+use sidco::prelude::*;
+use sidco_core::compressor::CompressorKind;
+use sidco_dist::device::DeviceProfile;
+use sidco_stats::fit::SidKind;
+use std::time::Instant;
+
+fn main() {
+    let dim = 2_000_000;
+    let ratios = [0.1, 0.01, 0.001];
+    let profiles = [GradientProfile::LaplaceLike, GradientProfile::HeavyTail];
+
+    for profile in profiles {
+        println!("=== gradient profile: {profile}, dimension {dim} ===");
+        println!(
+            "{:<12} {:>8} {:>12} {:>16} {:>16} {:>16}",
+            "scheme", "δ", "k̂/k", "wall time (ms)", "gpu model (ms)", "cpu model (ms)"
+        );
+        let mut generator = SyntheticGradientGenerator::new(dim, profile, 7);
+        let grad = generator.gradient(2_000);
+        for &delta in &ratios {
+            for kind in [
+                CompressorKind::TopK,
+                CompressorKind::Dgc,
+                CompressorKind::RedSync,
+                CompressorKind::GaussianKSgd,
+                CompressorKind::Sidco(SidKind::Exponential),
+            ] {
+                let mut compressor =
+                    sidco_dist::simulate::build_compressor(kind, 0).expect("compressed scheme");
+                // Warm up the adaptive schemes, then measure.
+                for _ in 0..3 {
+                    compressor.compress(grad.as_slice(), delta);
+                }
+                let start = Instant::now();
+                let result = compressor.compress(grad.as_slice(), delta);
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let stages = result.stages_used.unwrap_or(1);
+                let gpu_ms =
+                    DeviceProfile::gpu().compression_time(kind, dim, delta, stages) * 1e3;
+                let cpu_ms =
+                    DeviceProfile::cpu().compression_time(kind, dim, delta, stages) * 1e3;
+                println!(
+                    "{:<12} {:>8} {:>12.3} {:>16.2} {:>16.2} {:>16.2}",
+                    kind.label(),
+                    delta,
+                    result.achieved_ratio() / delta,
+                    wall_ms,
+                    gpu_ms,
+                    cpu_ms,
+                );
+            }
+            println!();
+        }
+    }
+    println!(
+        "threshold-estimation schemes (RedSync, GaussK, SIDCo) cost a few linear passes;\n\
+         only SIDCo also keeps k̂/k pinned to 1 across profiles and ratios."
+    );
+}

@@ -1,0 +1,107 @@
+//! The paper's headline scenario: a communication-bound RNN benchmark (LSTM-PTB,
+//! 94% of the iteration spent in communication). Two parts:
+//!
+//! 1. train a real recurrent model (Elman RNN with BPTT) under aggressive 0.1%
+//!    sparsification to show convergence is preserved with error feedback;
+//! 2. simulate the LSTM-PTB benchmark at its full 66M-parameter scale to show
+//!    where the wall-clock speed-up comes from.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example lstm_language_model
+//! ```
+
+use sidco::prelude::*;
+use sidco_core::compressor::CompressorKind;
+use sidco_dist::simulate::{normalized_speedup, normalized_throughput};
+use sidco_models::dataset::SequenceDataset;
+use sidco_models::rnn::ElmanRnn;
+use sidco_stats::fit::SidKind;
+use std::sync::Arc;
+
+fn main() {
+    train_recurrent_model();
+    println!();
+    simulate_ptb_at_scale();
+}
+
+/// Part 1: real recurrent training with aggressive compression.
+fn train_recurrent_model() {
+    println!("== part 1: Elman RNN trained with 0.1% sparsification ==");
+    let data = SequenceDataset::generate(512, 16, 4, 11);
+    let model: Arc<dyn DifferentiableModel> = Arc::new(ElmanRnn::new(data, 24));
+    let cluster = ClusterConfig::paper_dedicated();
+    let config = TrainerConfig {
+        iterations: 200,
+        batch_per_worker: 16,
+        schedule: LrSchedule::constant(0.2),
+        clip_norm: Some(5.0), // the paper's RNN recipes clip gradients
+        momentum: 0.9,
+        nesterov: true,
+        ..TrainerConfig::default()
+    };
+
+    let mut baseline = ModelTrainer::uncompressed(Arc::clone(&model), cluster, config.clone());
+    let base = baseline.run(1.0);
+    let mut compressed = ModelTrainer::new(Arc::clone(&model), cluster, config, || {
+        Box::new(SidcoCompressor::new(SidcoConfig::exponential()))
+    });
+    let comp = compressed.run(0.001);
+
+    println!(
+        "baseline : final loss {:.5}, simulated time {:.2}s",
+        base.final_evaluation(),
+        base.total_time()
+    );
+    println!(
+        "sidco-e  : final loss {:.5}, simulated time {:.2}s, mean k̂/k {:.3}",
+        comp.final_evaluation(),
+        comp.total_time(),
+        comp.estimation_quality().mean_normalized_ratio
+    );
+}
+
+/// Part 2: LSTM-PTB at full scale through the benchmark simulator.
+fn simulate_ptb_at_scale() {
+    println!("== part 2: LSTM-PTB (66M parameters, 94% comm overhead) at δ = 0.001 ==");
+    let config = SimulationConfig::for_benchmark(BenchmarkId::LstmPtb)
+        .with_iterations(30)
+        .with_measured_dim(300_000);
+    let baseline = simulate_benchmark(&config, CompressorKind::None, 1.0);
+
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12}",
+        "scheme", "iter time (s)", "throughput ×", "speed-up ×", "k̂/k"
+    );
+    println!(
+        "{:<12} {:>14.4} {:>14.2} {:>12.2} {:>12}",
+        "none",
+        baseline.mean_iteration_time(5),
+        1.0,
+        1.0,
+        "-"
+    );
+    for kind in [
+        CompressorKind::TopK,
+        CompressorKind::Dgc,
+        CompressorKind::RedSync,
+        CompressorKind::GaussianKSgd,
+        CompressorKind::Sidco(SidKind::Exponential),
+    ] {
+        let result = simulate_benchmark(&config, kind, 0.001);
+        println!(
+            "{:<12} {:>14.4} {:>14.2} {:>12.2} {:>12.3}",
+            kind.label(),
+            result.mean_iteration_time(5),
+            normalized_throughput(&result, &baseline),
+            normalized_speedup(&result, &baseline),
+            result.estimation_quality().mean_normalized_ratio,
+        );
+    }
+    println!();
+    println!(
+        "SIDCo keeps the threshold-estimation overhead tiny, so nearly the entire 94%\n\
+         communication share is recovered — the ≈40× speed-up regime of Figure 3a."
+    );
+}

@@ -1,0 +1,172 @@
+//! Integration tests spanning models → core → dist: end-to-end distributed training
+//! with compression, convergence behaviour, and the benchmark simulator.
+
+use sidco::prelude::*;
+use sidco_core::compressor::CompressorKind;
+use sidco_dist::metrics::normalized_speedup as trainer_speedup;
+use sidco_dist::simulate::{normalized_speedup, simulate_benchmark};
+use sidco_models::dataset::{ClassificationDataset, RegressionDataset};
+use sidco_models::logistic::SoftmaxClassifier;
+use sidco_models::regression::LinearRegression;
+use sidco_stats::fit::SidKind;
+use std::sync::Arc;
+
+fn regression_model(dim: usize, seed: u64) -> Arc<dyn DifferentiableModel> {
+    Arc::new(LinearRegression::new(RegressionDataset::generate(
+        256, dim, 0.01, seed,
+    )))
+}
+
+fn quick_config(iterations: u64) -> TrainerConfig {
+    TrainerConfig {
+        iterations,
+        batch_per_worker: 16,
+        schedule: LrSchedule::constant(0.1),
+        ..TrainerConfig::default()
+    }
+}
+
+#[test]
+fn compressed_training_matches_baseline_loss_on_convex_problem() {
+    // Lemma 3 in practice: with error feedback and an accurate ratio estimate, the
+    // 10%-compressed run converges close to dense SGD within the same iteration
+    // budget; the 1%-compressed run needs more iterations (the 1/δ² factor) but
+    // still makes strong progress.
+    let model = regression_model(512, 11);
+    let cluster = ClusterConfig::small_test();
+
+    let mut dense = ModelTrainer::uncompressed(Arc::clone(&model), cluster, quick_config(250));
+    let dense_report = dense.run(1.0);
+    let initial_loss = dense_report.samples()[0].loss;
+
+    let mut mild = ModelTrainer::new(Arc::clone(&model), cluster, quick_config(250), || {
+        Box::new(SidcoCompressor::new(SidcoConfig::exponential()))
+    });
+    let mild_report = mild.run(0.1);
+    assert!(
+        mild_report.final_evaluation() < dense_report.final_evaluation() + 0.05,
+        "δ=0.1: {} vs baseline {}",
+        mild_report.final_evaluation(),
+        dense_report.final_evaluation()
+    );
+
+    let mut aggressive = ModelTrainer::new(Arc::clone(&model), cluster, quick_config(250), || {
+        Box::new(SidcoCompressor::new(SidcoConfig::exponential()))
+    });
+    let aggressive_report = aggressive.run(0.01);
+    assert!(
+        aggressive_report.final_evaluation() < initial_loss * 0.1,
+        "δ=0.01: {} should be far below the initial loss {initial_loss}",
+        aggressive_report.final_evaluation()
+    );
+}
+
+#[test]
+fn error_feedback_memory_stays_bounded_while_training_progresses() {
+    // EC accumulates everything the sparsifier drops; the invariant that makes it
+    // safe is that the memory stays bounded (the selected coordinates drain it)
+    // while the loss keeps decreasing.
+    let model = regression_model(512, 13);
+    let cluster = ClusterConfig::small_test();
+    let delta = 0.05;
+    let config = TrainerConfig {
+        error_feedback: true,
+        ..quick_config(200)
+    };
+    let mut trainer = ModelTrainer::new(Arc::clone(&model), cluster, config, || {
+        Box::new(TopKCompressor::new())
+    });
+    let report = trainer.run(delta);
+    let initial = report.samples()[0].loss;
+    let final_loss = report.final_evaluation();
+    assert!(
+        final_loss < initial * 0.2,
+        "training with EC should progress: {initial} -> {final_loss}"
+    );
+    // The achieved ratio with EC remains pinned at the Top-k target.
+    let q = report.estimation_quality();
+    assert!((q.mean_normalized_ratio - 1.0).abs() < 0.2);
+}
+
+#[test]
+fn classification_accuracy_survives_compression() {
+    let data = ClassificationDataset::gaussian_blobs(512, 32, 4, 6.0, 17);
+    let model: Arc<dyn DifferentiableModel> = Arc::new(SoftmaxClassifier::new(data));
+    let cluster = ClusterConfig::small_test();
+    let config = TrainerConfig {
+        iterations: 200,
+        batch_per_worker: 32,
+        schedule: LrSchedule::constant(0.5),
+        ..TrainerConfig::default()
+    };
+    let mut trainer = ModelTrainer::new(model, cluster, config, || {
+        Box::new(SidcoCompressor::new(SidcoConfig::exponential()))
+    });
+    let report = trainer.run(0.01);
+    let accuracy = report.final_accuracy().expect("classifier reports accuracy");
+    assert!(
+        accuracy > 0.8,
+        "compressed training should still classify separable blobs, got {accuracy}"
+    );
+}
+
+#[test]
+fn speedups_grow_with_communication_overhead() {
+    // The paper's central end-to-end observation: the more communication-bound the
+    // benchmark (Table 1), the larger the speed-up from compression.
+    let delta = 0.001;
+    let mut speedups = Vec::new();
+    for benchmark in [
+        BenchmarkId::ResNet20Cifar10, // 10% comm
+        BenchmarkId::Vgg16Cifar10,    // 60% comm
+        BenchmarkId::LstmPtb,         // 94% comm
+    ] {
+        let config = SimulationConfig::for_benchmark(benchmark)
+            .with_iterations(15)
+            .with_measured_dim(80_000);
+        let baseline = simulate_benchmark(&config, CompressorKind::None, 1.0);
+        let sidco =
+            simulate_benchmark(&config, CompressorKind::Sidco(SidKind::Exponential), delta);
+        speedups.push(normalized_speedup(&sidco, &baseline));
+    }
+    assert!(
+        speedups[0] < speedups[1] && speedups[1] < speedups[2],
+        "speed-up should grow with comm overhead: {speedups:?}"
+    );
+    assert!(speedups[2] > 5.0, "LSTM-PTB should speed up considerably");
+}
+
+#[test]
+fn sidco_outperforms_topk_and_dgc_end_to_end_on_gpu_cluster() {
+    let config = SimulationConfig::for_benchmark(BenchmarkId::Vgg16Cifar10)
+        .with_iterations(15)
+        .with_measured_dim(80_000);
+    let baseline = simulate_benchmark(&config, CompressorKind::None, 1.0);
+    let delta = 0.001;
+    let topk = simulate_benchmark(&config, CompressorKind::TopK, delta);
+    let dgc = simulate_benchmark(&config, CompressorKind::Dgc, delta);
+    let sidco = simulate_benchmark(&config, CompressorKind::Sidco(SidKind::Exponential), delta);
+    let s_topk = normalized_speedup(&topk, &baseline);
+    let s_dgc = normalized_speedup(&dgc, &baseline);
+    let s_sidco = normalized_speedup(&sidco, &baseline);
+    assert!(
+        s_sidco >= s_dgc && s_dgc >= s_topk,
+        "expected SIDCo ≥ DGC ≥ Topk, got {s_sidco} / {s_dgc} / {s_topk}"
+    );
+}
+
+#[test]
+fn trainer_speedup_metric_gates_on_quality() {
+    let model = regression_model(256, 19);
+    let cluster = ClusterConfig::small_test();
+    let mut dense = ModelTrainer::uncompressed(Arc::clone(&model), cluster, quick_config(100));
+    let dense_report = dense.run(1.0);
+    let mut good = ModelTrainer::new(Arc::clone(&model), cluster, quick_config(100), || {
+        Box::new(TopKCompressor::new())
+    });
+    let good_report = good.run(0.1);
+    // The compressed run is no slower than the baseline in simulated time and reaches
+    // a comparable loss, so the speed-up is positive.
+    let s = trainer_speedup(&good_report, &dense_report, 0.5);
+    assert!(s > 0.0);
+}
