@@ -80,5 +80,10 @@ fn bench_topk_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stage_count, bench_sid_variants, bench_topk_algorithms);
+criterion_group!(
+    benches,
+    bench_stage_count,
+    bench_sid_variants,
+    bench_topk_algorithms
+);
 criterion_main!(benches);

@@ -19,8 +19,7 @@ fn bench_sizes(c: &mut Criterion) {
     // paper sizes (26M / 260M) are covered by the analytic model in the experiments
     // binary to keep the bench run short.
     for &size in &[260_000usize, 2_600_000] {
-        let mut generator =
-            SyntheticGradientGenerator::new(size, GradientProfile::LaplaceLike, 13);
+        let mut generator = SyntheticGradientGenerator::new(size, GradientProfile::LaplaceLike, 13);
         let grad = generator.gradient(1_000).into_vec();
         group.throughput(Throughput::Elements(size as u64));
         for kind in [

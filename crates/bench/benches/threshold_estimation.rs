@@ -4,12 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
+use sidco_stats::fit::SidKind;
 use sidco_stats::fit::{
-    exponential_threshold, gamma_threshold, gamma_threshold_exact, gaussian_threshold,
-    gp_threshold,
+    exponential_threshold, gamma_threshold, gamma_threshold_exact, gaussian_threshold, gp_threshold,
 };
 use sidco_stats::pot::multi_stage_threshold;
-use sidco_stats::fit::SidKind;
 use sidco_tensor::topk::kth_largest_magnitude;
 
 const DIM: usize = 1_000_000;
@@ -28,9 +27,10 @@ fn bench_estimators(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
 
-    group.bench_function(BenchmarkId::from_parameter("exponential_single_stage"), |b| {
-        b.iter(|| exponential_threshold(std::hint::black_box(&grad), DELTA))
-    });
+    group.bench_function(
+        BenchmarkId::from_parameter("exponential_single_stage"),
+        |b| b.iter(|| exponential_threshold(std::hint::black_box(&grad), DELTA)),
+    );
     group.bench_function(BenchmarkId::from_parameter("gamma_closed_form"), |b| {
         b.iter(|| gamma_threshold(std::hint::black_box(&grad), DELTA))
     });

@@ -90,7 +90,13 @@ pub fn adaptation(scale: Scale) -> String {
     let iterations = scale.pick(30, 100);
     let mut table = Table::new(
         "Ablation — stage-adaptation window Q and tolerance ε (SIDCo-E, heavy-tail, δ = 0.001)",
-        &["Q", "ε", "final stages M", "mean k̂/k (last half)", "iterations"],
+        &[
+            "Q",
+            "ε",
+            "final stages M",
+            "mean k̂/k (last half)",
+            "iterations",
+        ],
     );
     let mut generator = SyntheticGradientGenerator::new(dim, GradientProfile::HeavyTail, 41);
     let grads: Vec<Vec<f32>> = (0..iterations)
@@ -134,7 +140,14 @@ pub fn gamma_fit(scale: Scale) -> String {
     let grad = gradient(GradientProfile::SparseGamma, dim, 43);
     let mut table = Table::new(
         "Ablation — gamma threshold: closed form vs exact quantile",
-        &["δ", "closed-form η", "exact η", "rel. diff", "closed-form µs", "exact µs"],
+        &[
+            "δ",
+            "closed-form η",
+            "exact η",
+            "rel. diff",
+            "closed-form µs",
+            "exact µs",
+        ],
     );
     for &delta in &[0.1, 0.01, 0.001] {
         let start = Instant::now();

@@ -112,7 +112,10 @@ pub fn fig3(scale: Scale) -> String {
 pub fn fig5(scale: Scale) -> String {
     let mut out = String::new();
     for (benchmark, label) in [
-        (BenchmarkId::ResNet20Cifar10, "Figure 5(a,b) — ResNet20 on CIFAR-10"),
+        (
+            BenchmarkId::ResNet20Cifar10,
+            "Figure 5(a,b) — ResNet20 on CIFAR-10",
+        ),
         (BenchmarkId::Vgg16Cifar10, "Figure 5(c) — VGG16 on CIFAR-10"),
     ] {
         out.push_str(&benchmark_block(

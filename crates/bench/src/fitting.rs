@@ -4,11 +4,11 @@ use crate::report::{fmt, Table};
 use crate::Scale;
 use sidco_core::error_feedback::ErrorFeedback;
 use sidco_core::topk::TopKCompressor;
+use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
 use sidco_stats::empirical::{pdf_fit_error, EmpiricalCdf, Histogram};
 use sidco_stats::{DoubleGamma, DoubleGeneralizedPareto, Laplace};
 use sidco_tensor::compressibility;
 use sidco_tensor::GradientVector;
-use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
 
 /// Builds the gradient snapshot used by the Figure-2/8 style fitting experiments:
 /// the ResNet-20-like profile at a given "training iteration", optionally passed
@@ -38,16 +38,22 @@ fn resnet20_like_gradient(iteration: u64, with_ec: bool, scale: Scale) -> Vec<f3
 fn fit_table(title: &str, grad: &[f32]) -> Table {
     let mut table = Table::new(
         title,
-        &["fit", "parameters", "pdf mean abs err", "KS distance of |g|"],
+        &[
+            "fit",
+            "parameters",
+            "pdf mean abs err",
+            "KS distance of |g|",
+        ],
     );
     let lo = -5.0 * sidco_stats::moments::AbsMoments::compute(grad).mean;
     let hi = -lo;
     let hist = Histogram::from_f32(grad, lo, hi, 200);
     let abs: Vec<f64> = grad.iter().map(|&x| x.abs() as f64).collect();
     let abs_ecdf = EmpiricalCdf::new(&abs);
+    let grad64: Vec<f64> = grad.iter().map(|&x| x as f64).collect();
 
     // Double exponential.
-    if let Ok(fit) = Laplace::fit_mle_zero_location(&grad.iter().map(|&x| x as f64).collect::<Vec<_>>()) {
+    if let Ok(fit) = Laplace::fit_mle_zero_location(&grad64) {
         table.row(&[
             "double exponential".to_string(),
             format!("β̂={:.2e}", fit.scale()),
@@ -56,7 +62,7 @@ fn fit_table(title: &str, grad: &[f32]) -> Table {
         ]);
     }
     // Double gamma.
-    if let Ok(fit) = DoubleGamma::fit_closed_form(&grad.iter().map(|&x| x as f64).collect::<Vec<_>>()) {
+    if let Ok(fit) = DoubleGamma::fit_closed_form(&grad64) {
         table.row(&[
             "double gamma".to_string(),
             format!("α̂={:.3}, β̂={:.2e}", fit.shape(), fit.scale()),
@@ -65,7 +71,7 @@ fn fit_table(title: &str, grad: &[f32]) -> Table {
         ]);
     }
     // Double generalized Pareto.
-    if let Ok(fit) = DoubleGeneralizedPareto::fit_moments(&grad.iter().map(|&x| x as f64).collect::<Vec<_>>()) {
+    if let Ok(fit) = DoubleGeneralizedPareto::fit_moments(&grad64) {
         table.row(&[
             "double GP".to_string(),
             format!("α̂={:.3}, β̂={:.2e}", fit.shape(), fit.scale()),
@@ -116,7 +122,12 @@ pub fn fig7(scale: Scale) -> String {
     let mut out = String::new();
     let mut decay_table = Table::new(
         "Figure 7a — power-law decay of sorted gradient magnitudes",
-        &["epoch", "decay exponent p", "fit R²", "compressible (p > 1/2)"],
+        &[
+            "epoch",
+            "decay exponent p",
+            "fit R²",
+            "compressible (p > 1/2)",
+        ],
     );
     let mut sigma_table = Table::new(
         "Figure 7b — best-k sparsification error σ_k / ||g||",
@@ -127,8 +138,7 @@ pub fn fig7(scale: Scale) -> String {
     // sorted profile.
     let dim = scale.pick(60_000, 270_000);
     for (epoch, iteration) in [(1u32, 100u64), (15, 5_000), (30, 10_000)] {
-        let mut generator =
-            SyntheticGradientGenerator::new(dim, GradientProfile::SparseGamma, 23);
+        let mut generator = SyntheticGradientGenerator::new(dim, GradientProfile::SparseGamma, 23);
         let grad = generator.layered_gradient(iteration, 24).into_vec();
         let report = compressibility::analyze(&grad, 0.4);
         decay_table.row(&[
@@ -171,7 +181,10 @@ mod tests {
         let out = fig7(Scale::Quick);
         assert!(out.contains("Figure 7a"));
         assert!(out.contains("Figure 7b"));
-        assert!(out.contains("true"), "synthetic gradients must be compressible");
+        assert!(
+            out.contains("true"),
+            "synthetic gradients must be compressible"
+        );
     }
 
     #[test]

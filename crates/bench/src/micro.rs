@@ -53,7 +53,11 @@ pub fn fig1(scale: Scale) -> String {
         let mut table = Table::new(
             format!(
                 "Figure 1{} — compression speed-up over Top-k ({}), VGG16 ({} params)",
-                if profile.device == sidco_dist::device::ComputeDevice::Gpu { "a" } else { "b" },
+                if profile.device == sidco_dist::device::ComputeDevice::Gpu {
+                    "a"
+                } else {
+                    "b"
+                },
                 profile.device,
                 full_dim
             ),
@@ -62,8 +66,14 @@ pub fn fig1(scale: Scale) -> String {
         for kind in FIG1_SCHEMES.iter().skip(1) {
             let mut cells = vec![kind.label().to_string()];
             for &delta in &RATIOS {
-                let stages = if matches!(kind, CompressorKind::Sidco(_)) { 2 } else { 1 };
-                cells.push(fmt(profile.speedup_over_topk(*kind, full_dim, delta, stages)));
+                let stages = if matches!(kind, CompressorKind::Sidco(_)) {
+                    2
+                } else {
+                    1
+                };
+                cells.push(fmt(
+                    profile.speedup_over_topk(*kind, full_dim, delta, stages)
+                ));
             }
             table.row(&cells);
         }
@@ -119,7 +129,11 @@ pub fn fig14_15(_scale: Scale) -> String {
             );
             for kind in EXTENDED_SCHEMES {
                 for &delta in &RATIOS {
-                    let stages = if matches!(kind, CompressorKind::Sidco(_)) { 2 } else { 1 };
+                    let stages = if matches!(kind, CompressorKind::Sidco(_)) {
+                        2
+                    } else {
+                        1
+                    };
                     let latency = profile.compression_time(kind, dim, delta, stages) * 1e3;
                     let speedup = profile.speedup_over_topk(kind, dim, delta, stages);
                     table.row(&[
@@ -148,13 +162,20 @@ pub fn fig16_17(scale: Scale) -> String {
 
     for profile in [DeviceProfile::gpu(), DeviceProfile::cpu()] {
         let mut table = Table::new(
-            format!("Figures 16/17 — synthetic tensors on {} (modelled)", profile.device),
+            format!(
+                "Figures 16/17 — synthetic tensors on {} (modelled)",
+                profile.device
+            ),
             &["elements", "scheme", "δ", "speed-up ×", "latency (ms)"],
         );
         for &size in sizes {
             for kind in EXTENDED_SCHEMES {
                 for &delta in &RATIOS {
-                    let stages = if matches!(kind, CompressorKind::Sidco(_)) { 2 } else { 1 };
+                    let stages = if matches!(kind, CompressorKind::Sidco(_)) {
+                        2
+                    } else {
+                        1
+                    };
                     table.row(&[
                         size.to_string(),
                         kind.label().to_string(),
@@ -172,7 +193,13 @@ pub fn fig16_17(scale: Scale) -> String {
     // Measured wall-clock CPU numbers on the sizes that are fast enough to run here.
     let mut table = Table::new(
         "Figures 16/17 — measured CPU wall-clock of this implementation",
-        &["elements", "scheme", "δ", "measured (ms)", "speed-up over Topk ×"],
+        &[
+            "elements",
+            "scheme",
+            "δ",
+            "measured (ms)",
+            "speed-up over Topk ×",
+        ],
     );
     for &size in sizes.iter().filter(|&&s| s <= measured_cap) {
         let mut generator = SyntheticGradientGenerator::new(size, GradientProfile::LaplaceLike, 5);

@@ -24,7 +24,7 @@ impl Table {
     /// Appends one row. Shorter rows are padded with empty cells; longer rows are
     /// truncated to the header width.
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        let mut row: Vec<String> = cells.iter().cloned().collect();
+        let mut row: Vec<String> = cells.to_vec();
         row.resize(self.header.len(), String::new());
         self.rows.push(row);
         self
@@ -117,7 +117,12 @@ mod tests {
     fn row_padding_and_truncation() {
         let mut t = Table::new("demo", &["a", "b", "c"]);
         t.row(&["1".to_string()]);
-        t.row(&["1".to_string(), "2".to_string(), "3".to_string(), "4".to_string()]);
+        t.row(&[
+            "1".to_string(),
+            "2".to_string(),
+            "3".to_string(),
+            "4".to_string(),
+        ]);
         let rendered = t.render();
         assert!(!rendered.contains('4'), "extra cells must be dropped");
     }

@@ -62,6 +62,9 @@ fn train(
         batch_per_worker: 16,
         schedule: LrSchedule::constant(0.3),
         clip_norm: clip,
+        // Charge each scheme its own modelled latency so the loss-vs-time
+        // axes of Figures 10/11 actually separate the schemes.
+        compressor_kind: (kind != CompressorKind::None).then_some(kind),
         ..TrainerConfig::default()
     };
     let cluster = ClusterConfig::paper_dedicated();
@@ -97,12 +100,26 @@ pub fn fig4(scale: Scale) -> String {
     let iterations = scale.pick(60, 300);
     let mut out = String::new();
     for (label, model) in [
-        ("Figure 4(a,b) — RNN proxy for LSTM-PTB", rnn_workload(scale)),
-        ("Figure 4(c,d) — RNN proxy for LSTM-AN4", rnn_workload(scale)),
+        (
+            "Figure 4(a,b) — RNN proxy for LSTM-PTB",
+            rnn_workload(scale),
+        ),
+        (
+            "Figure 4(c,d) — RNN proxy for LSTM-AN4",
+            rnn_workload(scale),
+        ),
     ] {
         let mut table = Table::new(
             format!("{label}, δ = {delta}"),
-            &["scheme", "loss@0%", "loss@25%", "loss@50%", "loss@75%", "loss@100%", "k̂/k mean"],
+            &[
+                "scheme",
+                "loss@0%",
+                "loss@25%",
+                "loss@50%",
+                "loss@75%",
+                "loss@100%",
+                "k̂/k mean",
+            ],
         );
         for kind in CURVE_SCHEMES {
             let report = train(&model, kind, delta, iterations, Some(5.0));
@@ -135,11 +152,20 @@ pub fn fig10(scale: Scale) -> String {
         for &delta in &[0.1, 0.01, 0.001] {
             let mut table = Table::new(
                 format!("{label}, δ = {delta}: loss vs simulated wall-time"),
-                &["scheme", "total time (s)", "final loss", "time to 90% of baseline drop (s)"],
+                &[
+                    "scheme",
+                    "total time (s)",
+                    "final loss",
+                    "time to 90% of baseline drop (s)",
+                ],
             );
             // Baseline first, to define the convergence target.
             let baseline = train(&model, CompressorKind::None, 1.0, iterations, None);
-            let initial = baseline.samples().first().map(|s| s.loss).unwrap_or(f64::NAN);
+            let initial = baseline
+                .samples()
+                .first()
+                .map(|s| s.loss)
+                .unwrap_or(f64::NAN);
             let target = initial - 0.9 * (initial - baseline.final_loss());
             for kind in CURVE_SCHEMES {
                 let report = if kind == CompressorKind::None {
@@ -174,7 +200,13 @@ pub fn fig11(scale: Scale) -> String {
     let mut out = String::new();
     let mut table = Table::new(
         "Figure 11 — VGG19-style workload, δ = 0.001",
-        &["scheme", "k̂/k start", "k̂/k end", "final loss", "final accuracy"],
+        &[
+            "scheme",
+            "k̂/k start",
+            "k̂/k end",
+            "final loss",
+            "final accuracy",
+        ],
     );
     for kind in CURVE_SCHEMES {
         let report = train(&model, kind, delta, iterations, None);
@@ -185,8 +217,16 @@ pub fn fig11(scale: Scale) -> String {
         };
         table.row(&[
             kind.label().to_string(),
-            if kind == CompressorKind::None { "-".to_string() } else { fmt(start) },
-            if kind == CompressorKind::None { "-".to_string() } else { fmt(end) },
+            if kind == CompressorKind::None {
+                "-".to_string()
+            } else {
+                fmt(start)
+            },
+            if kind == CompressorKind::None {
+                "-".to_string()
+            } else {
+                fmt(end)
+            },
             fmt(report.final_loss()),
             fmt(report.final_accuracy().unwrap_or(f64::NAN)),
         ]);

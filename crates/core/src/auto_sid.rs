@@ -88,8 +88,14 @@ impl AutoSidCompressor {
         self.current_sid
     }
 
+    /// Relative KS-distance advantage a heavier-tailed family must show over the
+    /// exponential before it is selected. The GP family nests the exponential, so
+    /// without a parsimony margin it wins ties on light-tailed gradients by fitting
+    /// sampling noise.
+    const COMPLEXITY_PENALTY: f64 = 1.25;
+
     /// Scores all three SIDs on a sub-sample of `grad` and returns the best one
-    /// (lowest KS distance of the fitted |G| distribution).
+    /// (lowest complexity-penalised KS distance of the fitted |G| distribution).
     fn select_sid(&mut self, grad: &[f32]) -> SidKind {
         let sample = sample_values(grad, self.config.fit_sample.min(grad.len()), &mut self.rng);
         let abs: Vec<f64> = sample.iter().map(|&x| x.abs() as f64).collect();
@@ -115,8 +121,13 @@ impl AutoSidCompressor {
                         .unwrap_or(f64::INFINITY)
                 }
             };
-            if distance < best.1 {
-                best = (kind, distance);
+            let penalised = if kind == SidKind::Exponential {
+                distance
+            } else {
+                distance * Self::COMPLEXITY_PENALTY
+            };
+            if penalised < best.1 {
+                best = (kind, penalised);
             }
         }
         best.0
@@ -131,7 +142,7 @@ impl Default for AutoSidCompressor {
 
 impl Compressor for AutoSidCompressor {
     fn compress(&mut self, grad: &[f32], delta: f64) -> CompressionResult {
-        if self.iteration % self.config.refit_period == 0 && !grad.is_empty() {
+        if self.iteration.is_multiple_of(self.config.refit_period) && !grad.is_empty() {
             let selected = self.select_sid(grad);
             if selected != self.current_sid {
                 // Keep the adapted stage count but switch the distribution family.
@@ -169,7 +180,10 @@ mod tests {
 
     fn sample_f32<D: Continuous>(d: &D, n: usize, seed: u64) -> Vec<f32> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        d.sample_vec(&mut rng, n).into_iter().map(|x| x as f32).collect()
+        d.sample_vec(&mut rng, n)
+            .into_iter()
+            .map(|x| x as f32)
+            .collect()
     }
 
     #[test]
@@ -183,7 +197,11 @@ mod tests {
 
     #[test]
     fn selects_heavier_tail_family_for_gp_gradients() {
-        let grad = sample_f32(&DoubleGeneralizedPareto::new(0.35, 0.01).unwrap(), 100_000, 93);
+        let grad = sample_f32(
+            &DoubleGeneralizedPareto::new(0.35, 0.01).unwrap(),
+            100_000,
+            93,
+        );
         let mut compressor = AutoSidCompressor::default();
         compressor.compress(&grad, 0.01);
         assert_ne!(
@@ -195,7 +213,11 @@ mod tests {
 
     #[test]
     fn achieves_target_ratio_after_adaptation() {
-        let grad = sample_f32(&DoubleGeneralizedPareto::new(0.3, 0.01).unwrap(), 200_000, 95);
+        let grad = sample_f32(
+            &DoubleGeneralizedPareto::new(0.3, 0.01).unwrap(),
+            200_000,
+            95,
+        );
         let delta = 0.001;
         let mut compressor = AutoSidCompressor::default();
         let mut achieved = 0.0;
@@ -210,7 +232,11 @@ mod tests {
 
     #[test]
     fn reset_restores_base_sid() {
-        let grad = sample_f32(&DoubleGeneralizedPareto::new(0.35, 0.01).unwrap(), 50_000, 97);
+        let grad = sample_f32(
+            &DoubleGeneralizedPareto::new(0.35, 0.01).unwrap(),
+            50_000,
+            97,
+        );
         let mut compressor = AutoSidCompressor::default();
         compressor.compress(&grad, 0.01);
         compressor.reset();

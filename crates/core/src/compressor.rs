@@ -156,7 +156,10 @@ mod tests {
             CompressorKind::Sidco(SidKind::Exponential).label(),
             "SIDCo-E"
         );
-        assert_eq!(CompressorKind::Sidco(SidKind::Gamma).to_string(), "SIDCo-GP");
+        assert_eq!(
+            CompressorKind::Sidco(SidKind::Gamma).to_string(),
+            "SIDCo-GP"
+        );
         assert_eq!(CompressorKind::EVALUATED.len(), 8);
     }
 

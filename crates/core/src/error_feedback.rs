@@ -126,7 +126,11 @@ mod tests {
 
         // Eventually the accumulated small coordinates win.
         let r3 = ec.compress_with(&mut topk, &grad, 0.25);
-        assert_eq!(r3.sparse.indices(), &[1], "0.4*3 = 1.2 > 1.0 must be selected");
+        assert_eq!(
+            r3.sparse.indices(),
+            &[1],
+            "0.4*3 = 1.2 > 1.0 must be selected"
+        );
     }
 
     #[test]

@@ -118,7 +118,10 @@ mod tests {
 
     fn sample_f32<D: Continuous>(d: &D, n: usize, seed: u64) -> Vec<f32> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        d.sample_vec(&mut rng, n).into_iter().map(|x| x as f32).collect()
+        d.sample_vec(&mut rng, n)
+            .into_iter()
+            .map(|x| x as f32)
+            .collect()
     }
 
     #[test]
@@ -166,8 +169,7 @@ mod tests {
             ..GaussianKSgdConfig::default()
         });
         let mut with = GaussianKSgdCompressor::new();
-        let err_without =
-            (without.compress(&grad, delta).achieved_ratio() - delta).abs() / delta;
+        let err_without = (without.compress(&grad, delta).achieved_ratio() - delta).abs() / delta;
         let err_with = (with.compress(&grad, delta).achieved_ratio() - delta).abs() / delta;
         assert!(
             err_with <= err_without,

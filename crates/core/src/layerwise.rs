@@ -204,14 +204,26 @@ mod tests {
         // unlike a global Top-k which would starve it.
         let mut grad = vec![0.0f32; 200];
         for (i, value) in grad.iter_mut().enumerate() {
-            *value = if i < 100 { 1.0 + i as f32 } else { 0.001 * (i as f32 - 99.0) };
+            *value = if i < 100 {
+                1.0 + i as f32
+            } else {
+                0.001 * (i as f32 - 99.0)
+            };
         }
         let layout = LayerLayout::new(vec![100, 100]);
         let mut layerwise = LayerwiseCompressor::new(layout, || Box::new(TopKCompressor::new()));
         let result = layerwise.compress(&grad, 0.1);
         assert_eq!(result.sparse.nnz(), 20);
-        let from_second_layer = result.sparse.indices().iter().filter(|&&i| i >= 100).count();
-        assert_eq!(from_second_layer, 10, "each layer contributes its own top-10%");
+        let from_second_layer = result
+            .sparse
+            .indices()
+            .iter()
+            .filter(|&&i| i >= 100)
+            .count();
+        assert_eq!(
+            from_second_layer, 10,
+            "each layer contributes its own top-10%"
+        );
         assert_eq!(layerwise.name(), "layerwise");
         assert_eq!(layerwise.layout().len(), 2);
 

@@ -194,7 +194,10 @@ mod tests {
     fn laplace_gradient(n: usize, seed: u64) -> Vec<f32> {
         let d = Laplace::new(0.0, 0.01).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        d.sample_vec(&mut rng, n).into_iter().map(|x| x as f32).collect()
+        d.sample_vec(&mut rng, n)
+            .into_iter()
+            .map(|x| x as f32)
+            .collect()
     }
 
     #[test]
@@ -244,7 +247,10 @@ mod tests {
             errors.push(err);
         }
         for w in errors.windows(2) {
-            assert!(w[1] < w[0], "error must shrink with more levels: {errors:?}");
+            assert!(
+                w[1] < w[0],
+                "error must shrink with more levels: {errors:?}"
+            );
         }
     }
 

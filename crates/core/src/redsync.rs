@@ -125,7 +125,10 @@ mod tests {
     fn laplace_gradient(n: usize, seed: u64) -> Vec<f32> {
         let d = Laplace::new(0.0, 0.01).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        d.sample_vec(&mut rng, n).into_iter().map(|x| x as f32).collect()
+        d.sample_vec(&mut rng, n)
+            .into_iter()
+            .map(|x| x as f32)
+            .collect()
     }
 
     #[test]

@@ -68,7 +68,7 @@ impl SidcoConfig {
             adaptation_period: 5,
             max_stages: 8,
             initial_stages: 1,
-            }
+        }
     }
 
     /// The combined discrepancy tolerance `ε = max(ε_H, ε_L)` used in the paper's
@@ -89,7 +89,10 @@ impl SidcoConfig {
             (0.0..1.0).contains(&self.epsilon_high) && (0.0..1.0).contains(&self.epsilon_low),
             "tolerances must lie in [0,1)"
         );
-        assert!(self.adaptation_period > 0, "adaptation_period must be positive");
+        assert!(
+            self.adaptation_period > 0,
+            "adaptation_period must be positive"
+        );
         assert!(
             self.max_stages >= 1 && self.initial_stages >= 1,
             "stage counts must be at least 1"
@@ -241,7 +244,11 @@ impl Compressor for SidcoCompressor {
         let achieved = sparse.achieved_ratio();
         self.ratio_accumulator += achieved;
         self.ratio_samples += 1;
-        if self.iteration % self.config.adaptation_period as u64 == 0 && self.ratio_samples > 0 {
+        if self
+            .iteration
+            .is_multiple_of(self.config.adaptation_period as u64)
+            && self.ratio_samples > 0
+        {
             let average = self.ratio_accumulator / self.ratio_samples as f64;
             self.adapt_stages(average, delta);
             self.ratio_accumulator = 0.0;
@@ -282,7 +289,10 @@ mod tests {
     fn laplace_gradient(scale: f64, n: usize, seed: u64) -> Vec<f32> {
         let d = Laplace::new(0.0, scale).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        d.sample_vec(&mut rng, n).into_iter().map(|x| x as f32).collect()
+        d.sample_vec(&mut rng, n)
+            .into_iter()
+            .map(|x| x as f32)
+            .collect()
     }
 
     #[test]
@@ -307,8 +317,14 @@ mod tests {
 
     #[test]
     fn names_follow_sid() {
-        assert_eq!(SidcoCompressor::new(SidcoConfig::exponential()).name(), "sidco-e");
-        assert_eq!(SidcoCompressor::new(SidcoConfig::gamma_pareto()).name(), "sidco-gp");
+        assert_eq!(
+            SidcoCompressor::new(SidcoConfig::exponential()).name(),
+            "sidco-e"
+        );
+        assert_eq!(
+            SidcoCompressor::new(SidcoConfig::gamma_pareto()).name(),
+            "sidco-gp"
+        );
         assert_eq!(
             SidcoCompressor::new(SidcoConfig::generalized_pareto()).name(),
             "sidco-p"
@@ -345,7 +361,11 @@ mod tests {
         // settle on a stage count whose running-average ratio is inside ±ε.
         let d = DoubleGeneralizedPareto::new(0.25, 0.01).unwrap();
         let mut rng = SmallRng::seed_from_u64(602);
-        let grad: Vec<f32> = d.sample_vec(&mut rng, 300_000).iter().map(|&x| x as f32).collect();
+        let grad: Vec<f32> = d
+            .sample_vec(&mut rng, 300_000)
+            .iter()
+            .map(|&x| x as f32)
+            .collect();
         let delta = 0.001;
         let mut c = SidcoCompressor::new(SidcoConfig::exponential());
         let mut last_window_avg = 0.0;

@@ -1,0 +1,244 @@
+//! Delay-aware adaptive ratio control: pick the compression ratio that makes
+//! the sparse all-gather fit a communication-time budget, and correct for the
+//! compressor's systematic estimation bias from observed achieved ratios.
+//!
+//! This closes the loop the paper's conclusion sketches ("estimate a threshold
+//! for which compression satisfies other quality targets"): instead of a fixed
+//! δ, the controller derives δ from the network model and a time budget.
+
+use crate::network::NetworkModel;
+use crate::SPARSE_WIRE_BYTES;
+
+/// Configuration of the ratio controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioControllerConfig {
+    /// Communication-time budget per iteration (seconds).
+    pub comm_budget: f64,
+    /// Lower clamp on the recommended ratio.
+    pub min_ratio: f64,
+    /// Upper clamp on the recommended ratio.
+    pub max_ratio: f64,
+    /// Feedback gain in `[0, 1]`: 0 disables bias correction, 1 fully trusts
+    /// each observation.
+    pub feedback: f64,
+}
+
+/// Recommends compression ratios that keep the modelled sparse all-gather
+/// within the configured time budget.
+#[derive(Debug, Clone)]
+pub struct RatioController {
+    config: RatioControllerConfig,
+    network: NetworkModel,
+    workers: usize,
+    elements: usize,
+    /// Multiplicative correction for the compressor's systematic bias
+    /// (achieved/requested), updated by [`observe`](RatioController::observe).
+    correction: f64,
+}
+
+impl RatioController {
+    /// Creates a controller for a gradient of `elements` elements exchanged
+    /// between `workers` workers over `network`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration bounds are not `0 < min_ratio <= max_ratio
+    /// <= 1`, the budget is not positive, or the feedback gain is outside
+    /// `[0, 1]`.
+    pub fn new(
+        config: RatioControllerConfig,
+        network: NetworkModel,
+        workers: usize,
+        elements: usize,
+    ) -> Self {
+        assert!(
+            config.min_ratio > 0.0
+                && config.min_ratio <= config.max_ratio
+                && config.max_ratio <= 1.0,
+            "ratio bounds must satisfy 0 < min <= max <= 1"
+        );
+        assert!(
+            config.comm_budget > 0.0,
+            "communication budget must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.feedback),
+            "feedback gain must lie in [0,1]"
+        );
+        assert!(elements > 0, "gradient must have at least one element");
+        Self {
+            config,
+            network,
+            workers,
+            elements,
+            correction: 1.0,
+        }
+    }
+
+    /// The ratio that exactly fills the budget under the network model,
+    /// before bias correction.
+    fn uncorrected_ratio(&self) -> f64 {
+        let budget_bytes = self
+            .network
+            .allgather_budget_bytes(self.config.comm_budget, self.workers);
+        budget_bytes / (self.elements as f64 * SPARSE_WIRE_BYTES)
+    }
+
+    /// The compression ratio whose modelled all-gather meets the budget,
+    /// scaled by the learned bias correction and clamped to the configured
+    /// bounds.
+    pub fn recommend_ratio(&self) -> f64 {
+        (self.uncorrected_ratio() * self.correction)
+            .clamp(self.config.min_ratio, self.config.max_ratio)
+    }
+
+    /// Feeds back the ratio the compressor actually achieved when asked for
+    /// [`recommend_ratio`](RatioController::recommend_ratio), tightening the
+    /// bias correction so the *achieved* payload converges to the budget.
+    pub fn observe(&mut self, achieved_ratio: f64) {
+        if achieved_ratio <= 0.0 || self.config.feedback == 0.0 {
+            return;
+        }
+        // Anti-windup: while the recommendation sits on a clamp bound the
+        // output cannot follow the correction, so integrating the error would
+        // only wind the correction toward its own clamp and overshoot badly
+        // once the bound stops binding.
+        let unclamped = self.uncorrected_ratio() * self.correction;
+        if unclamped < self.config.min_ratio || unclamped > self.config.max_ratio {
+            return;
+        }
+        // The fixed point is achieved == uncorrected target: under-shoot
+        // inflates the correction, over-shoot deflates it, and the exponent
+        // tempers each observation by the feedback gain.
+        let error = self.uncorrected_ratio() / achieved_ratio;
+        self.correction = (self.correction * error.powf(self.config.feedback)).clamp(0.01, 100.0);
+    }
+
+    /// The bias correction currently applied (1 = uncorrected).
+    pub fn correction(&self) -> f64 {
+        self.correction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(feedback: f64) -> RatioController {
+        RatioController::new(
+            RatioControllerConfig {
+                comm_budget: 0.002,
+                min_ratio: 1e-4,
+                max_ratio: 0.5,
+                feedback,
+            },
+            NetworkModel::ethernet_25g(),
+            8,
+            1_000_000,
+        )
+    }
+
+    #[test]
+    fn recommendation_meets_the_budget_by_construction() {
+        let controller = controller(0.0);
+        let ratio = controller.recommend_ratio();
+        assert!(
+            ratio > 1e-4 && ratio < 0.5,
+            "ratio {ratio} escaped its bounds"
+        );
+        let payload = (ratio * 1_000_000.0 * 8.0) as usize;
+        let time = NetworkModel::ethernet_25g().allgather_sparse(payload, 8);
+        assert!(
+            time <= 0.002 * 1.001,
+            "modelled time {time} blows the budget"
+        );
+    }
+
+    #[test]
+    fn feedback_converges_achieved_ratio_to_the_target() {
+        // A compressor that persistently overshoots its target by 60%.
+        let mut controller = controller(0.5);
+        let target = controller.recommend_ratio();
+        let mut achieved = 0.0;
+        for _ in 0..32 {
+            achieved = 1.6 * controller.recommend_ratio();
+            controller.observe(achieved);
+        }
+        assert!(
+            (achieved - target).abs() / target < 0.05,
+            "achieved {achieved} should converge to the uncorrected target {target}"
+        );
+        assert!(controller.correction() < 1.0);
+    }
+
+    #[test]
+    fn clamped_recommendation_does_not_wind_up_the_correction() {
+        // A budget so tight the uncorrected ratio falls below min_ratio: the
+        // recommendation pins to min_ratio and the compressor can only achieve
+        // that, so the correction must not integrate the unreachable error.
+        let mut controller = RatioController::new(
+            RatioControllerConfig {
+                comm_budget: 3e-4,
+                min_ratio: 0.05,
+                max_ratio: 0.5,
+                feedback: 0.5,
+            },
+            NetworkModel::ethernet_25g(),
+            8,
+            1_000_000,
+        );
+        assert_eq!(controller.recommend_ratio(), 0.05);
+        for _ in 0..50 {
+            let achieved = controller.recommend_ratio();
+            controller.observe(achieved);
+        }
+        assert_eq!(
+            controller.correction(),
+            1.0,
+            "correction wound up while clamped"
+        );
+        assert_eq!(controller.recommend_ratio(), 0.05);
+    }
+
+    #[test]
+    fn zero_feedback_never_adapts() {
+        let mut controller = controller(0.0);
+        let before = controller.recommend_ratio();
+        controller.observe(10.0 * before);
+        assert_eq!(controller.recommend_ratio(), before);
+        assert_eq!(controller.correction(), 1.0);
+    }
+
+    #[test]
+    fn tighter_budget_means_smaller_ratio() {
+        let loose = controller(0.0);
+        let tight = RatioController::new(
+            RatioControllerConfig {
+                comm_budget: 0.0005,
+                min_ratio: 1e-4,
+                max_ratio: 0.5,
+                feedback: 0.0,
+            },
+            NetworkModel::ethernet_25g(),
+            8,
+            1_000_000,
+        );
+        assert!(tight.recommend_ratio() < loose.recommend_ratio());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio bounds")]
+    fn rejects_inverted_bounds() {
+        RatioController::new(
+            RatioControllerConfig {
+                comm_budget: 0.002,
+                min_ratio: 0.5,
+                max_ratio: 0.1,
+                feedback: 0.0,
+            },
+            NetworkModel::ethernet_25g(),
+            8,
+            1_000,
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Cluster topologies used by the simulator and the trainer.
+
+use crate::device::{ComputeDevice, DeviceProfile};
+use crate::network::NetworkModel;
+
+/// A homogeneous synchronous-SGD cluster: `workers` identical workers joined
+/// by one interconnect, compressing on one kind of device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of data-parallel workers.
+    pub workers: usize,
+    /// Interconnect between the workers.
+    pub network: NetworkModel,
+    /// Device on which gradient compression runs.
+    pub compression_device: ComputeDevice,
+}
+
+impl ClusterConfig {
+    /// Small 4-worker cluster for fast tests.
+    pub fn small_test() -> Self {
+        Self {
+            workers: 4,
+            network: NetworkModel::ethernet_25g(),
+            compression_device: ComputeDevice::Gpu,
+        }
+    }
+
+    /// The paper's main testbed: a dedicated 8-node GPU cluster on 25 Gbps
+    /// Ethernet, compressing on the GPU.
+    pub fn paper_dedicated() -> Self {
+        Self {
+            workers: 8,
+            network: NetworkModel::ethernet_25g(),
+            compression_device: ComputeDevice::Gpu,
+        }
+    }
+
+    /// The Figure 12 variant of the dedicated cluster: compression offloaded
+    /// to the host CPU.
+    pub fn paper_cpu_compression() -> Self {
+        Self {
+            compression_device: ComputeDevice::Cpu,
+            ..Self::paper_dedicated()
+        }
+    }
+
+    /// The Figure 13 testbed: one shared node with 8 GPUs on a 100 Gbps
+    /// InfiniBand-class interconnect.
+    pub fn paper_shared_multi_gpu() -> Self {
+        Self {
+            workers: 8,
+            network: NetworkModel::infiniband_100g(),
+            compression_device: ComputeDevice::Gpu,
+        }
+    }
+
+    /// The device profile compression runs on.
+    pub fn device_profile(&self) -> DeviceProfile {
+        DeviceProfile::for_device(self.compression_device)
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::paper_dedicated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_testbeds() {
+        let dedicated = ClusterConfig::paper_dedicated();
+        assert_eq!(dedicated.workers, 8);
+        assert_eq!(dedicated.compression_device, ComputeDevice::Gpu);
+        assert_eq!(dedicated.network, NetworkModel::ethernet_25g());
+
+        let cpu = ClusterConfig::paper_cpu_compression();
+        assert_eq!(cpu.compression_device, ComputeDevice::Cpu);
+        assert_eq!(cpu.workers, dedicated.workers);
+
+        let shared = ClusterConfig::paper_shared_multi_gpu();
+        assert_eq!(shared.network, NetworkModel::infiniband_100g());
+
+        assert!(ClusterConfig::small_test().workers < dedicated.workers);
+        assert_eq!(ClusterConfig::default(), dedicated);
+    }
+
+    #[test]
+    fn device_profile_follows_compression_device() {
+        assert_eq!(
+            ClusterConfig::paper_cpu_compression()
+                .device_profile()
+                .device,
+            ComputeDevice::Cpu
+        );
+        assert_eq!(
+            ClusterConfig::paper_dedicated().device_profile().device,
+            ComputeDevice::Gpu
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Distributed synchronous-SGD simulator for the SIDCo reproduction.
+//!
+//! This crate closes the loop between the compressors in `sidco-core` and the
+//! workloads in `sidco-models`:
+//!
+//! * [`cluster`] — cluster topologies ([`ClusterConfig`](cluster::ClusterConfig)):
+//!   worker count, interconnect, compression device, including the paper's
+//!   three testbeds;
+//! * [`network`] — the α–β cost model of the collectives
+//!   ([`NetworkModel`]): dense ring all-reduce for the baseline, sparse ring
+//!   all-gather for compressed gradients;
+//! * [`device`] — calibrated GPU/CPU compression-latency models
+//!   ([`DeviceProfile`](device::DeviceProfile)) behind Figures 1 and 14–17;
+//! * [`simulate`] — the Table-1 benchmark simulator
+//!   ([`simulate_benchmark`](simulate::simulate_benchmark)): real compression
+//!   on a measured gradient, analytic costs at full scale;
+//! * [`trainer`] — a real data-parallel trainer
+//!   ([`ModelTrainer`](trainer::ModelTrainer)) over the analytic models, with
+//!   per-worker error feedback, momentum and clipping;
+//! * [`adaptive`] — the delay-aware ratio controller
+//!   ([`RatioController`](adaptive::RatioController)) that derives δ from a
+//!   communication-time budget;
+//! * [`metrics`] — training reports and the time-to-quality speed-up metric;
+//! * [`schedule`] / [`optimizer`] — learning-rate schedules and the Table-1
+//!   local optimizers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod cluster;
+pub mod device;
+pub mod metrics;
+pub mod network;
+pub mod optimizer;
+pub mod schedule;
+pub mod simulate;
+pub mod trainer;
+
+pub use metrics::TrainingReport;
+pub use network::NetworkModel;
+pub use optimizer::Optimizer;
+pub use schedule::LrSchedule;
+
+/// Bytes on the wire per sparse element (u32 index + f32 value), matching
+/// [`sidco_tensor::SparseGradient::wire_bytes`]. Used wherever a payload size
+/// is *projected* from a ratio rather than taken from a materialised sparse
+/// gradient.
+pub(crate) const SPARSE_WIRE_BYTES: f64 = 8.0;

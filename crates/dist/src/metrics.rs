@@ -1,0 +1,189 @@
+//! Training-run reports and the time-to-quality speed-up metric.
+
+use sidco_core::metrics::{EstimationQualitySummary, EstimationQualityTracker};
+
+/// One recorded training iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingSample {
+    /// Zero-based iteration index.
+    pub iteration: u64,
+    /// Mean mini-batch loss across the workers at this iteration.
+    pub loss: f64,
+    /// Simulated wall-clock time at the *end* of this iteration (seconds,
+    /// cumulative from the start of the run).
+    pub time: f64,
+    /// Learning rate applied at this iteration.
+    pub lr: f64,
+}
+
+/// Everything a training run produced: the loss/time trajectory, the final
+/// full-dataset metrics and the compression-estimation quality series.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    samples: Vec<TrainingSample>,
+    quality: EstimationQualityTracker,
+    final_evaluation: f64,
+    final_accuracy: Option<f64>,
+}
+
+impl TrainingReport {
+    /// Assembles a report; used by the trainer.
+    pub fn new(
+        samples: Vec<TrainingSample>,
+        quality: EstimationQualityTracker,
+        final_evaluation: f64,
+        final_accuracy: Option<f64>,
+    ) -> Self {
+        Self {
+            samples,
+            quality,
+            final_evaluation,
+            final_accuracy,
+        }
+    }
+
+    /// The per-iteration trajectory, in iteration order.
+    pub fn samples(&self) -> &[TrainingSample] {
+        &self.samples
+    }
+
+    /// Mini-batch loss of the last iteration.
+    pub fn final_loss(&self) -> f64 {
+        self.samples.last().map(|s| s.loss).unwrap_or(f64::NAN)
+    }
+
+    /// Full-dataset evaluation metric at the final parameters (lower is
+    /// better across all workloads).
+    pub fn final_evaluation(&self) -> f64 {
+        self.final_evaluation
+    }
+
+    /// Full-dataset accuracy at the final parameters, for workloads that
+    /// report one.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.final_accuracy
+    }
+
+    /// Total simulated wall-clock time of the run.
+    pub fn total_time(&self) -> f64 {
+        self.samples.last().map(|s| s.time).unwrap_or(0.0)
+    }
+
+    /// Simulated time at which the mini-batch loss first reached `target`,
+    /// or `None` if it never did.
+    pub fn time_to_loss(&self, target: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.loss <= target)
+            .map(|s| s.time)
+    }
+
+    /// Summary of the normalised achieved compression ratio `k̂/k` over the
+    /// run (1.0 mean means the compressor hit its target exactly).
+    pub fn estimation_quality(&self) -> EstimationQualitySummary {
+        self.quality.summary()
+    }
+
+    /// Running-window average of the raw achieved compression ratio
+    /// (the Figure 11 series).
+    pub fn smoothed_ratio_history(&self, window: usize) -> Vec<f64> {
+        self.quality.smoothed_history(window)
+    }
+}
+
+/// Time-to-quality speed-up of a compressed run over the uncompressed
+/// baseline (the paper's headline end-to-end metric, Figures 3/5/6).
+///
+/// Not to be confused with [`crate::simulate::normalized_speedup`], the
+/// fixed-iteration-count *time* ratio used by the benchmark simulator: this
+/// variant gates on quality, reporting 0 when the compressed run never
+/// reaches the baseline's loss.
+///
+/// The quality bar is covering a `1 − quality_tolerance` fraction of the
+/// baseline's total loss drop. The speed-up is the ratio of simulated times at
+/// which each run first clears the bar — and `0.0` if the compressed run never
+/// does, so a diverging run can never report a speed-up ("gates on quality").
+pub fn normalized_speedup(
+    report: &TrainingReport,
+    baseline: &TrainingReport,
+    quality_tolerance: f64,
+) -> f64 {
+    let (Some(first), Some(_)) = (baseline.samples().first(), report.samples().first()) else {
+        return 0.0;
+    };
+    let initial = first.loss;
+    let drop = initial - baseline.final_loss();
+    let target = initial - (1.0 - quality_tolerance) * drop;
+    match (baseline.time_to_loss(target), report.time_to_loss(target)) {
+        (Some(baseline_time), Some(report_time)) if report_time > 0.0 => {
+            baseline_time / report_time
+        }
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(losses: &[f64], dt: f64, target_ratio: f64, achieved: f64) -> TrainingReport {
+        let mut quality = EstimationQualityTracker::new(target_ratio);
+        let samples: Vec<TrainingSample> = losses
+            .iter()
+            .enumerate()
+            .map(|(i, &loss)| {
+                quality.record(achieved);
+                TrainingSample {
+                    iteration: i as u64,
+                    loss,
+                    time: dt * (i + 1) as f64,
+                    lr: 0.1,
+                }
+            })
+            .collect();
+        let final_eval = *losses.last().unwrap();
+        TrainingReport::new(samples, quality, final_eval, None)
+    }
+
+    #[test]
+    fn trajectory_accessors() {
+        let r = report(&[4.0, 2.0, 1.0], 0.5, 0.01, 0.01);
+        assert_eq!(r.samples().len(), 3);
+        assert_eq!(r.final_loss(), 1.0);
+        assert_eq!(r.final_evaluation(), 1.0);
+        assert_eq!(r.total_time(), 1.5);
+        assert_eq!(r.time_to_loss(2.0), Some(1.0));
+        assert_eq!(r.time_to_loss(0.5), None);
+        assert!((r.estimation_quality().mean_normalized_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_of_baseline_against_itself_is_one() {
+        let base = report(&[4.0, 2.0, 1.0, 0.5], 0.5, 1.0, 1.0);
+        assert_eq!(normalized_speedup(&base, &base, 0.1), 1.0);
+        assert_eq!(normalized_speedup(&base, &base, 0.5), 1.0);
+    }
+
+    #[test]
+    fn faster_run_reports_proportional_speedup() {
+        let base = report(&[4.0, 3.0, 2.0, 1.0, 0.5, 0.4], 1.0, 1.0, 1.0);
+        let fast = report(&[4.0, 2.0, 1.0, 0.5, 0.4, 0.4], 0.5, 0.01, 0.01);
+        let s = normalized_speedup(&fast, &base, 0.1);
+        assert!(s > 1.0, "halving iteration time should speed up, got {s}");
+    }
+
+    #[test]
+    fn diverging_run_gates_to_zero() {
+        let base = report(&[4.0, 2.0, 1.0], 1.0, 1.0, 1.0);
+        let bad = report(&[4.0, 4.0, 4.0], 0.1, 0.01, 0.01);
+        assert_eq!(normalized_speedup(&bad, &base, 0.1), 0.0);
+    }
+
+    #[test]
+    fn empty_reports_do_not_panic() {
+        let empty = TrainingReport::new(Vec::new(), EstimationQualityTracker::new(0.5), 0.0, None);
+        assert!(empty.final_loss().is_nan());
+        assert_eq!(empty.total_time(), 0.0);
+        assert_eq!(normalized_speedup(&empty, &empty, 0.1), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Analytic network cost model for the collective operations of synchronous
+//! data-parallel SGD.
+//!
+//! The model is the standard α–β (latency–bandwidth) formulation of ring
+//! collectives: a dense all-reduce moves `2·(n-1)/n` of the buffer over the
+//! slowest link, a sparse all-gather replicates every worker's payload to all
+//! peers. It is deliberately simple — the point (as in the paper's Table 1) is
+//! the *ratio* between communication and computation, which the benchmark
+//! specs pin down empirically.
+
+/// Latency–bandwidth model of the cluster interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Per-link bandwidth in gigabits per second.
+    pub bandwidth_gbps: f64,
+    /// Per-hop latency in seconds (switch + software stack).
+    pub latency: f64,
+}
+
+impl NetworkModel {
+    /// 10 Gbps Ethernet (the paper's slowest evaluated fabric).
+    pub fn ethernet_10g() -> Self {
+        Self {
+            bandwidth_gbps: 10.0,
+            latency: 50e-6,
+        }
+    }
+
+    /// 25 Gbps Ethernet — the dedicated 8-node cluster of the paper's main
+    /// end-to-end experiments.
+    pub fn ethernet_25g() -> Self {
+        Self {
+            bandwidth_gbps: 25.0,
+            latency: 30e-6,
+        }
+    }
+
+    /// 100 Gbps InfiniBand — the shared single-node 8-GPU machine of Figure 13.
+    pub fn infiniband_100g() -> Self {
+        Self {
+            bandwidth_gbps: 100.0,
+            latency: 5e-6,
+        }
+    }
+
+    /// Usable link bandwidth in bytes per second.
+    pub fn bytes_per_second(&self) -> f64 {
+        self.bandwidth_gbps * 1e9 / 8.0
+    }
+
+    /// Time of a ring all-reduce over a dense buffer of `bytes` bytes across
+    /// `workers` workers. Zero when there is nothing to exchange.
+    pub fn allreduce_dense(&self, bytes: usize, workers: usize) -> f64 {
+        if workers <= 1 || bytes == 0 {
+            return 0.0;
+        }
+        let n = workers as f64;
+        2.0 * (n - 1.0) / n * bytes as f64 / self.bytes_per_second()
+            + 2.0 * (n - 1.0) * self.latency
+    }
+
+    /// Time of a ring all-gather where every worker contributes a sparse
+    /// payload of `bytes` bytes (the collective used for compressed
+    /// gradients, whose selections do not align across workers).
+    pub fn allgather_sparse(&self, bytes: usize, workers: usize) -> f64 {
+        if workers <= 1 || bytes == 0 {
+            return 0.0;
+        }
+        let n = workers as f64;
+        (n - 1.0) * bytes as f64 / self.bytes_per_second() + (n - 1.0) * self.latency
+    }
+
+    /// Largest per-worker sparse payload (bytes) whose all-gather finishes
+    /// within `budget` seconds — the inverse of [`allgather_sparse`]
+    /// (zero when the latency floor alone exceeds the budget).
+    ///
+    /// [`allgather_sparse`]: NetworkModel::allgather_sparse
+    pub fn allgather_budget_bytes(&self, budget: f64, workers: usize) -> f64 {
+        if workers <= 1 {
+            return f64::INFINITY;
+        }
+        let n = workers as f64;
+        let transfer_budget = budget - (n - 1.0) * self.latency;
+        (transfer_budget * self.bytes_per_second() / (n - 1.0)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_never_communicates() {
+        let net = NetworkModel::ethernet_25g();
+        assert_eq!(net.allreduce_dense(1 << 20, 1), 0.0);
+        assert_eq!(net.allgather_sparse(1 << 20, 1), 0.0);
+    }
+
+    #[test]
+    fn faster_fabric_is_faster() {
+        let slow = NetworkModel::ethernet_10g();
+        let fast = NetworkModel::infiniband_100g();
+        assert!(slow.allreduce_dense(1 << 24, 8) > fast.allreduce_dense(1 << 24, 8));
+        assert!(slow.allgather_sparse(1 << 24, 8) > fast.allgather_sparse(1 << 24, 8));
+    }
+
+    #[test]
+    fn budget_inverts_allgather() {
+        let net = NetworkModel::ethernet_25g();
+        let workers = 8;
+        let bytes = net.allgather_budget_bytes(0.002, workers);
+        assert!(bytes > 0.0);
+        let time = net.allgather_sparse(bytes as usize, workers);
+        assert!((time - 0.002).abs() < 1e-6, "round trip gave {time}");
+    }
+
+    #[test]
+    fn latency_dominates_tiny_payloads() {
+        let net = NetworkModel::ethernet_25g();
+        let t = net.allgather_sparse(8, 8);
+        assert!(t >= 7.0 * net.latency);
+    }
+}

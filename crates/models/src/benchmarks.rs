@@ -207,10 +207,20 @@ mod tests {
     #[test]
     fn six_benchmarks_with_table1_parameters() {
         assert_eq!(BenchmarkId::ALL.len(), 6);
-        let params: Vec<usize> = BenchmarkId::ALL.iter().map(|b| b.spec().parameters).collect();
+        let params: Vec<usize> = BenchmarkId::ALL
+            .iter()
+            .map(|b| b.spec().parameters)
+            .collect();
         assert_eq!(
             params,
-            vec![66_034_000, 43_476_256, 269_467, 14_982_987, 25_559_081, 143_671_337]
+            vec![
+                66_034_000,
+                43_476_256,
+                269_467,
+                14_982_987,
+                25_559_081,
+                143_671_337
+            ]
         );
     }
 
@@ -218,10 +228,22 @@ mod tests {
     fn communication_overheads_match_table1() {
         assert_eq!(BenchmarkId::LstmPtb.spec().communication_overhead, 0.94);
         assert_eq!(BenchmarkId::LstmAn4.spec().communication_overhead, 0.80);
-        assert_eq!(BenchmarkId::ResNet20Cifar10.spec().communication_overhead, 0.10);
-        assert_eq!(BenchmarkId::Vgg16Cifar10.spec().communication_overhead, 0.60);
-        assert_eq!(BenchmarkId::ResNet50ImageNet.spec().communication_overhead, 0.72);
-        assert_eq!(BenchmarkId::Vgg19ImageNet.spec().communication_overhead, 0.83);
+        assert_eq!(
+            BenchmarkId::ResNet20Cifar10.spec().communication_overhead,
+            0.10
+        );
+        assert_eq!(
+            BenchmarkId::Vgg16Cifar10.spec().communication_overhead,
+            0.60
+        );
+        assert_eq!(
+            BenchmarkId::ResNet50ImageNet.spec().communication_overhead,
+            0.72
+        );
+        assert_eq!(
+            BenchmarkId::Vgg19ImageNet.spec().communication_overhead,
+            0.83
+        );
     }
 
     #[test]
@@ -233,12 +255,18 @@ mod tests {
 
     #[test]
     fn optimizers_and_metrics() {
-        assert_eq!(BenchmarkId::ResNet20Cifar10.spec().optimizer, OptimizerKind::Sgd);
+        assert_eq!(
+            BenchmarkId::ResNet20Cifar10.spec().optimizer,
+            OptimizerKind::Sgd
+        );
         assert_eq!(
             BenchmarkId::LstmPtb.spec().optimizer,
             OptimizerKind::NesterovMomentumSgd
         );
-        assert_eq!(BenchmarkId::LstmPtb.spec().quality_metric, "test perplexity");
+        assert_eq!(
+            BenchmarkId::LstmPtb.spec().quality_metric,
+            "test perplexity"
+        );
         assert_eq!(BenchmarkId::LstmPtb.to_string(), "LSTM-PTB");
     }
 

@@ -97,7 +97,13 @@ impl ClassificationDataset {
     /// # Panics
     ///
     /// Panics if `classes == 0` or `dim == 0`.
-    pub fn gaussian_blobs(n: usize, dim: usize, classes: usize, separation: f64, seed: u64) -> Self {
+    pub fn gaussian_blobs(
+        n: usize,
+        dim: usize,
+        classes: usize,
+        separation: f64,
+        seed: u64,
+    ) -> Self {
         assert!(classes > 0 && dim > 0, "classes and dim must be positive");
         let mut rng = SmallRng::seed_from_u64(seed);
         // Random unit directions for the class centres.
@@ -105,15 +111,17 @@ impl ClassificationDataset {
             .map(|_| {
                 let raw: Vec<f64> = (0..dim).map(|_| sample_standard_normal(&mut rng)).collect();
                 let norm = raw.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
-                raw.iter().map(|&x| (x / norm * separation) as f32).collect()
+                raw.iter()
+                    .map(|&x| (x / norm * separation) as f32)
+                    .collect()
             })
             .collect();
         let mut features = Vec::with_capacity(n * dim);
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let label = i % classes;
-            for j in 0..dim {
-                features.push(centers[label][j] + sample_standard_normal(&mut rng) as f32);
+            for &center in &centers[label] {
+                features.push(center + sample_standard_normal(&mut rng) as f32);
             }
             labels.push(label);
         }
@@ -282,7 +290,10 @@ mod tests {
         // Same-class examples are closer to their own centre than to another class's
         // examples on average (weak separability check).
         let dist = |a: &[f32], b: &[f32]| -> f64 {
-            a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum::<f64>()
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| ((x - y) as f64).powi(2))
+                .sum::<f64>()
         };
         let same = dist(d.features(0), d.features(4));
         let diff = dist(d.features(0), d.features(1));
@@ -310,7 +321,9 @@ mod tests {
     #[test]
     fn box_muller_produces_reasonable_moments() {
         let mut rng = SmallRng::seed_from_u64(17);
-        let xs: Vec<f64> = (0..50_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.02);

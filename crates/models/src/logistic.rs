@@ -100,7 +100,11 @@ impl DifferentiableModel for SoftmaxClassifier {
     }
 
     fn loss_and_gradient(&self, params: &[f32], examples: &[usize]) -> (f64, GradientVector) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter dimension mismatch");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter dimension mismatch"
+        );
         assert!(!examples.is_empty(), "mini-batch must not be empty");
         let dim = self.dim();
         let classes = self.classes();

@@ -80,14 +80,23 @@ impl Mlp {
         let mut h = vec![0.0f64; hidden];
         for (j, hj) in h.iter_mut().enumerate() {
             let row = &w1[j * dim..(j + 1) * dim];
-            let pre: f64 = row.iter().zip(x).map(|(&w, &xi)| (w * xi) as f64).sum::<f64>()
+            let pre: f64 = row
+                .iter()
+                .zip(x)
+                .map(|(&w, &xi)| (w * xi) as f64)
+                .sum::<f64>()
                 + b1[j] as f64;
             *hj = pre.tanh();
         }
         let mut logits = vec![0.0f64; classes];
         for (c, logit) in logits.iter_mut().enumerate() {
             let row = &w2[c * hidden..(c + 1) * hidden];
-            *logit = row.iter().zip(&h).map(|(&w, &hj)| w as f64 * hj).sum::<f64>() + b2[c] as f64;
+            *logit = row
+                .iter()
+                .zip(&h)
+                .map(|(&w, &hj)| w as f64 * hj)
+                .sum::<f64>()
+                + b2[c] as f64;
         }
         let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
@@ -128,17 +137,21 @@ impl DifferentiableModel for Mlp {
         for _ in 0..hidden * dim {
             params.push(rng.gen_range(-limit1..limit1));
         }
-        params.extend(std::iter::repeat(0.0f32).take(hidden));
+        params.extend(std::iter::repeat_n(0.0f32, hidden));
         let limit2 = (6.0f64 / (hidden + classes) as f64).sqrt() as f32;
         for _ in 0..classes * hidden {
             params.push(rng.gen_range(-limit2..limit2));
         }
-        params.extend(std::iter::repeat(0.0f32).take(classes));
+        params.extend(std::iter::repeat_n(0.0f32, classes));
         GradientVector::from_vec(params)
     }
 
     fn loss_and_gradient(&self, params: &[f32], examples: &[usize]) -> (f64, GradientVector) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter dimension mismatch");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter dimension mismatch"
+        );
         assert!(!examples.is_empty(), "mini-batch must not be empty");
         let dim = self.dim();
         let hidden = self.hidden;
@@ -264,7 +277,10 @@ mod tests {
             params.axpy(-1.0, &grad);
         }
         let final_loss = m.evaluate(params.as_slice());
-        assert!(final_loss < initial, "loss should decrease: {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial,
+            "loss should decrease: {initial} -> {final_loss}"
+        );
         assert!(m.accuracy(params.as_slice()).unwrap() > 0.85);
     }
 

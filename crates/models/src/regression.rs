@@ -72,7 +72,11 @@ impl DifferentiableModel for LinearRegression {
     }
 
     fn loss_and_gradient(&self, params: &[f32], examples: &[usize]) -> (f64, GradientVector) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter dimension mismatch");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter dimension mismatch"
+        );
         assert!(!examples.is_empty(), "mini-batch must not be empty");
         let m = examples.len() as f64;
         let mut grad = vec![0.0f32; params.len()];
@@ -146,7 +150,10 @@ mod tests {
             params.axpy(-0.05, &grad);
         }
         let final_loss = m.evaluate(params.as_slice());
-        assert!(final_loss < initial_loss * 0.05, "loss {initial_loss} -> {final_loss}");
+        assert!(
+            final_loss < initial_loss * 0.05,
+            "loss {initial_loss} -> {final_loss}"
+        );
         assert!(m.distance_to_truth(params.as_slice()) < 0.5);
     }
 
@@ -175,7 +182,7 @@ mod tests {
         assert_eq!(m.name(), "linear-regression");
         assert_eq!(m.num_parameters(), 16);
         assert_eq!(m.num_examples(), 200);
-        assert!(m.accuracy(&vec![0.0; 16]).is_none());
+        assert!(m.accuracy(&[0.0; 16]).is_none());
         assert_eq!(m.dataset().dim(), 16);
     }
 }

@@ -135,7 +135,11 @@ impl DifferentiableModel for ElmanRnn {
     }
 
     fn loss_and_gradient(&self, params: &[f32], examples: &[usize]) -> (f64, GradientVector) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter dimension mismatch");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter dimension mismatch"
+        );
         assert!(!examples.is_empty(), "mini-batch must not be empty");
         let hidden = self.hidden;
         let input = self.input_dim();

@@ -138,20 +138,28 @@ impl SyntheticGradientGenerator {
         let data: Vec<f32> = match self.profile {
             GradientProfile::LaplaceLike => {
                 let d = Laplace::new(0.0, scale).expect("valid scale");
-                (0..self.dim).map(|_| d.sample(&mut self.rng) as f32).collect()
+                (0..self.dim)
+                    .map(|_| d.sample(&mut self.rng) as f32)
+                    .collect()
             }
             GradientProfile::SparseGamma => {
                 let shape = self.shape_at(iteration);
                 let d = DoubleGamma::new(shape, scale / shape).expect("valid parameters");
-                (0..self.dim).map(|_| d.sample(&mut self.rng) as f32).collect()
+                (0..self.dim)
+                    .map(|_| d.sample(&mut self.rng) as f32)
+                    .collect()
             }
             GradientProfile::HeavyTail => {
                 let d = DoubleGeneralizedPareto::new(0.25, scale).expect("valid parameters");
-                (0..self.dim).map(|_| d.sample(&mut self.rng) as f32).collect()
+                (0..self.dim)
+                    .map(|_| d.sample(&mut self.rng) as f32)
+                    .collect()
             }
             GradientProfile::Gaussian => {
                 let d = Normal::new(0.0, scale).expect("valid scale");
-                (0..self.dim).map(|_| d.sample(&mut self.rng) as f32).collect()
+                (0..self.dim)
+                    .map(|_| d.sample(&mut self.rng) as f32)
+                    .collect()
             }
         };
         GradientVector::from_vec(data)
@@ -272,7 +280,8 @@ mod tests {
 
     #[test]
     fn laplace_profile_is_well_fit_by_exponential_sid() {
-        let mut generator = SyntheticGradientGenerator::new(100_000, GradientProfile::LaplaceLike, 6);
+        let mut generator =
+            SyntheticGradientGenerator::new(100_000, GradientProfile::LaplaceLike, 6);
         let grad = generator.gradient(500);
         let (fit, moments) = fit_sid(grad.as_slice(), SidKind::Exponential).unwrap();
         // The fitted scale should match the generator's configured scale.
@@ -314,22 +323,21 @@ mod tests {
         assert!(report.is_compressible());
         // Layer structure preserves the dimension and determinism.
         assert_eq!(grad.len(), 60_000);
-        let mut replay =
-            SyntheticGradientGenerator::new(60_000, GradientProfile::SparseGamma, 19);
+        let mut replay = SyntheticGradientGenerator::new(60_000, GradientProfile::SparseGamma, 19);
         assert_eq!(replay.layered_gradient(100, 24).as_slice(), grad.as_slice());
     }
 
     #[test]
     #[should_panic(expected = "layers must be")]
     fn layered_gradient_rejects_zero_layers() {
-        let mut generator =
-            SyntheticGradientGenerator::new(100, GradientProfile::LaplaceLike, 1);
+        let mut generator = SyntheticGradientGenerator::new(100, GradientProfile::LaplaceLike, 1);
         generator.layered_gradient(0, 0);
     }
 
     #[test]
     fn zero_injection_produces_requested_sparsity() {
-        let mut generator = SyntheticGradientGenerator::new(20_000, GradientProfile::LaplaceLike, 8);
+        let mut generator =
+            SyntheticGradientGenerator::new(20_000, GradientProfile::LaplaceLike, 8);
         let g = generator.gradient_with_zeros(10, 0.5);
         let zero_fraction = g.count_zeros() as f64 / g.len() as f64;
         assert!((zero_fraction - 0.5).abs() < 0.05);

@@ -292,7 +292,11 @@ mod tests {
         // The (1-δ) empirical quantile of |g| is the exact Top-k threshold.
         let mut rng = SmallRng::seed_from_u64(37);
         let d = Laplace::new(0.0, 1.0).unwrap();
-        let xs: Vec<f64> = d.sample_vec(&mut rng, 10_000).iter().map(|x| x.abs()).collect();
+        let xs: Vec<f64> = d
+            .sample_vec(&mut rng, 10_000)
+            .iter()
+            .map(|x| x.abs())
+            .collect();
         let ecdf = EmpiricalCdf::new(&xs);
         let delta = 0.01;
         let eta = ecdf.quantile(1.0 - delta);

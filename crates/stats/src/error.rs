@@ -51,7 +51,10 @@ impl fmt::Display for StatsError {
             StatsError::NoConvergence {
                 routine,
                 iterations,
-            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
         }
     }
 }
@@ -73,7 +76,10 @@ mod tests {
         assert!(msg.contains("scale"));
         assert!(msg.contains("-1"));
 
-        let err = StatsError::InsufficientData { len: 0, required: 2 };
+        let err = StatsError::InsufficientData {
+            len: 0,
+            required: 2,
+        };
         assert!(err.to_string().contains("0 observations"));
 
         let err = StatsError::InvalidProbability(1.5);

@@ -101,7 +101,10 @@ impl Continuous for Exponential {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        debug_assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        debug_assert!(
+            (0.0..1.0).contains(&p),
+            "quantile requires p in [0,1), got {p}"
+        );
         -self.scale * (1.0 - p).ln()
     }
 

@@ -89,9 +89,7 @@ impl FittedSid {
     pub fn threshold(&self, delta: f64) -> f64 {
         match *self {
             FittedSid::Exponential { scale } => scale * (1.0 / delta).ln(),
-            FittedSid::Gamma { shape, scale } => {
-                -scale * (delta.ln() + ln_gamma(shape))
-            }
+            FittedSid::Gamma { shape, scale } => -scale * (delta.ln() + ln_gamma(shape)),
             FittedSid::GeneralizedPareto { shape, scale } => {
                 if shape.abs() < 1e-12 {
                     scale * (1.0 / delta).ln()
@@ -122,10 +120,7 @@ pub fn fit_sid(grad: &[f32], kind: SidKind) -> Result<(FittedSid, AbsMoments), S
 ///
 /// Returns [`StatsError::InsufficientData`] when `moments.count == 0` and
 /// [`StatsError::InvalidParameter`] when the mean is not strictly positive.
-pub fn fit_sid_from_moments(
-    moments: &AbsMoments,
-    kind: SidKind,
-) -> Result<FittedSid, StatsError> {
+pub fn fit_sid_from_moments(moments: &AbsMoments, kind: SidKind) -> Result<FittedSid, StatsError> {
     if moments.count == 0 {
         return Err(StatsError::InsufficientData {
             len: 0,
@@ -309,7 +304,10 @@ mod tests {
     fn laplace_gradient(scale: f64, n: usize, seed: u64) -> Vec<f32> {
         let d = Laplace::new(0.0, scale).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        d.sample_vec(&mut rng, n).into_iter().map(|x| x as f32).collect()
+        d.sample_vec(&mut rng, n)
+            .into_iter()
+            .map(|x| x as f32)
+            .collect()
     }
 
     fn achieved_ratio(grad: &[f32], eta: f64) -> f64 {
@@ -347,8 +345,14 @@ mod tests {
         let eta_e = exponential_threshold(&grad, delta);
         let eta_g = gamma_threshold(&grad, delta);
         let eta_p = gp_threshold(&grad, delta);
-        assert!((eta_g - eta_e).abs() / eta_e < 0.3, "gamma {eta_g} vs exp {eta_e}");
-        assert!((eta_p - eta_e).abs() / eta_e < 0.3, "gp {eta_p} vs exp {eta_e}");
+        assert!(
+            (eta_g - eta_e).abs() / eta_e < 0.3,
+            "gamma {eta_g} vs exp {eta_e}"
+        );
+        assert!(
+            (eta_p - eta_e).abs() / eta_e < 0.3,
+            "gp {eta_p} vs exp {eta_e}"
+        );
     }
 
     #[test]
@@ -364,7 +368,11 @@ mod tests {
     fn gaussian_threshold_on_normal_data_achieves_target() {
         let d = Normal::new(0.0, 0.02).unwrap();
         let mut rng = SmallRng::seed_from_u64(4);
-        let grad: Vec<f32> = d.sample_vec(&mut rng, 200_000).iter().map(|&x| x as f32).collect();
+        let grad: Vec<f32> = d
+            .sample_vec(&mut rng, 200_000)
+            .iter()
+            .map(|&x| x as f32)
+            .collect();
         for &delta in &[0.1, 0.01] {
             let eta = gaussian_threshold(&grad, delta);
             let achieved = achieved_ratio(&grad, eta);

@@ -156,7 +156,8 @@ impl Continuous for Gamma {
         if x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        (self.shape - 1.0) * x.ln() - x / self.scale
+        (self.shape - 1.0) * x.ln()
+            - x / self.scale
             - self.shape * self.scale.ln()
             - ln_gamma(self.shape)
     }
@@ -170,7 +171,10 @@ impl Continuous for Gamma {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        debug_assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        debug_assert!(
+            (0.0..1.0).contains(&p),
+            "quantile requires p in [0,1), got {p}"
+        );
         self.scale * inv_reg_lower_gamma(self.shape, p)
     }
 

@@ -144,9 +144,7 @@ mod tests {
             assert!((d.pdf(x) - d.pdf(-x)).abs() < 1e-14);
         }
         let dx = 1e-3;
-        let integral: f64 = (-20_000..20_000)
-            .map(|i| d.pdf(i as f64 * dx) * dx)
-            .sum();
+        let integral: f64 = (-20_000..20_000).map(|i| d.pdf(i as f64 * dx) * dx).sum();
         assert!((integral - 1.0).abs() < 1e-3);
     }
 

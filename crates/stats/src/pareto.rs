@@ -178,7 +178,10 @@ impl Continuous for GeneralizedPareto {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        debug_assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        debug_assert!(
+            (0.0..1.0).contains(&p),
+            "quantile requires p in [0,1), got {p}"
+        );
         self.upper_quantile(1.0 - p)
     }
 

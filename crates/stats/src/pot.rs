@@ -40,7 +40,10 @@ use crate::special::ln_gamma;
 /// assert!((sched[0] - 0.25).abs() < 1e-12);
 /// ```
 pub fn stage_schedule(delta: f64, delta1: f64, stages: usize) -> Vec<f64> {
-    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0,1), got {delta}");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must lie in (0,1), got {delta}"
+    );
     assert!(
         delta1 > 0.0 && delta1 < 1.0,
         "delta1 must lie in (0,1), got {delta1}"
@@ -109,11 +112,7 @@ pub fn gp_pot_threshold(
 /// Gamma first-stage threshold (paper equation 15) expressed as an update from
 /// moments, for symmetry with the other stage estimators. The location is zero in
 /// the first stage, so `prev_threshold` is normally 0.
-pub fn gamma_stage_threshold(
-    moments: &AbsMoments,
-    prev_threshold: f64,
-    stage_delta: f64,
-) -> f64 {
+pub fn gamma_stage_threshold(moments: &AbsMoments, prev_threshold: f64, stage_delta: f64) -> f64 {
     debug_assert!(stage_delta > 0.0 && stage_delta < 1.0);
     if !(moments.mean > 0.0) {
         return prev_threshold;
@@ -147,9 +146,7 @@ pub fn stage_threshold(
         }
         (SidKind::Gamma, 0) => gamma_stage_threshold(moments, prev_threshold, stage_delta),
         (SidKind::Gamma, _) => gp_pot_threshold(moments, prev_threshold, stage_delta),
-        (SidKind::GeneralizedPareto, _) => {
-            gp_pot_threshold(moments, prev_threshold, stage_delta)
-        }
+        (SidKind::GeneralizedPareto, _) => gp_pot_threshold(moments, prev_threshold, stage_delta),
     }
 }
 
@@ -236,7 +233,10 @@ mod tests {
     fn laplace_gradient(scale: f64, n: usize, seed: u64) -> Vec<f32> {
         let d = Laplace::new(0.0, scale).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        d.sample_vec(&mut rng, n).into_iter().map(|x| x as f32).collect()
+        d.sample_vec(&mut rng, n)
+            .into_iter()
+            .map(|x| x as f32)
+            .collect()
     }
 
     fn achieved_ratio(grad: &[f32], eta: f64) -> f64 {
@@ -279,8 +279,7 @@ mod tests {
         let delta = 0.001;
         let est2 = multi_stage_threshold(&grad, SidKind::Exponential, delta, 0.25, 2).unwrap();
         let est1 = multi_stage_threshold(&grad, SidKind::Exponential, delta, 0.25, 1).unwrap();
-        let rel = (est2.final_threshold() - est1.final_threshold()).abs()
-            / est1.final_threshold();
+        let rel = (est2.final_threshold() - est1.final_threshold()).abs() / est1.final_threshold();
         assert!(rel < 0.1, "two-stage vs one-stage differ by {rel}");
     }
 
@@ -306,13 +305,17 @@ mod tests {
         // GP recovers it. This is the core claim of Section 2.4.
         let d = DoubleGeneralizedPareto::new(0.3, 0.01).unwrap();
         let mut rng = SmallRng::seed_from_u64(53);
-        let grad: Vec<f32> = d.sample_vec(&mut rng, 400_000).iter().map(|&x| x as f32).collect();
+        let grad: Vec<f32> = d
+            .sample_vec(&mut rng, 400_000)
+            .iter()
+            .map(|&x| x as f32)
+            .collect();
         let delta = 0.001;
 
-        let single = multi_stage_threshold(&grad, SidKind::GeneralizedPareto, delta, 0.25, 1)
-            .unwrap();
-        let multi = multi_stage_threshold(&grad, SidKind::GeneralizedPareto, delta, 0.25, 3)
-            .unwrap();
+        let single =
+            multi_stage_threshold(&grad, SidKind::GeneralizedPareto, delta, 0.25, 1).unwrap();
+        let multi =
+            multi_stage_threshold(&grad, SidKind::GeneralizedPareto, delta, 0.25, 3).unwrap();
         let err_single = (achieved_ratio(&grad, single.final_threshold()) - delta).abs() / delta;
         let err_multi = (achieved_ratio(&grad, multi.final_threshold()) - delta).abs() / delta;
         assert!(
@@ -328,7 +331,11 @@ mod tests {
         for kind in SidKind::ALL {
             let est = multi_stage_threshold(&grad, kind, 0.001, 0.25, 4).unwrap();
             for w in est.thresholds.windows(2) {
-                assert!(w[1] >= w[0], "{kind}: thresholds not monotone: {:?}", est.thresholds);
+                assert!(
+                    w[1] >= w[0],
+                    "{kind}: thresholds not monotone: {:?}",
+                    est.thresholds
+                );
             }
             assert_eq!(est.schedule.len(), 4);
             assert_eq!(est.survivors.len(), 4);
@@ -348,9 +355,7 @@ mod tests {
     #[test]
     fn errors_on_empty_or_zero_gradient() {
         assert!(multi_stage_threshold(&[], SidKind::Exponential, 0.01, 0.25, 2).is_err());
-        assert!(
-            multi_stage_threshold(&[0.0f32; 16], SidKind::Exponential, 0.01, 0.25, 2).is_err()
-        );
+        assert!(multi_stage_threshold(&[0.0f32; 16], SidKind::Exponential, 0.01, 0.25, 2).is_err());
     }
 
     #[test]
@@ -369,6 +374,9 @@ mod tests {
         let grad = laplace_gradient(0.02, 100_000, 56);
         let est = multi_stage_threshold(&grad, SidKind::Gamma, 0.001, 0.25, 3).unwrap();
         let achieved = achieved_ratio(&grad, est.final_threshold());
-        assert!((achieved - 0.001).abs() / 0.001 < 1.0, "achieved {achieved}");
+        assert!(
+            (achieved - 0.001).abs() / 0.001 < 1.0,
+            "achieved {achieved}"
+        );
     }
 }

@@ -73,7 +73,9 @@ pub fn analyze(grad: &[f32], fit_fraction: f64) -> CompressibilityReport {
     let mut sorted: Vec<f32> = grad.iter().map(|x| x.abs()).collect();
     sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
 
-    let fit_len = ((sorted.len() as f64 * fit_fraction).ceil() as usize).max(2).min(sorted.len());
+    let fit_len = ((sorted.len() as f64 * fit_fraction).ceil() as usize)
+        .max(2)
+        .min(sorted.len());
     // Log–log least squares over the non-zero head.
     let mut n = 0.0f64;
     let mut sx = 0.0f64;

@@ -158,7 +158,11 @@ impl GradientVector {
     ///
     /// Panics if the lengths differ.
     pub fn l2_distance(&self, other: &GradientVector) -> f64 {
-        assert_eq!(self.len(), other.len(), "l2_distance requires equal lengths");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "l2_distance requires equal lengths"
+        );
         self.data
             .iter()
             .zip(other.data.iter())
@@ -230,7 +234,10 @@ mod tests {
         assert!((g.l1_norm() - 7.0).abs() < 1e-9);
         assert_eq!(g.max_abs(), 4.0);
         assert_eq!(GradientVector::zeros(0).max_abs(), 0.0);
-        assert_eq!(GradientVector::from_vec(vec![0.0, 1.0, 0.0]).count_zeros(), 2);
+        assert_eq!(
+            GradientVector::from_vec(vec![0.0, 1.0, 0.0]).count_zeros(),
+            2
+        );
     }
 
     #[test]

@@ -146,7 +146,11 @@ pub fn delta_varint_decode(encoded: &EncodedGradient) -> Option<SparseGradient> 
     let mut current = 0u32;
     for j in 0..nnz {
         let gap = read_varint(bytes, &mut cursor)?;
-        current = if j == 0 { gap } else { current.checked_add(gap)? };
+        current = if j == 0 {
+            gap
+        } else {
+            current.checked_add(gap)?
+        };
         indices.push(current);
     }
     let mut values = Vec::with_capacity(nnz);

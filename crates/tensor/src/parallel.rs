@@ -143,7 +143,10 @@ mod tests {
         let par = abs_moments_parallel(&grad, 8);
         let seq = AbsMoments::compute(&grad);
         assert_eq!(par, seq);
-        assert_eq!(count_above_threshold_parallel(&grad, 0.2, 8), crate::threshold::count_above_threshold(&grad, 0.2));
+        assert_eq!(
+            count_above_threshold_parallel(&grad, 0.2, 8),
+            crate::threshold::count_above_threshold(&grad, 0.2)
+        );
     }
 
     #[test]

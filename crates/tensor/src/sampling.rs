@@ -49,7 +49,11 @@ pub fn random_indices<R: Rng + ?Sized>(len: usize, k: usize, rng: &mut R) -> Vec
     let mut out = Vec::with_capacity(k);
     for j in (len - k)..len {
         let t = rng.gen_range(0..=j);
-        let pick = if chosen.contains(&(t as u32)) { j as u32 } else { t as u32 };
+        let pick = if chosen.contains(&(t as u32)) {
+            j as u32
+        } else {
+            t as u32
+        };
         chosen.insert(pick);
         out.push(pick);
     }

@@ -98,7 +98,10 @@ impl SparseGradient {
 
     /// Iterator over `(index, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Number of bytes this gradient occupies on the wire

@@ -57,10 +57,7 @@ pub fn select_above_threshold_capped(
 /// the raw values rather than just moments).
 pub fn exceedance_magnitudes(grad: &[f32], threshold: f64) -> Vec<f32> {
     let t = threshold as f32;
-    grad.iter()
-        .map(|g| g.abs())
-        .filter(|&a| a > t)
-        .collect()
+    grad.iter().map(|g| g.abs()).filter(|&a| a > t).collect()
 }
 
 #[cfg(test)]

@@ -45,10 +45,8 @@ fn main() {
                 let result = compressor.compress(grad.as_slice(), delta);
                 let wall_ms = start.elapsed().as_secs_f64() * 1e3;
                 let stages = result.stages_used.unwrap_or(1);
-                let gpu_ms =
-                    DeviceProfile::gpu().compression_time(kind, dim, delta, stages) * 1e3;
-                let cpu_ms =
-                    DeviceProfile::cpu().compression_time(kind, dim, delta, stages) * 1e3;
+                let gpu_ms = DeviceProfile::gpu().compression_time(kind, dim, delta, stages) * 1e3;
+                let cpu_ms = DeviceProfile::cpu().compression_time(kind, dim, delta, stages) * 1e3;
                 println!(
                     "{:<12} {:>8} {:>12.3} {:>16.2} {:>16.2} {:>16.2}",
                     kind.label(),

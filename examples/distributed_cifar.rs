@@ -25,7 +25,10 @@ fn main() {
     };
     let delta = 0.01;
 
-    println!("distributed training: softmax classifier, {} workers, δ = {delta}", cluster.workers);
+    println!(
+        "distributed training: softmax classifier, {} workers, δ = {delta}",
+        cluster.workers
+    );
     println!();
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>16} {:>12}",
@@ -36,9 +39,16 @@ fn main() {
     let baseline_report = baseline.run(1.0);
     print_row("none", &baseline_report, &baseline_report);
 
-    let runs: Vec<(&str, Box<dyn Fn() -> Box<dyn Compressor>>)> = vec![
-        ("topk", Box::new(|| Box::new(TopKCompressor::new()) as Box<dyn Compressor>)),
-        ("dgc", Box::new(|| Box::new(DgcCompressor::new()) as Box<dyn Compressor>)),
+    type CompressorFactory = Box<dyn Fn() -> Box<dyn Compressor>>;
+    let runs: Vec<(&str, CompressorFactory)> = vec![
+        (
+            "topk",
+            Box::new(|| Box::new(TopKCompressor::new()) as Box<dyn Compressor>),
+        ),
+        (
+            "dgc",
+            Box::new(|| Box::new(DgcCompressor::new()) as Box<dyn Compressor>),
+        ),
         (
             "sidco-e",
             Box::new(|| {
@@ -47,8 +57,12 @@ fn main() {
         ),
     ];
     for (name, factory) in runs {
-        let mut trainer =
-            ModelTrainer::new(Arc::clone(&model), cluster, config.clone(), factory.as_ref());
+        let mut trainer = ModelTrainer::new(
+            Arc::clone(&model),
+            cluster,
+            config.clone(),
+            factory.as_ref(),
+        );
         let report = trainer.run(delta);
         print_row(name, &report, &baseline_report);
     }
@@ -60,7 +74,11 @@ fn main() {
     );
 }
 
-fn print_row(name: &str, report: &sidco_dist::TrainingReport, baseline: &sidco_dist::TrainingReport) {
+fn print_row(
+    name: &str,
+    report: &sidco_dist::TrainingReport,
+    baseline: &sidco_dist::TrainingReport,
+) {
     let quality = report.estimation_quality();
     let speedup = sidco_dist::metrics::normalized_speedup(report, baseline, 0.10);
     println!(

@@ -15,7 +15,12 @@ fn model(seed: u64) -> Arc<LinearRegression> {
 }
 
 /// Trains with the given compressor factory and returns the loss trajectory.
-fn train<F>(model: Arc<LinearRegression>, iterations: u64, delta: f64, factory: Option<F>) -> Vec<f64>
+fn train<F>(
+    model: Arc<LinearRegression>,
+    iterations: u64,
+    delta: f64,
+    factory: Option<F>,
+) -> Vec<f64>
 where
     F: Fn() -> Box<dyn Compressor>,
 {

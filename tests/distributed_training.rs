@@ -103,7 +103,9 @@ fn classification_accuracy_survives_compression() {
         Box::new(SidcoCompressor::new(SidcoConfig::exponential()))
     });
     let report = trainer.run(0.01);
-    let accuracy = report.final_accuracy().expect("classifier reports accuracy");
+    let accuracy = report
+        .final_accuracy()
+        .expect("classifier reports accuracy");
     assert!(
         accuracy > 0.8,
         "compressed training should still classify separable blobs, got {accuracy}"
@@ -125,8 +127,7 @@ fn speedups_grow_with_communication_overhead() {
             .with_iterations(15)
             .with_measured_dim(80_000);
         let baseline = simulate_benchmark(&config, CompressorKind::None, 1.0);
-        let sidco =
-            simulate_benchmark(&config, CompressorKind::Sidco(SidKind::Exponential), delta);
+        let sidco = simulate_benchmark(&config, CompressorKind::Sidco(SidKind::Exponential), delta);
         speedups.push(normalized_speedup(&sidco, &baseline));
     }
     assert!(

@@ -5,7 +5,9 @@
 use sidco::prelude::*;
 use sidco_core::quantize::{SignQuantizer, StochasticQuantizer};
 use sidco_dist::adaptive::{RatioController, RatioControllerConfig};
-use sidco_tensor::encoding::{best_encoding, delta_varint_decode, delta_varint_encode, EncodingKind};
+use sidco_tensor::encoding::{
+    best_encoding, delta_varint_decode, delta_varint_encode, EncodingKind,
+};
 
 #[test]
 fn layerwise_sidco_tracks_target_on_layered_gradients() {
@@ -83,7 +85,11 @@ fn wire_encodings_shrink_compressed_gradients_losslessly() {
     );
     let best = best_encoding(sparse);
     assert!(best.wire_bytes() <= varint.wire_bytes());
-    assert_ne!(best.kind(), EncodingKind::Bitmap, "1% density should not pick the bitmap");
+    assert_ne!(
+        best.kind(),
+        EncodingKind::Bitmap,
+        "1% density should not pick the bitmap"
+    );
 }
 
 #[test]

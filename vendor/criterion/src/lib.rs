@@ -1,0 +1,247 @@
+//! Offline stand-in for the subset of the [`criterion`](https://crates.io/crates/criterion)
+//! API used by this workspace's benches.
+//!
+//! The build environment has no registry access, so this vendored crate keeps
+//! the bench sources compiling and runnable: groups, throughput annotations,
+//! `bench_function` / `bench_with_input`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is deliberately simple — a fixed-count
+//! timing loop with a mean/min report per benchmark — rather than criterion's
+//! statistical machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour of
+/// `std::hint::black_box`, which the workspace benches already use).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside of any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("ungrouped").bench_function(id, f);
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A group of benchmarks sharing throughput and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's warm-up is a single untimed
+    /// call regardless of duration.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub times exactly `sample_size`
+    /// calls regardless of duration.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f`, handing it `input` each call.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if bencher.iterations == 0 {
+            println!("  {}/{}: no iterations recorded", self.name, id.id);
+            return;
+        }
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(", {:.3e} elem/s", n as f64 / mean),
+            Some(Throughput::Bytes(n)) => format!(", {:.3e} B/s", n as f64 / mean),
+            None => String::new(),
+        };
+        println!(
+            "  {}/{}: mean {:.6} ms over {} iterations{rate}",
+            self.name,
+            id.id,
+            mean * 1e3,
+            bencher.iterations
+        );
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `f` once untimed as warm-up, then `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += self.samples as u64;
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub_smoke");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::from_parameter("sum"), |b| {
+            b.iter(|| (0..4u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("scaled", 2), &2u64, |b, &factor| {
+            b.iter(|| factor * 21)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_main_macros_run() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+        assert_eq!(BenchmarkId::from("s").id, "s");
+    }
+}

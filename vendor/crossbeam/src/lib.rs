@@ -1,0 +1,89 @@
+//! Offline stand-in for the subset of the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! API used by this workspace: scoped threads.
+//!
+//! The registry is unreachable in this build environment, so this vendored crate
+//! maps `crossbeam::thread::scope` onto `std::thread::scope` (stable since Rust
+//! 1.63), preserving crossbeam's call shape — the scope function returns a
+//! `Result`, and spawned closures receive a `&Scope` argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads with crossbeam's calling convention.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope in which threads borrowing local data can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope so
+        /// it can spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope, runs `f` in it, and joins every spawned thread before
+    /// returning. Always `Ok` unless a spawned thread panicked without being
+    /// joined (in which case `std::thread::scope` itself propagates the panic,
+    /// matching how callers `.expect()` crossbeam's result).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(3)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let result = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+}

@@ -1,0 +1,124 @@
+//! The [`Strategy`] trait and the primitive strategies the workspace uses.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a seeded
+/// generator. `Value` is the type of the generated values.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy so differently-typed strategies of the same
+    /// `Value` can be combined (used by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )+
+    };
+}
+
+impl_range_strategy!(f32, f64, u32, u64, usize, i32, i64);
+
+/// Weighted choice between type-erased strategies of a common value type.
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> WeightedUnion<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total > 0,
+            "prop_oneof! needs at least one positively weighted arm"
+        );
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.rng().gen_range(0..self.total);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick exceeded total weight");
+    }
+}
+
+/// Weighted (`w => strategy`) or uniform (`strategy, ...`) choice between
+/// strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}

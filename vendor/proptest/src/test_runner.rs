@@ -1,0 +1,207 @@
+//! Deterministic case generation and the `proptest!` / `prop_assert!` macros.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Generation source handed to strategies; deterministic per test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `name`, so a
+    /// failing case number identifies the failing input exactly.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name picks a stable per-test seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        Self {
+            rng: SmallRng::seed_from_u64(hash),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Records a failed property with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]` that runs the body over `Config::cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    (@munch ($config:expr)) => {};
+    (@munch ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut runner_rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            $(let $arg = $strategy;)+
+            for case in 0..config.cases {
+                let outcome: $crate::test_runner::TestCaseResult = {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut runner_rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> $crate::test_runner::TestCaseResult { $body Ok(()) })()
+                };
+                if let Err(error) = outcome {
+                    panic!(
+                        "proptest property {} failed at generated case #{case}: {error}",
+                        stringify!($name)
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current generated case if the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Bound to a plain bool first so the negation below never lints as a
+        // negated partial-ord comparison in caller crates.
+        let holds: bool = $cond;
+        if !holds {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current generated case if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current generated case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vectors_generate_in_bounds(
+            x in 0.25f64..0.75,
+            v in prop::collection::vec(prop_oneof![3 => 1i32..10, 1 => Just(0i32)], 2..5),
+        ) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+            for item in &v {
+                prop_assert!((0..10).contains(item));
+            }
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(x, 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "generated case #0")]
+    fn failing_property_reports_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x > 2.0);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("seed_name");
+        let mut b = crate::test_runner::TestRng::deterministic("seed_name");
+        use crate::strategy::Strategy;
+        let strategy = 0.0f64..1.0;
+        let xs: Vec<f64> = (0..8).map(|_| strategy.generate(&mut a)).collect();
+        let ys: Vec<f64> = (0..8).map(|_| strategy.generate(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}
