@@ -10,6 +10,7 @@
 //! iterations.
 
 use crate::compressor::{CompressionResult, Compressor};
+use crate::engine::CompressionEngine;
 use crate::sidco::{SidcoCompressor, SidcoConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -83,6 +84,14 @@ impl AutoSidCompressor {
         }
     }
 
+    /// Routes the inner SIDCo compressor through `engine` — kept across SID
+    /// switches and [`reset`](Compressor::reset)s.
+    #[must_use]
+    pub fn with_engine(mut self, engine: CompressionEngine) -> Self {
+        self.inner = self.inner.clone().with_engine(engine);
+        self
+    }
+
     /// The SID currently in use.
     pub fn current_sid(&self) -> SidKind {
         self.current_sid
@@ -145,13 +154,15 @@ impl Compressor for AutoSidCompressor {
         if self.iteration.is_multiple_of(self.config.refit_period) && !grad.is_empty() {
             let selected = self.select_sid(grad);
             if selected != self.current_sid {
-                // Keep the adapted stage count but switch the distribution family.
+                // Keep the adapted stage count (and the execution engine) but
+                // switch the distribution family.
                 let stages = self.inner.current_stages();
                 self.inner = SidcoCompressor::new(SidcoConfig {
                     sid: selected,
                     initial_stages: stages,
                     ..self.config.base
-                });
+                })
+                .with_engine(self.inner.engine());
                 self.current_sid = selected;
             }
         }
@@ -164,7 +175,7 @@ impl Compressor for AutoSidCompressor {
     }
 
     fn reset(&mut self) {
-        self.inner = SidcoCompressor::new(self.config.base);
+        self.inner = SidcoCompressor::new(self.config.base).with_engine(self.inner.engine());
         self.current_sid = self.config.base.sid;
         self.iteration = 0;
         self.rng = SmallRng::seed_from_u64(self.config.seed);

@@ -7,11 +7,11 @@
 //! subset (the "hierarchical" step described in the paper's footnote 2).
 
 use crate::compressor::{CompressionResult, Compressor};
+use crate::engine::CompressionEngine;
 use crate::topk::target_k;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sidco_tensor::sampling::sample_fraction;
-use sidco_tensor::threshold::select_above_threshold;
 use sidco_tensor::topk::{kth_largest_magnitude, top_k, TopKAlgorithm};
 
 /// Fraction of the target `k` below which an undershoot counts as severe and
@@ -67,6 +67,7 @@ impl Default for DgcConfig {
 #[derive(Debug, Clone)]
 pub struct DgcCompressor {
     config: DgcConfig,
+    engine: CompressionEngine,
     rng: SmallRng,
 }
 
@@ -81,8 +82,18 @@ impl DgcCompressor {
     pub fn with_config(config: DgcConfig) -> Self {
         Self {
             rng: SmallRng::seed_from_u64(config.seed),
+            engine: CompressionEngine::from_env(),
             config,
         }
+    }
+
+    /// Routes the full-gradient scans and the exact-Top-k fallback through
+    /// `engine` (the sampled threshold estimate itself is RNG-driven and stays
+    /// on the calling thread).
+    #[must_use]
+    pub fn with_engine(mut self, engine: CompressionEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The active configuration.
@@ -120,18 +131,18 @@ impl Compressor for DgcCompressor {
         // (beyond what the scheme's evaluation tolerates) is relaxed
         // geometrically, like the reference implementation's retry loop.
         let relax_floor = (k as f64 * SEVERE_UNDERSHOOT_FRACTION) as usize;
-        let mut selected = select_above_threshold(grad, threshold);
+        let mut selected = self.engine.select_above(grad, threshold);
         let mut relaxations = 0;
         while selected.nnz() < relax_floor && threshold > 0.0 && relaxations < 8 {
             threshold *= 0.8;
-            selected = select_above_threshold(grad, threshold);
+            selected = self.engine.select_above(grad, threshold);
             relaxations += 1;
         }
         // A wildly overshot sample estimate (> 1/0.8⁸ ≈ 6× the true k-th
         // magnitude) can exhaust the relaxation budget; fall back to one exact
         // Top-k rather than silently returning a far-undersized selection.
         if selected.nnz() < relax_floor {
-            selected = top_k(grad, k, TopKAlgorithm::QuickSelect);
+            selected = self.engine.top_k(grad, k);
             threshold = selected
                 .values()
                 .iter()

@@ -1,0 +1,289 @@
+//! The parallel compression engine: a thread-pool-backed executor that shards a
+//! gradient into deterministic fixed-size chunks and runs every stage of the
+//! fit → threshold → select → encode pipeline concurrently.
+//!
+//! Every compressor in this crate routes its hot loops through a
+//! [`CompressionEngine`] — moments for the statistical fits, threshold
+//! counts/selections, and exact Top-k via chunked partial selection. Sparse
+//! encoding ([`encode`](CompressionEngine::encode)) is offered as an engine
+//! primitive for integrations that materialise wire payloads (the simulator
+//! itself only *accounts* bytes, so no compressor calls it internally).
+//! Callers opt in to parallelism by constructing a compressor with
+//! [`CompressionEngine::new`]`(threads)`; the default engine is sequential
+//! unless the `SIDCO_THREADS` environment variable requests more workers.
+//!
+//! # Determinism
+//!
+//! The chunk decomposition is fixed by [`chunk_size`](CompressionEngine::chunk_size)
+//! alone — never by the thread count — and per-chunk partials are merged in
+//! chunk order, so **every compressor produces bit-identical
+//! [`SparseGradient`]s regardless of the configured thread count** (see
+//! `sidco_tensor::parallel` for the underlying contract). Changing the chunk
+//! size *may* change low-order floating-point bits of fitted thresholds, which
+//! is why it defaults to a single fixed constant everywhere.
+
+use sidco_stats::moments::{AbsMoments, SignedMoments};
+use sidco_stats::pot::StageMoments;
+use sidco_tensor::encoding::{raw_encode_chunked, EncodedGradient};
+use sidco_tensor::parallel::{
+    abs_moments_chunked, count_above_threshold_chunked, exceedance_moments_chunked,
+    select_above_threshold_chunked, signed_moments_chunked, top_k_chunked, top_k_chunked_with,
+    DEFAULT_CHUNK_SIZE,
+};
+use sidco_tensor::threshold::cap_largest;
+use sidco_tensor::topk::TopKAlgorithm;
+use sidco_tensor::SparseGradient;
+use std::sync::OnceLock;
+
+/// Environment variable consulted by [`CompressionEngine::from_env`] (and thus
+/// by every compressor constructed without an explicit engine). Set it to the
+/// desired worker count, e.g. `SIDCO_THREADS=4`, to exercise the parallel path
+/// without touching call sites.
+pub const THREADS_ENV_VAR: &str = "SIDCO_THREADS";
+
+fn env_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var(THREADS_ENV_VAR)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// A sharded, thread-pool-backed executor for the compression pipeline.
+///
+/// Cheap to copy (two words); compressors store one by value.
+///
+/// # Example
+///
+/// ```
+/// use sidco_core::engine::CompressionEngine;
+/// use sidco_core::prelude::*;
+///
+/// let grad: Vec<f32> = (1..=200_000)
+///     .map(|j| if j % 2 == 0 { 1.0 } else { -1.0 } * (j as f32).powf(-0.8))
+///     .collect();
+/// let mut serial = SidcoCompressor::new(SidcoConfig::exponential())
+///     .with_engine(CompressionEngine::new(1));
+/// let mut parallel = SidcoCompressor::new(SidcoConfig::exponential())
+///     .with_engine(CompressionEngine::new(4));
+/// // Bit-identical output, independent of the thread count.
+/// assert_eq!(
+///     serial.compress(&grad, 0.01).sparse,
+///     parallel.compress(&grad, 0.01).sparse
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompressionEngine {
+    threads: usize,
+    chunk_size: usize,
+}
+
+impl CompressionEngine {
+    /// An engine running on up to `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "an engine needs at least one thread");
+        Self {
+            threads,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// The single-threaded engine (still chunked, so its results are identical
+    /// to every multi-threaded configuration).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// The engine configured by the `SIDCO_THREADS` environment variable
+    /// (sequential when unset, unparsable, or zero). The variable is read once
+    /// per process.
+    pub fn from_env() -> Self {
+        Self::new(env_threads())
+    }
+
+    /// Overrides the shard size. Determinism across *thread counts* is kept for
+    /// any chunk size; determinism across *configurations* requires using the
+    /// same chunk size, so leave the default unless you are benchmarking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// The configured worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The fixed shard size chunking is based on.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Absolute-value moments of `grad` (parallel fitting statistics).
+    pub fn abs_moments(&self, grad: &[f32]) -> AbsMoments {
+        abs_moments_chunked(grad, self.chunk_size, self.threads)
+    }
+
+    /// Shifted peaks-over-threshold moments of the exceedance set
+    /// (`|g| >= threshold`).
+    pub fn pot_moments(&self, grad: &[f32], threshold: f64) -> AbsMoments {
+        exceedance_moments_chunked(grad, threshold, self.chunk_size, self.threads)
+    }
+
+    /// Signed-value moments of `grad` (the Gaussian-fit input).
+    pub fn signed_moments(&self, grad: &[f32]) -> SignedMoments {
+        signed_moments_chunked(grad, self.chunk_size, self.threads)
+    }
+
+    /// Counts elements with `|g| >= threshold`.
+    pub fn count_above(&self, grad: &[f32], threshold: f64) -> usize {
+        count_above_threshold_chunked(grad, threshold, self.chunk_size, self.threads)
+    }
+
+    /// The `C_η` selection operator: all elements with `|g| >= threshold`, with
+    /// per-chunk buffers merged in index order (never re-sorted).
+    pub fn select_above(&self, grad: &[f32], threshold: f64) -> SparseGradient {
+        select_above_threshold_chunked(grad, threshold, self.chunk_size, self.threads)
+    }
+
+    /// Capped `C_η`: at most `max_elements` survivors, largest magnitudes first,
+    /// ties at the cut broken by ascending index.
+    pub fn select_above_capped(
+        &self,
+        grad: &[f32],
+        threshold: f64,
+        max_elements: usize,
+    ) -> SparseGradient {
+        cap_largest(self.select_above(grad, threshold), max_elements)
+    }
+
+    /// Exact Top-k via chunked partial selection (each shard nominates its own
+    /// top candidates; one final selection picks the global winners).
+    pub fn top_k(&self, grad: &[f32], k: usize) -> SparseGradient {
+        top_k_chunked(grad, k, self.chunk_size, self.threads)
+    }
+
+    /// [`top_k`](Self::top_k) with an explicit per-chunk selection algorithm.
+    pub fn top_k_with(&self, grad: &[f32], k: usize, algorithm: TopKAlgorithm) -> SparseGradient {
+        top_k_chunked_with(grad, k, self.chunk_size, self.threads, algorithm)
+    }
+
+    /// Encodes a sparse gradient into the raw wire format, sharding the pair
+    /// stream (in chunks of the engine's configured size) across the engine's
+    /// threads. Byte-identical to [`sidco_tensor::encoding::raw_encode`].
+    pub fn encode(&self, sparse: &SparseGradient) -> EncodedGradient {
+        raw_encode_chunked(sparse, self.chunk_size, self.threads)
+    }
+}
+
+impl Default for CompressionEngine {
+    /// [`CompressionEngine::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl StageMoments for CompressionEngine {
+    fn full_moments(&self, grad: &[f32]) -> AbsMoments {
+        self.abs_moments(grad)
+    }
+
+    fn exceedance_moments(&self, grad: &[f32], threshold: f64) -> AbsMoments {
+        self.pot_moments(grad, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use sidco_tensor::encoding::raw_encode;
+    use sidco_tensor::threshold::{count_above_threshold, select_above_threshold};
+
+    fn random_gradient(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let engine = CompressionEngine::new(4).with_chunk_size(1 << 10);
+        assert_eq!(engine.threads(), 4);
+        assert_eq!(engine.chunk_size(), 1 << 10);
+        assert_eq!(CompressionEngine::sequential().threads(), 1);
+        // The default engine follows the environment (sequential in tests
+        // unless the CI job sets SIDCO_THREADS).
+        let _ = CompressionEngine::default();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        CompressionEngine::new(0);
+    }
+
+    #[test]
+    fn primitives_are_bit_identical_across_thread_counts() {
+        let grad = random_gradient(150_000, 11);
+        let reference = CompressionEngine::new(1).with_chunk_size(1 << 12);
+        for threads in [2, 3, 7] {
+            let engine = CompressionEngine::new(threads).with_chunk_size(1 << 12);
+            assert_eq!(engine.abs_moments(&grad), reference.abs_moments(&grad));
+            assert_eq!(
+                engine.pot_moments(&grad, 0.5),
+                reference.pot_moments(&grad, 0.5)
+            );
+            assert_eq!(
+                engine.signed_moments(&grad),
+                reference.signed_moments(&grad)
+            );
+            assert_eq!(
+                engine.select_above(&grad, 0.3),
+                reference.select_above(&grad, 0.3)
+            );
+            assert_eq!(engine.top_k(&grad, 1_234), reference.top_k(&grad, 1_234));
+            assert_eq!(
+                engine.select_above_capped(&grad, 0.1, 500),
+                reference.select_above_capped(&grad, 0.1, 500)
+            );
+        }
+    }
+
+    #[test]
+    fn selection_and_count_match_sequential_operators() {
+        let grad = random_gradient(100_000, 12);
+        let engine = CompressionEngine::new(4);
+        assert_eq!(
+            engine.count_above(&grad, 0.25),
+            count_above_threshold(&grad, 0.25)
+        );
+        assert_eq!(
+            engine.select_above(&grad, 0.25),
+            select_above_threshold(&grad, 0.25)
+        );
+    }
+
+    #[test]
+    fn encode_matches_sequential_bytes() {
+        let grad = random_gradient(200_000, 13);
+        let engine = CompressionEngine::new(4);
+        let sparse = engine.select_above(&grad, 0.6);
+        assert_eq!(
+            engine.encode(&sparse).payload(),
+            raw_encode(&sparse).payload()
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! (Karimireddy et al. 2019; Appendix B.2 of the paper).
 
 use crate::compressor::{CompressionResult, Compressor};
-use sidco_tensor::GradientVector;
+use sidco_tensor::{GradientVector, SparseGradient};
 
 /// Error-feedback memory for one worker.
 ///
@@ -73,7 +73,18 @@ impl ErrorFeedback {
     ///
     /// Panics if the dimensions do not match.
     pub fn update(&mut self, corrected: &GradientVector, compressed: &CompressionResult) {
-        self.memory = compressed.sparse.residual(corrected);
+        self.update_sparse(corrected, &compressed.sparse);
+    }
+
+    /// Like [`update`](Self::update) but takes the transmitted sparse gradient
+    /// directly — used by the bucketed trainer, which assembles one combined
+    /// sparse gradient out of several per-bucket compression results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions do not match.
+    pub fn update_sparse(&mut self, corrected: &GradientVector, transmitted: &SparseGradient) {
+        self.memory = transmitted.residual(corrected);
     }
 
     /// Convenience wrapper running correction → compression → memory update.

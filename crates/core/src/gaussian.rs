@@ -9,10 +9,9 @@
 //! "estimation quality two orders of magnitude off" at aggressive ratios.
 
 use crate::compressor::{CompressionResult, Compressor};
+use crate::engine::CompressionEngine;
 use crate::topk::target_k;
 use sidco_stats::fit::gaussian_threshold_from_moments;
-use sidco_stats::moments::SignedMoments;
-use sidco_tensor::threshold::{count_above_threshold, select_above_threshold};
 
 /// Configuration of the GaussianKSGD estimator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +54,7 @@ impl Default for GaussianKSgdConfig {
 #[derive(Debug, Clone, Default)]
 pub struct GaussianKSgdCompressor {
     config: GaussianKSgdConfig,
+    engine: CompressionEngine,
 }
 
 impl GaussianKSgdCompressor {
@@ -65,7 +65,18 @@ impl GaussianKSgdCompressor {
 
     /// Creates a GaussianKSGD compressor with an explicit configuration.
     pub fn with_config(config: GaussianKSgdConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            engine: CompressionEngine::from_env(),
+        }
+    }
+
+    /// Routes the moment pass, the threshold-adjustment counts and the final
+    /// selection through `engine`.
+    #[must_use]
+    pub fn with_engine(mut self, engine: CompressionEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The active configuration.
@@ -80,17 +91,17 @@ impl Compressor for GaussianKSgdCompressor {
             return CompressionResult::from_sparse(sidco_tensor::SparseGradient::empty(0));
         }
         let k = target_k(grad.len(), delta);
-        let moments = SignedMoments::compute(grad);
+        let moments = self.engine.signed_moments(grad);
         let mut threshold = gaussian_threshold_from_moments(&moments, delta);
         if !(threshold > 0.0) {
             // Degenerate fit (constant gradient): keep everything, as the reference
             // implementation does when the variance collapses.
-            let sparse = select_above_threshold(grad, 0.0);
+            let sparse = self.engine.select_above(grad, 0.0);
             return CompressionResult::with_threshold(sparse, 0.0);
         }
 
         for _ in 0..self.config.max_adjustments {
-            let count = count_above_threshold(grad, threshold).max(1);
+            let count = self.engine.count_above(grad, threshold).max(1);
             let ratio = count as f64 / k as f64;
             if (ratio - 1.0).abs() <= self.config.tolerance {
                 break;
@@ -99,7 +110,7 @@ impl Compressor for GaussianKSgdCompressor {
             threshold *= ratio.powf(self.config.update_exponent);
         }
 
-        let sparse = select_above_threshold(grad, threshold);
+        let sparse = self.engine.select_above(grad, threshold);
         CompressionResult::with_threshold(sparse, threshold)
     }
 

@@ -3,7 +3,7 @@
 //! ablation reference.
 
 use crate::compressor::{CompressionResult, Compressor};
-use sidco_tensor::threshold::select_above_threshold;
+use crate::engine::CompressionEngine;
 
 /// A compressor that applies a user-supplied, fixed magnitude threshold and ignores
 /// the target ratio entirely.
@@ -25,6 +25,7 @@ use sidco_tensor::threshold::select_above_threshold;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardThresholdCompressor {
     threshold: f64,
+    engine: CompressionEngine,
 }
 
 impl HardThresholdCompressor {
@@ -38,7 +39,17 @@ impl HardThresholdCompressor {
             threshold.is_finite() && threshold >= 0.0,
             "threshold must be a non-negative finite value, got {threshold}"
         );
-        Self { threshold }
+        Self {
+            threshold,
+            engine: CompressionEngine::from_env(),
+        }
+    }
+
+    /// Routes the selection scan through `engine`.
+    #[must_use]
+    pub fn with_engine(mut self, engine: CompressionEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The fixed threshold.
@@ -62,7 +73,7 @@ impl HardThresholdCompressor {
 
 impl Compressor for HardThresholdCompressor {
     fn compress(&mut self, grad: &[f32], _delta: f64) -> CompressionResult {
-        let sparse = select_above_threshold(grad, self.threshold);
+        let sparse = self.engine.select_above(grad, self.threshold);
         CompressionResult::with_threshold(sparse, self.threshold)
     }
 

@@ -16,6 +16,10 @@
 //! * [`ErrorFeedback`](error_feedback::ErrorFeedback) — the EC memory that adds the
 //!   previous iteration's sparsification residual back into the gradient before
 //!   compression.
+//! * [`CompressionEngine`](engine::CompressionEngine) — the sharded parallel
+//!   executor every compressor routes its hot loops through; opt in with a
+//!   thread count (or `SIDCO_THREADS`), outputs are bit-identical across
+//!   thread counts.
 //! * [`metrics`] — achieved-ratio tracking (the "estimation quality" metric of the
 //!   paper's figures).
 //!
@@ -44,6 +48,7 @@
 pub mod auto_sid;
 pub mod compressor;
 pub mod dgc;
+pub mod engine;
 pub mod error_feedback;
 pub mod gaussian;
 pub mod hard_threshold;
@@ -56,6 +61,7 @@ pub mod sidco;
 pub mod topk;
 
 pub use compressor::{CompressionResult, Compressor, CompressorKind};
+pub use engine::CompressionEngine;
 pub use error_feedback::ErrorFeedback;
 pub use sidco::{SidcoCompressor, SidcoConfig};
 
@@ -64,6 +70,7 @@ pub mod prelude {
     pub use crate::auto_sid::{AutoSidCompressor, AutoSidConfig};
     pub use crate::compressor::{CompressionResult, Compressor, CompressorKind};
     pub use crate::dgc::DgcCompressor;
+    pub use crate::engine::CompressionEngine;
     pub use crate::error_feedback::ErrorFeedback;
     pub use crate::gaussian::GaussianKSgdCompressor;
     pub use crate::hard_threshold::HardThresholdCompressor;

@@ -10,9 +10,8 @@
 //! paper's Figures 1c, 3c and 9 highlight.
 
 use crate::compressor::{CompressionResult, Compressor};
+use crate::engine::CompressionEngine;
 use crate::topk::target_k;
-use sidco_stats::moments::AbsMoments;
-use sidco_tensor::threshold::{count_above_threshold, select_above_threshold};
 
 /// Configuration of the RedSync threshold search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +49,7 @@ impl Default for RedSyncConfig {
 #[derive(Debug, Clone, Default)]
 pub struct RedSyncCompressor {
     config: RedSyncConfig,
+    engine: CompressionEngine,
 }
 
 impl RedSyncCompressor {
@@ -60,7 +60,18 @@ impl RedSyncCompressor {
 
     /// Creates a RedSync compressor with an explicit configuration.
     pub fn with_config(config: RedSyncConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            engine: CompressionEngine::from_env(),
+        }
+    }
+
+    /// Routes the moment pass, the scan-and-count search passes and the final
+    /// selection through `engine`.
+    #[must_use]
+    pub fn with_engine(mut self, engine: CompressionEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The active configuration.
@@ -75,12 +86,12 @@ impl Compressor for RedSyncCompressor {
             return CompressionResult::from_sparse(sidco_tensor::SparseGradient::empty(0));
         }
         let k = target_k(grad.len(), delta);
-        let moments = AbsMoments::compute(grad);
+        let moments = self.engine.abs_moments(grad);
         let mean = moments.mean;
         let max = moments.max;
         if !(max > mean) {
             // Degenerate gradient (constant magnitude): keep everything.
-            let sparse = select_above_threshold(grad, 0.0);
+            let sparse = self.engine.select_above(grad, 0.0);
             return CompressionResult::with_threshold(sparse, 0.0);
         }
 
@@ -92,7 +103,7 @@ impl Compressor for RedSyncCompressor {
         let mut threshold = mean + ratio * (max - mean);
         for _ in 0..self.config.max_iterations {
             threshold = mean + ratio * (max - mean);
-            let count = count_above_threshold(grad, threshold);
+            let count = self.engine.count_above(grad, threshold);
             if count >= k && (count as f64) <= self.config.acceptance_slack * k as f64 {
                 break;
             }
@@ -105,7 +116,7 @@ impl Compressor for RedSyncCompressor {
             }
             ratio = 0.5 * (lo + hi);
         }
-        let sparse = select_above_threshold(grad, threshold);
+        let sparse = self.engine.select_above(grad, threshold);
         CompressionResult::with_threshold(sparse, threshold)
     }
 

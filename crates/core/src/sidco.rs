@@ -12,9 +12,9 @@
 //!    target (the `Adapt_Stages` function).
 
 use crate::compressor::{CompressionResult, Compressor};
+use crate::engine::CompressionEngine;
 use sidco_stats::fit::SidKind;
-use sidco_stats::pot::{multi_stage_threshold, MultiStageEstimate};
-use sidco_tensor::threshold::select_above_threshold;
+use sidco_stats::pot::{multi_stage_threshold_with, MultiStageEstimate};
 use sidco_tensor::SparseGradient;
 
 /// Configuration of the SIDCo compressor.
@@ -127,6 +127,7 @@ impl Default for SidcoConfig {
 #[derive(Debug, Clone)]
 pub struct SidcoCompressor {
     config: SidcoConfig,
+    engine: CompressionEngine,
     stages: usize,
     iteration: u64,
     ratio_accumulator: f64,
@@ -144,15 +145,29 @@ impl SidcoCompressor {
         Self {
             stages: config.initial_stages,
             config,
+            engine: CompressionEngine::from_env(),
             iteration: 0,
             ratio_accumulator: 0.0,
             ratio_samples: 0,
         }
     }
 
+    /// Routes the fitting statistics and the selection scan through `engine`
+    /// (bit-identical output for every thread count).
+    #[must_use]
+    pub fn with_engine(mut self, engine: CompressionEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &SidcoConfig {
         &self.config
+    }
+
+    /// The execution engine in use.
+    pub fn engine(&self) -> CompressionEngine {
+        self.engine
     }
 
     /// The current number of estimation stages `M`.
@@ -170,12 +185,13 @@ impl SidcoCompressor {
     ///
     /// Returns `None` if the gradient is empty or all-zero.
     pub fn estimate_threshold(&self, grad: &[f32], delta: f64) -> Option<MultiStageEstimate> {
-        multi_stage_threshold(
+        multi_stage_threshold_with(
             grad,
             self.config.sid,
             delta.clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON),
             self.config.first_stage_ratio,
             self.stages,
+            &self.engine,
         )
         .ok()
     }
@@ -216,16 +232,17 @@ impl Compressor for SidcoCompressor {
         }
         let delta = delta.clamp(f64::MIN_POSITIVE, 1.0);
         if delta >= 1.0 {
-            let sparse = select_above_threshold(grad, 0.0);
+            let sparse = self.engine.select_above(grad, 0.0);
             return CompressionResult::with_threshold(sparse, 0.0);
         }
 
-        let estimate = match multi_stage_threshold(
+        let estimate = match multi_stage_threshold_with(
             grad,
             self.config.sid,
             delta,
             self.config.first_stage_ratio,
             self.stages,
+            &self.engine,
         ) {
             Ok(est) => est,
             Err(_) => {
@@ -238,7 +255,7 @@ impl Compressor for SidcoCompressor {
             }
         };
         let threshold = estimate.final_threshold();
-        let sparse = select_above_threshold(grad, threshold);
+        let sparse = self.engine.select_above(grad, threshold);
 
         // Record the achieved ratio and periodically adapt the stage count.
         let achieved = sparse.achieved_ratio();

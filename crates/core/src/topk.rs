@@ -1,11 +1,14 @@
 //! Exact Top-k compressor — the quality reference every other scheme is compared to.
 
 use crate::compressor::{CompressionResult, Compressor};
-use sidco_tensor::topk::{kth_largest_magnitude, top_k, TopKAlgorithm};
+use crate::engine::CompressionEngine;
+use sidco_tensor::topk::TopKAlgorithm;
 
 /// Exact Top-k sparsifier.
 ///
-/// Selects exactly `ceil(delta * d)` elements with the largest magnitudes. The
+/// Selects exactly `ceil(delta * d)` elements with the largest magnitudes via
+/// the engine's chunked partial selection (each shard nominates its own top
+/// candidates; one final selection picks the global winners). The per-chunk
 /// selection algorithm is configurable so the CPU/GPU cost comparisons of the
 /// paper's micro-benchmarks can be reproduced.
 ///
@@ -22,6 +25,7 @@ use sidco_tensor::topk::{kth_largest_magnitude, top_k, TopKAlgorithm};
 #[derive(Debug, Clone, Default)]
 pub struct TopKCompressor {
     algorithm: TopKAlgorithm,
+    engine: CompressionEngine,
 }
 
 impl TopKCompressor {
@@ -32,7 +36,17 @@ impl TopKCompressor {
 
     /// Creates a Top-k compressor using a specific selection algorithm.
     pub fn with_algorithm(algorithm: TopKAlgorithm) -> Self {
-        Self { algorithm }
+        Self {
+            algorithm,
+            engine: CompressionEngine::from_env(),
+        }
+    }
+
+    /// Routes the chunked partial selection through `engine`.
+    #[must_use]
+    pub fn with_engine(mut self, engine: CompressionEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The selection algorithm in use.
@@ -44,8 +58,15 @@ impl TopKCompressor {
 impl Compressor for TopKCompressor {
     fn compress(&mut self, grad: &[f32], delta: f64) -> CompressionResult {
         let k = target_k(grad.len(), delta);
-        let sparse = top_k(grad, k, self.algorithm);
-        let threshold = kth_largest_magnitude(grad, k) as f64;
+        let sparse = self.engine.top_k_with(grad, k, self.algorithm);
+        // The exact Top-k threshold is the smallest retained magnitude
+        // (0 for an empty selection, matching `kth_largest_magnitude`).
+        let min_kept = sparse
+            .values()
+            .iter()
+            .map(|v| v.abs() as f64)
+            .fold(f64::INFINITY, f64::min);
+        let threshold = if min_kept.is_finite() { min_kept } else { 0.0 };
         CompressionResult::with_threshold(sparse, threshold)
     }
 

@@ -14,9 +14,12 @@
 //! * [`simulate`] — the Table-1 benchmark simulator
 //!   ([`simulate_benchmark`](simulate::simulate_benchmark)): real compression
 //!   on a measured gradient, analytic costs at full scale;
+//! * [`overlap`] — the DDP-style bucketed pipeline model that overlaps
+//!   compression of bucket `i + 1` with communication of bucket `i`;
 //! * [`trainer`] — a real data-parallel trainer
 //!   ([`ModelTrainer`](trainer::ModelTrainer)) over the analytic models, with
-//!   per-worker error feedback, momentum and clipping;
+//!   per-worker error feedback, momentum, clipping and optional bucketed
+//!   overlap of compression and communication;
 //! * [`adaptive`] — the delay-aware ratio controller
 //!   ([`RatioController`](adaptive::RatioController)) that derives δ from a
 //!   communication-time budget;
@@ -33,6 +36,7 @@ pub mod device;
 pub mod metrics;
 pub mod network;
 pub mod optimizer;
+pub mod overlap;
 pub mod schedule;
 pub mod simulate;
 pub mod trainer;

@@ -1,5 +1,6 @@
 //! Training-run reports and the time-to-quality speed-up metric.
 
+use crate::overlap::OverlapAccounting;
 use sidco_core::metrics::{EstimationQualitySummary, EstimationQualityTracker};
 
 /// One recorded training iteration.
@@ -24,6 +25,7 @@ pub struct TrainingReport {
     quality: EstimationQualityTracker,
     final_evaluation: f64,
     final_accuracy: Option<f64>,
+    overlap: Option<OverlapAccounting>,
 }
 
 impl TrainingReport {
@@ -39,7 +41,21 @@ impl TrainingReport {
             quality,
             final_evaluation,
             final_accuracy,
+            overlap: None,
         }
+    }
+
+    /// Attaches the bucketed-pipeline accounting of a compressed run.
+    #[must_use]
+    pub fn with_overlap(mut self, overlap: OverlapAccounting) -> Self {
+        self.overlap = Some(overlap);
+        self
+    }
+
+    /// The compression↔communication overlap accounting, when the run was
+    /// compressed (`None` for the dense baseline).
+    pub fn overlap(&self) -> Option<&OverlapAccounting> {
+        self.overlap.as_ref()
     }
 
     /// The per-iteration trajectory, in iteration order.

@@ -5,17 +5,28 @@
 //! feedback, sparse aggregation, the optimizer — and *simulates* the
 //! wall-clock cost of every iteration through the cluster's network and
 //! device models, so loss-vs-time curves (Figure 10) come out of one run.
+//!
+//! Gradients can be compressed as one flat vector (the default) or split into
+//! DDP-style per-layer buckets ([`TrainerConfig::buckets`] /
+//! [`TrainerConfig::bucket_layout`]); with [`TrainerConfig::overlap`] enabled
+//! the cost model pipelines the buckets, overlapping compression of bucket
+//! `i + 1` with communication of bucket `i`. The bucketing decides *what* is
+//! compressed (so it changes the selected elements); the overlap flag only
+//! decides *when* costs are charged, so overlapped and serial runs of the same
+//! bucketing converge identically and differ purely in simulated time.
 
 use crate::cluster::ClusterConfig;
 use crate::metrics::{TrainingReport, TrainingSample};
 use crate::optimizer::Optimizer;
+use crate::overlap::{pipelined_overhead, serial_overhead, OverlapAccounting};
 use crate::schedule::LrSchedule;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sidco_core::layerwise::LayerLayout;
 use sidco_core::metrics::EstimationQualityTracker;
 use sidco_core::{Compressor, ErrorFeedback};
 use sidco_models::DifferentiableModel;
-use sidco_tensor::GradientVector;
+use sidco_tensor::{GradientVector, SparseGradient};
 use std::sync::Arc;
 
 /// Seconds of simulated compute per example·parameter (forward + backward).
@@ -45,6 +56,19 @@ pub struct TrainerConfig {
     /// threshold scheme, which is right for SIDCo-style compressors but
     /// undercharges exact Top-k — set it when comparing schemes on time.
     pub compressor_kind: Option<sidco_core::compressor::CompressorKind>,
+    /// Number of near-equal gradient buckets compressed (and communicated)
+    /// independently per iteration, DDP-style. 1 compresses the flat gradient
+    /// in one piece. Ignored when [`bucket_layout`](Self::bucket_layout) is
+    /// set.
+    pub buckets: usize,
+    /// Explicit per-layer bucket sizes (must sum to the model's parameter
+    /// count). Overrides [`buckets`](Self::buckets) so the trainer can bucket
+    /// along real layer boundaries.
+    pub bucket_layout: Option<LayerLayout>,
+    /// Overlap compression of bucket `i + 1` with communication of bucket `i`
+    /// in the cost model. Has no effect on the numerics — only on simulated
+    /// time — and no effect at all with a single bucket.
+    pub overlap: bool,
     /// Seed for parameter initialisation and mini-batch sampling.
     pub seed: u64,
 }
@@ -60,6 +84,9 @@ impl Default for TrainerConfig {
             clip_norm: None,
             error_feedback: true,
             compressor_kind: None,
+            buckets: 1,
+            bucket_layout: None,
+            overlap: false,
             seed: 17,
         }
     }
@@ -68,18 +95,31 @@ impl Default for TrainerConfig {
 /// Synchronous data-parallel trainer.
 ///
 /// Construct with [`ModelTrainer::new`] (compressed, one compressor per
-/// worker from the supplied factory) or [`ModelTrainer::uncompressed`]
-/// (dense all-reduce baseline), then call [`run`](ModelTrainer::run).
+/// worker and bucket from the supplied factory) or
+/// [`ModelTrainer::uncompressed`] (dense all-reduce baseline), then call
+/// [`run`](ModelTrainer::run).
 pub struct ModelTrainer {
     model: Arc<dyn DifferentiableModel>,
     cluster: ClusterConfig,
     config: TrainerConfig,
-    compressors: Vec<Box<dyn Compressor>>,
+    /// The bucket decomposition resolved once at construction, so the
+    /// compressor matrix below and the per-iteration segment loop can never
+    /// disagree on the bucket count.
+    layout: LayerLayout,
+    /// `compressors[worker][bucket]` — each bucket keeps its own adaptive
+    /// state, exactly like the per-tensor hooks of the reference integration.
+    compressors: Vec<Vec<Box<dyn Compressor>>>,
 }
 
 impl ModelTrainer {
     /// A trainer whose workers compress gradients with compressors built by
-    /// `factory` (called once per worker, so adaptive state is per-worker).
+    /// `factory` (called once per worker and bucket, so adaptive state is
+    /// per-worker *and* per-bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no workers, `config.buckets` is zero, or an
+    /// explicit `config.bucket_layout` does not cover the model's parameters.
     pub fn new<F>(
         model: Arc<dyn DifferentiableModel>,
         cluster: ClusterConfig,
@@ -90,11 +130,16 @@ impl ModelTrainer {
         F: Fn() -> Box<dyn Compressor>,
     {
         assert!(cluster.workers > 0, "cluster must have at least one worker");
-        let compressors = (0..cluster.workers).map(|_| factory()).collect();
+        let layout = resolve_layout(&config, model.num_parameters());
+        let buckets = layout.len();
+        let compressors = (0..cluster.workers)
+            .map(|_| (0..buckets).map(|_| factory()).collect())
+            .collect();
         Self {
             model,
             cluster,
             config,
+            layout,
             compressors,
         }
     }
@@ -106,10 +151,12 @@ impl ModelTrainer {
         config: TrainerConfig,
     ) -> Self {
         assert!(cluster.workers > 0, "cluster must have at least one worker");
+        let layout = resolve_layout(&config, model.num_parameters());
         Self {
             model,
             cluster,
             config,
+            layout,
             compressors: Vec::new(),
         }
     }
@@ -130,6 +177,8 @@ impl ModelTrainer {
         let num_examples = self.model.num_examples();
         let workers = self.cluster.workers;
         let compressed = !self.compressors.is_empty();
+        let segments: Vec<(usize, usize)> = self.layout.segments().collect();
+        let buckets = segments.len();
 
         let mut params = self.model.initial_parameters(self.config.seed);
         let mut velocity = GradientVector::zeros(dim);
@@ -139,12 +188,24 @@ impl ModelTrainer {
         let mut batch_rngs: Vec<SmallRng> = (0..workers)
             .map(|w| SmallRng::seed_from_u64(self.config.seed ^ (0x9E37 + w as u64)))
             .collect();
-        for compressor in &mut self.compressors {
-            compressor.reset();
+        for worker in &mut self.compressors {
+            for compressor in worker {
+                compressor.reset();
+            }
         }
+        // All workers compress concurrently; the slowest gates each bucket.
+        // Charge the configured scheme's modelled cost (falling back to a
+        // generic two-pass threshold scheme).
+        let charged_kind =
+            self.config
+                .compressor_kind
+                .unwrap_or(sidco_core::compressor::CompressorKind::Sidco(
+                    sidco_stats::fit::SidKind::Exponential,
+                ));
 
         let mut quality = EstimationQualityTracker::new(delta);
         let mut samples = Vec::with_capacity(self.config.iterations as usize);
+        let mut overlap_accounting = OverlapAccounting::new(buckets);
         let mut clock = 0.0_f64;
         let profile = self.cluster.device_profile();
 
@@ -152,8 +213,8 @@ impl ModelTrainer {
             let lr = self.config.schedule.lr_at(iteration);
             let mut aggregated = GradientVector::zeros(dim);
             let mut loss_sum = 0.0;
-            let mut payload_bytes = 0usize;
-            let mut compression_time = 0.0_f64;
+            let mut bucket_payloads = vec![0usize; buckets];
+            let mut bucket_compression = vec![0.0f64; buckets];
 
             for worker in 0..workers {
                 // Each worker samples its mini-batch from its shard of the
@@ -174,30 +235,32 @@ impl ModelTrainer {
                 }
 
                 if compressed {
-                    let compressor = self.compressors[worker].as_mut();
-                    let result = if self.config.error_feedback {
-                        feedback[worker].compress_with(compressor, &grad, delta)
+                    let corrected = if self.config.error_feedback {
+                        feedback[worker].corrected(&grad)
                     } else {
-                        compressor.compress(grad.as_slice(), delta)
+                        grad
                     };
-                    quality.record(result.achieved_ratio());
-                    payload_bytes = payload_bytes.max(result.sparse.wire_bytes());
-                    let stages = result.stages_used.unwrap_or(1);
-                    // All workers compress concurrently; the slowest gates the
-                    // iteration. Charge the configured scheme's modelled cost
-                    // (falling back to a generic two-pass threshold scheme).
-                    let charged_kind = self.config.compressor_kind.unwrap_or(
-                        sidco_core::compressor::CompressorKind::Sidco(
-                            sidco_stats::fit::SidKind::Exponential,
-                        ),
-                    );
-                    compression_time = compression_time.max(profile.compression_time(
-                        charged_kind,
-                        dim,
-                        delta,
-                        stages,
-                    ));
-                    result.sparse.add_into(&mut aggregated);
+                    let mut indices: Vec<u32> = Vec::new();
+                    let mut values: Vec<f32> = Vec::new();
+                    for (bucket, &(offset, size)) in segments.iter().enumerate() {
+                        let segment = &corrected.as_slice()[offset..offset + size];
+                        let result = self.compressors[worker][bucket].compress(segment, delta);
+                        let stages = result.stages_used.unwrap_or(1);
+                        bucket_compression[bucket] = bucket_compression[bucket]
+                            .max(profile.compression_time(charged_kind, size, delta, stages));
+                        bucket_payloads[bucket] =
+                            bucket_payloads[bucket].max(result.sparse.wire_bytes());
+                        for (i, v) in result.sparse.iter() {
+                            indices.push(offset as u32 + i);
+                            values.push(v);
+                        }
+                    }
+                    let combined = SparseGradient::new(indices, values, dim);
+                    quality.record(combined.achieved_ratio());
+                    if self.config.error_feedback {
+                        feedback[worker].update_sparse(&corrected, &combined);
+                    }
+                    combined.add_into(&mut aggregated);
                 } else {
                     quality.record(delta);
                     aggregated.add_assign(&grad);
@@ -209,16 +272,25 @@ impl ModelTrainer {
 
             let compute_time =
                 COMPUTE_COST_PER_EXAMPLE_ELEMENT * self.config.batch_per_worker as f64 * dim as f64;
-            let communication_time = if compressed {
-                self.cluster
-                    .network
-                    .allgather_sparse(payload_bytes, workers)
+            let overhead_time = if compressed {
+                let bucket_communication: Vec<f64> = bucket_payloads
+                    .iter()
+                    .map(|&bytes| self.cluster.network.allgather_sparse(bytes, workers))
+                    .collect();
+                let serial = serial_overhead(&bucket_compression, &bucket_communication);
+                let charged = if self.config.overlap {
+                    pipelined_overhead(&bucket_compression, &bucket_communication)
+                } else {
+                    serial
+                };
+                overlap_accounting.record(serial, charged);
+                charged
             } else {
                 self.cluster
                     .network
                     .allreduce_dense(dim * std::mem::size_of::<f32>(), workers)
             };
-            clock += compute_time + compression_time + communication_time;
+            clock += compute_time + overhead_time;
             samples.push(TrainingSample {
                 iteration,
                 loss: loss_sum / workers as f64,
@@ -229,7 +301,38 @@ impl ModelTrainer {
 
         let final_evaluation = self.model.evaluate(params.as_slice());
         let final_accuracy = self.model.accuracy(params.as_slice());
-        TrainingReport::new(samples, quality, final_evaluation, final_accuracy)
+        let report = TrainingReport::new(samples, quality, final_evaluation, final_accuracy);
+        if compressed {
+            report.with_overlap(overlap_accounting)
+        } else {
+            report
+        }
+    }
+}
+
+/// The bucket layout a configuration induces for a `dim`-parameter model: the
+/// explicit layout when given, otherwise a near-uniform split into
+/// `config.buckets` buckets.
+///
+/// # Panics
+///
+/// Panics if `config.buckets` is zero or an explicit layout does not total
+/// `dim`.
+fn resolve_layout(config: &TrainerConfig, dim: usize) -> LayerLayout {
+    match &config.bucket_layout {
+        Some(layout) => {
+            assert_eq!(
+                layout.total(),
+                dim,
+                "bucket layout covers {} parameters but the model has {dim}",
+                layout.total()
+            );
+            layout.clone()
+        }
+        None => {
+            assert!(config.buckets > 0, "at least one bucket is required");
+            LayerLayout::uniform(dim, config.buckets.min(dim))
+        }
     }
 }
 
@@ -263,6 +366,7 @@ mod tests {
         assert_eq!(report.samples().len(), 120);
         assert!(report.final_evaluation() < report.samples()[0].loss * 0.2);
         assert!(report.total_time() > 0.0);
+        assert!(report.overlap().is_none());
         // Times are strictly increasing.
         for pair in report.samples().windows(2) {
             assert!(pair[1].time > pair[0].time);
@@ -285,6 +389,10 @@ mod tests {
             q.mean_normalized_ratio
         );
         assert_eq!(q.samples, 150 * 4);
+        // Single-bucket runs cannot overlap anything.
+        let overlap = report.overlap().expect("compressed run has accounting");
+        assert_eq!(overlap.buckets(), 1);
+        assert_eq!(overlap.saved(), 0.0);
     }
 
     #[test]
@@ -300,6 +408,76 @@ mod tests {
         assert_eq!(a.final_evaluation(), b.final_evaluation());
         let losses = |r: &TrainingReport| r.samples().iter().map(|s| s.loss).collect::<Vec<_>>();
         assert_eq!(losses(&a), losses(&b));
+    }
+
+    #[test]
+    fn overlap_changes_time_but_not_numerics() {
+        let run = |overlap: bool| {
+            let cfg = TrainerConfig {
+                buckets: 4,
+                overlap,
+                ..config(60)
+            };
+            ModelTrainer::new(model(), ClusterConfig::small_test(), cfg, || {
+                Box::new(TopKCompressor::new())
+            })
+            .run(0.1)
+        };
+        let serial = run(false);
+        let overlapped = run(true);
+        // Identical numerics: loss trajectory, final metrics, quality series.
+        let losses = |r: &TrainingReport| r.samples().iter().map(|s| s.loss).collect::<Vec<_>>();
+        assert_eq!(losses(&serial), losses(&overlapped));
+        assert_eq!(serial.final_evaluation(), overlapped.final_evaluation());
+        assert_eq!(
+            serial.estimation_quality().mean_normalized_ratio,
+            overlapped.estimation_quality().mean_normalized_ratio
+        );
+        // Strictly less simulated time with pipelining.
+        assert!(
+            overlapped.total_time() < serial.total_time(),
+            "overlap {} should beat serial {}",
+            overlapped.total_time(),
+            serial.total_time()
+        );
+        let acc = overlapped.overlap().expect("accounting present");
+        assert_eq!(acc.buckets(), 4);
+        assert!(acc.saved() > 0.0);
+        assert!(acc.speedup() > 1.0);
+        // The serial run's accounting charges the full serial overhead.
+        let serial_acc = serial.overlap().expect("accounting present");
+        assert_eq!(serial_acc.charged_overhead(), serial_acc.serial_overhead());
+        assert!(
+            (serial.total_time() - overlapped.total_time() - acc.saved()).abs()
+                < 1e-9 * serial.total_time().max(1.0)
+        );
+    }
+
+    #[test]
+    fn explicit_bucket_layout_follows_layer_boundaries() {
+        let cfg = TrainerConfig {
+            bucket_layout: Some(LayerLayout::new(vec![40, 14, 10])),
+            overlap: true,
+            ..config(20)
+        };
+        let mut trainer = ModelTrainer::new(model(), ClusterConfig::small_test(), cfg, || {
+            Box::new(TopKCompressor::new())
+        });
+        let report = trainer.run(0.2);
+        assert_eq!(report.overlap().unwrap().buckets(), 3);
+        assert!(report.final_evaluation().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "covers")]
+    fn mismatched_bucket_layout_panics() {
+        let cfg = TrainerConfig {
+            bucket_layout: Some(LayerLayout::new(vec![10, 10])),
+            ..config(5)
+        };
+        ModelTrainer::new(model(), ClusterConfig::small_test(), cfg, || {
+            Box::new(TopKCompressor::new())
+        });
     }
 
     #[test]

@@ -167,13 +167,24 @@ impl AbsMoments {
         }
     }
 
-    /// Computes absolute-value moments of the elements of `grad` that exceed
-    /// `threshold` in magnitude, *after shifting them by the threshold*
-    /// (i.e. the statistics of `|g| - threshold` for `|g| > threshold`).
+    /// Computes absolute-value moments of the elements of `grad` that meet or
+    /// exceed `threshold` in magnitude, *after shifting them by the threshold*
+    /// (i.e. the statistics of `|g| - threshold` for `|g| >= threshold`).
     ///
     /// This is exactly the input required by the peaks-over-threshold refits of
-    /// Lemma 2 and Corollary 2.1.
+    /// Lemma 2 and Corollary 2.1. The boundary is **inclusive** and the
+    /// comparison runs in `f32` with the threshold rounded exactly as the
+    /// selection operator `C_η` (`|g| >= η as f32`) in `sidco-tensor` rounds
+    /// it, so the refit always fits the same set the selection would transmit
+    /// — even when gradient values tie the (rounded) threshold exactly or the
+    /// `f64` threshold is not representable in `f32`. The shift uses the same
+    /// rounded threshold, keeping every shifted exceedance non-negative.
+    /// Non-finite magnitudes are skipped (like [`compute`](Self::compute)
+    /// does) to guard the fit, even though the selection would transmit an
+    /// `inf` element.
     pub fn compute_exceedances(grad: &[f32], threshold: f64) -> Self {
+        let t = threshold as f32;
+        let shift = t as f64;
         let mut sum = 0.0f64;
         let mut sum_sq = 0.0f64;
         let mut sum_ln = 0.0f64;
@@ -181,11 +192,11 @@ impl AbsMoments {
         let mut max = 0.0f64;
         let mut count = 0usize;
         for &g in grad {
-            let a = g.abs() as f64;
-            if !a.is_finite() || a <= threshold {
+            let a = g.abs();
+            if !a.is_finite() || a < t {
                 continue;
             }
-            let x = a - threshold;
+            let x = a as f64 - shift;
             count += 1;
             sum += x;
             sum_sq += x * x;
@@ -375,6 +386,32 @@ mod tests {
         assert_eq!(m.count, 3);
         assert!((m.mean - (0.1 + 0.7 + 1.2) / 3.0).abs() < 1e-6);
         assert!((m.max - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exceedance_moments_include_boundary_ties() {
+        // Inclusive semantics: an element whose magnitude ties the threshold is
+        // part of the exceedance set (contributing a shifted value of zero), so
+        // the refit sees exactly the set the selection operator keeps.
+        let grad = [0.75f32, -0.75, 0.875, 0.1];
+        let m = AbsMoments::compute_exceedances(&grad, 0.75);
+        assert_eq!(m.count, 3);
+        assert!((m.mean - (0.0 + 0.0 + 0.125) / 3.0).abs() < 1e-12);
+        // Only the strictly positive shifted value feeds the log-moment.
+        assert_eq!(m.positive_count, 1);
+    }
+
+    #[test]
+    fn exceedance_boundary_uses_f32_rounding_like_the_selection_operator() {
+        // 0.35 is not representable in f32 (rounds down), so an |g| of 0.35f32
+        // ties the *rounded* threshold: the selection operator keeps it, and
+        // the exceedance set must too — comparing in f64 would drop it.
+        let grad = [0.35f32, -0.1];
+        let m = AbsMoments::compute_exceedances(&grad, 0.35f64);
+        assert_eq!(m.count, 1);
+        // Shifting by the rounded threshold keeps the tie at exactly zero.
+        assert_eq!(m.mean, 0.0);
+        assert_eq!(m.positive_count, 0);
     }
 
     #[test]

@@ -169,11 +169,40 @@ impl MultiStageEstimate {
     }
 }
 
+/// Supplies the per-stage moment computations of the multi-stage estimator, so
+/// the reduction backend is pluggable: [`SequentialMoments`] is the reference
+/// single-threaded backend, and the `CompressionEngine` in `sidco-core`
+/// implements this trait with chunked multi-threaded reductions.
+pub trait StageMoments {
+    /// Moments of the full absolute gradient (stage 0's fit input).
+    fn full_moments(&self, grad: &[f32]) -> AbsMoments;
+
+    /// Shifted moments of the exceedances `|g| - threshold` for
+    /// `|g| >= threshold` (the PoT refit input of stages 1..M).
+    fn exceedance_moments(&self, grad: &[f32], threshold: f64) -> AbsMoments;
+}
+
+/// The reference single-threaded [`StageMoments`] backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequentialMoments;
+
+impl StageMoments for SequentialMoments {
+    fn full_moments(&self, grad: &[f32]) -> AbsMoments {
+        AbsMoments::compute(grad)
+    }
+
+    fn exceedance_moments(&self, grad: &[f32], threshold: f64) -> AbsMoments {
+        AbsMoments::compute_exceedances(grad, threshold)
+    }
+}
+
 /// Runs the complete multi-stage threshold estimation of Section 2.4 over a gradient
 /// buffer: fit → threshold → restrict to exceedances → refit, `stages` times.
 ///
 /// This is the reference implementation used by tests and by the `sidco-core`
-/// compressor (which adds the stage-count adaptation loop on top).
+/// compressor (which adds the stage-count adaptation loop on top). It computes
+/// moments sequentially; use [`multi_stage_threshold_with`] to plug in a
+/// parallel [`StageMoments`] backend.
 ///
 /// # Errors
 ///
@@ -185,15 +214,31 @@ pub fn multi_stage_threshold(
     delta1: f64,
     stages: usize,
 ) -> Result<MultiStageEstimate, StatsError> {
+    multi_stage_threshold_with(grad, kind, delta, delta1, stages, &SequentialMoments)
+}
+
+/// [`multi_stage_threshold`] with an explicit [`StageMoments`] backend.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if the gradient is empty or all zeros.
+pub fn multi_stage_threshold_with<P: StageMoments + ?Sized>(
+    grad: &[f32],
+    kind: SidKind,
+    delta: f64,
+    delta1: f64,
+    stages: usize,
+    backend: &P,
+) -> Result<MultiStageEstimate, StatsError> {
     let schedule = stage_schedule(delta, delta1, stages);
     let mut thresholds = Vec::with_capacity(schedule.len());
     let mut survivors = Vec::with_capacity(schedule.len());
     let mut prev_threshold = 0.0f64;
     for (m, &stage_delta) in schedule.iter().enumerate() {
         let moments = if m == 0 {
-            AbsMoments::compute(grad)
+            backend.full_moments(grad)
         } else {
-            AbsMoments::compute_exceedances(grad, prev_threshold)
+            backend.exceedance_moments(grad, prev_threshold)
         };
         if moments.count == 0 || !(moments.mean > 0.0) {
             if m == 0 {
@@ -366,6 +411,29 @@ mod tests {
         let est = multi_stage_threshold(&grad, SidKind::Exponential, 0.001, 0.25, 4).unwrap();
         assert!(est.final_threshold().is_finite());
         assert_eq!(est.thresholds.len(), 4);
+    }
+
+    #[test]
+    fn custom_stage_moments_backend_matches_sequential() {
+        struct Counting(std::cell::Cell<usize>);
+        impl StageMoments for Counting {
+            fn full_moments(&self, grad: &[f32]) -> AbsMoments {
+                self.0.set(self.0.get() + 1);
+                AbsMoments::compute(grad)
+            }
+            fn exceedance_moments(&self, grad: &[f32], threshold: f64) -> AbsMoments {
+                self.0.set(self.0.get() + 1);
+                AbsMoments::compute_exceedances(grad, threshold)
+            }
+        }
+        let grad = laplace_gradient(0.01, 50_000, 57);
+        let backend = Counting(std::cell::Cell::new(0));
+        let with =
+            multi_stage_threshold_with(&grad, SidKind::Exponential, 0.001, 0.25, 3, &backend)
+                .unwrap();
+        let seq = multi_stage_threshold(&grad, SidKind::Exponential, 0.001, 0.25, 3).unwrap();
+        assert_eq!(with, seq);
+        assert_eq!(backend.0.get(), 3, "one moments call per stage");
     }
 
     #[test]

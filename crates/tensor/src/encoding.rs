@@ -108,6 +108,52 @@ pub fn raw_encode(sparse: &SparseGradient) -> EncodedGradient {
     }
 }
 
+/// Parallel variant of [`raw_encode`]: the pair stream is split into fixed-size
+/// chunks encoded concurrently (up to `threads` workers) and concatenated in
+/// chunk order, so the payload is **byte-identical** to [`raw_encode`] for
+/// every thread count. Uses 32Ki-pair shards; [`raw_encode_chunked`] exposes
+/// the shard size.
+pub fn raw_encode_parallel(sparse: &SparseGradient, threads: usize) -> EncodedGradient {
+    raw_encode_chunked(sparse, 1 << 15, threads)
+}
+
+/// [`raw_encode_parallel`] with an explicit number of pairs per shard.
+///
+/// # Panics
+///
+/// Panics if `pairs_per_chunk` is zero.
+pub fn raw_encode_chunked(
+    sparse: &SparseGradient,
+    pairs_per_chunk: usize,
+    threads: usize,
+) -> EncodedGradient {
+    let values = sparse.values();
+    let parts = crate::parallel::map_chunks(
+        sparse.indices(),
+        pairs_per_chunk,
+        threads,
+        |c, idx_chunk| {
+            let offset = c * pairs_per_chunk;
+            let mut bytes = Vec::with_capacity(idx_chunk.len() * 8);
+            for (j, &i) in idx_chunk.iter().enumerate() {
+                bytes.extend_from_slice(&i.to_le_bytes());
+                bytes.extend_from_slice(&values[offset + j].to_le_bytes());
+            }
+            bytes
+        },
+    );
+    let mut bytes = Vec::with_capacity(sparse.nnz() * 8);
+    for part in parts {
+        bytes.extend(part);
+    }
+    EncodedGradient {
+        kind: EncodingKind::RawPairs,
+        bytes,
+        dense_len: sparse.dense_len(),
+        nnz: sparse.nnz(),
+    }
+}
+
 /// Encodes a sparse gradient with sorted delta-varint indices followed by the values
 /// (re-ordered to match the sorted index order).
 pub fn delta_varint_encode(sparse: &SparseGradient) -> EncodedGradient {
@@ -230,6 +276,20 @@ mod tests {
         assert_eq!(encoded.nnz(), 100);
         assert_eq!(encoded.dense_len(), 10_000);
         assert_eq!(encoded.payload().len(), encoded.wire_bytes());
+    }
+
+    #[test]
+    fn parallel_raw_encoding_is_byte_identical() {
+        for &(d, k) in &[(1_000usize, 10usize), (2_000_000, 200_000)] {
+            let sparse = random_sparse(d, k, 9);
+            let reference = raw_encode(&sparse);
+            for threads in [1, 2, 7] {
+                let parallel = raw_encode_parallel(&sparse, threads);
+                assert_eq!(parallel.payload(), reference.payload());
+                assert_eq!(parallel.kind(), EncodingKind::RawPairs);
+                assert_eq!(parallel.nnz(), reference.nnz());
+            }
+        }
     }
 
     #[test]

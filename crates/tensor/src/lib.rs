@@ -17,8 +17,10 @@
 //! * [`sampling`] — random sub-sampling used by DGC.
 //! * [`compressibility`] — the power-law decay and σ_k analyses behind Definition 1 /
 //!   Figure 7 of the paper.
-//! * [`parallel`] — chunked multi-threaded reductions built on crossbeam's scoped
-//!   threads for the large ImageNet-scale vectors.
+//! * [`parallel`] — chunked multi-threaded primitives (moments, counts,
+//!   selection, partial Top-k, encoding) built on crossbeam's scoped threads
+//!   for the large ImageNet-scale vectors, bit-identical across thread counts
+//!   by construction.
 //!
 //! # Example
 //!

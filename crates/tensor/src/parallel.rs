@@ -1,66 +1,261 @@
-//! Chunked multi-threaded reductions for large gradient vectors.
+//! Chunked multi-threaded primitives for large gradient vectors.
 //!
 //! The ImageNet-scale benchmarks in the paper compress vectors with up to 144M
 //! elements; a single pass is memory-bandwidth bound, so these helpers split the
-//! buffer into contiguous chunks and reduce them on crossbeam scoped threads. They
-//! are drop-in replacements for the sequential reductions used by the estimators and
-//! are exercised by the device-profile micro-benchmarks.
+//! buffer into contiguous chunks and process them on crossbeam scoped threads.
+//!
+//! # Determinism contract
+//!
+//! Every function here partitions its input into chunks of a **fixed chunk size**
+//! ([`DEFAULT_CHUNK_SIZE`] unless the caller picks another), *never* a size derived
+//! from the requested thread count. Per-chunk partial results are always merged in
+//! chunk order. The thread count therefore only decides how many workers process
+//! the (identical) chunk list concurrently, so every reduction and selection below
+//! is **bit-identical across thread counts**. The engine in `sidco-core` builds on
+//! this to guarantee that compressors produce the same `SparseGradient` at 1, 2 or
+//! 64 threads. (Across *machines* the guarantee holds up to platform `libm`
+//! rounding: the moment passes call `ln`, whose last bit may differ between libc
+//! implementations, which can move a fitted threshold by one ulp.)
 
+use crate::sparse::SparseGradient;
+use crate::threshold::cap_largest;
+use crate::topk::{top_k, TopKAlgorithm};
 use crossbeam::thread;
-use sidco_stats::moments::AbsMoments;
+use sidco_stats::moments::{AbsMoments, SignedMoments};
 
-/// Minimum number of elements per chunk below which spawning threads is not worth it.
-const MIN_CHUNK: usize = 1 << 16;
+/// Default number of elements per chunk (64Ki). Small enough to expose
+/// parallelism on megabyte-scale gradients, large enough that the per-chunk
+/// bookkeeping is negligible.
+pub const DEFAULT_CHUNK_SIZE: usize = 1 << 16;
 
-/// Computes [`AbsMoments`] of a gradient using up to `threads` worker threads.
+/// Applies `f` to every fixed-size chunk of `data`, using up to `threads`
+/// workers, and returns the per-chunk results **in chunk order**.
 ///
-/// Falls back to the sequential implementation for small inputs or `threads <= 1`.
-/// The result is identical (up to floating-point reassociation) to
-/// [`AbsMoments::compute`].
-pub fn abs_moments_parallel(grad: &[f32], threads: usize) -> AbsMoments {
-    if threads <= 1 || grad.len() < 2 * MIN_CHUNK {
-        return AbsMoments::compute(grad);
+/// The chunk decomposition depends only on `chunk_size`, so the result vector is
+/// identical for every `threads` value. Each worker processes a contiguous block
+/// of chunks; results are concatenated in worker (= chunk) order.
+///
+/// `f` receives the chunk index and the chunk slice; the element offset of chunk
+/// `c` is `c * chunk_size`.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn map_chunks<T, R, F>(data: &[T], chunk_size: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let num_chunks = data.len().div_ceil(chunk_size);
+    if num_chunks == 0 {
+        return Vec::new();
     }
-    let threads = threads.min(grad.len() / MIN_CHUNK).max(1);
-    let chunk_size = grad.len().div_ceil(threads);
-    let partials: Vec<AbsMoments> = thread::scope(|s| {
-        let handles: Vec<_> = grad
+    if threads <= 1 || num_chunks == 1 {
+        return data
             .chunks(chunk_size)
-            .map(|chunk| s.spawn(move |_| AbsMoments::compute(chunk)))
+            .enumerate()
+            .map(|(c, chunk)| f(c, chunk))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("moment worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope failed");
-    merge_abs_moments(&partials)
-}
-
-/// Counts elements with `|g| >= threshold` using up to `threads` worker threads.
-pub fn count_above_threshold_parallel(grad: &[f32], threshold: f64, threads: usize) -> usize {
-    if threads <= 1 || grad.len() < 2 * MIN_CHUNK {
-        return crate::threshold::count_above_threshold(grad, threshold);
     }
-    let threads = threads.min(grad.len() / MIN_CHUNK).max(1);
-    let chunk_size = grad.len().div_ceil(threads);
+    let workers = threads.min(num_chunks);
+    let chunks_per_worker = num_chunks.div_ceil(workers);
+    let f = &f;
     thread::scope(|s| {
-        let handles: Vec<_> = grad
-            .chunks(chunk_size)
-            .map(|chunk| {
-                s.spawn(move |_| crate::threshold::count_above_threshold(chunk, threshold))
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let first = w * chunks_per_worker;
+                let last = ((w + 1) * chunks_per_worker).min(num_chunks);
+                s.spawn(move |_| {
+                    (first..last)
+                        .map(|c| {
+                            let start = c * chunk_size;
+                            let end = (start + chunk_size).min(data.len());
+                            f(c, &data[start..end])
+                        })
+                        .collect::<Vec<R>>()
+                })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("count worker panicked"))
-            .sum()
+        let mut results = Vec::with_capacity(num_chunks);
+        for handle in handles {
+            results.extend(handle.join().expect("chunk worker panicked"));
+        }
+        results
     })
     .expect("crossbeam scope failed")
 }
 
+/// Computes [`AbsMoments`] of a gradient using up to `threads` worker threads
+/// over [`DEFAULT_CHUNK_SIZE`]-element chunks.
+///
+/// Bit-identical across thread counts (see the module docs); within
+/// floating-point reassociation error of [`AbsMoments::compute`].
+pub fn abs_moments_parallel(grad: &[f32], threads: usize) -> AbsMoments {
+    abs_moments_chunked(grad, DEFAULT_CHUNK_SIZE, threads)
+}
+
+/// [`abs_moments_parallel`] with an explicit chunk size.
+pub fn abs_moments_chunked(grad: &[f32], chunk_size: usize, threads: usize) -> AbsMoments {
+    let parts = map_chunks(grad, chunk_size, threads, |_, chunk| {
+        AbsMoments::compute(chunk)
+    });
+    merge_abs_moments(&parts)
+}
+
+/// Computes the shifted exceedance moments (`|g| - threshold` for
+/// `|g| >= threshold`, the peaks-over-threshold input of Lemma 2) in fixed-size
+/// chunks using up to `threads` worker threads.
+pub fn exceedance_moments_chunked(
+    grad: &[f32],
+    threshold: f64,
+    chunk_size: usize,
+    threads: usize,
+) -> AbsMoments {
+    let parts = map_chunks(grad, chunk_size, threads, |_, chunk| {
+        AbsMoments::compute_exceedances(chunk, threshold)
+    });
+    merge_abs_moments(&parts)
+}
+
+/// Computes [`SignedMoments`] in fixed-size chunks using up to `threads` worker
+/// threads (the Gaussian-fit input of the GaussianKSGD baseline).
+pub fn signed_moments_chunked(grad: &[f32], chunk_size: usize, threads: usize) -> SignedMoments {
+    let parts = map_chunks(grad, chunk_size, threads, |_, chunk| {
+        SignedMoments::compute(chunk)
+    });
+    merge_signed_moments(&parts)
+}
+
+/// Counts elements with `|g| >= threshold` using up to `threads` worker threads
+/// over [`DEFAULT_CHUNK_SIZE`]-element chunks. Exact (integer sum), so always
+/// equal to [`crate::threshold::count_above_threshold`].
+pub fn count_above_threshold_parallel(grad: &[f32], threshold: f64, threads: usize) -> usize {
+    count_above_threshold_chunked(grad, threshold, DEFAULT_CHUNK_SIZE, threads)
+}
+
+/// [`count_above_threshold_parallel`] with an explicit chunk size.
+pub fn count_above_threshold_chunked(
+    grad: &[f32],
+    threshold: f64,
+    chunk_size: usize,
+    threads: usize,
+) -> usize {
+    map_chunks(grad, chunk_size, threads, |_, chunk| {
+        crate::threshold::count_above_threshold(chunk, threshold)
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Parallel `C_η` operator: selects all elements with `|g| >= threshold` into a
+/// sparse gradient using per-chunk index/value buffers that are concatenated in
+/// chunk order — no re-sorting is needed because chunk order *is* index order.
+///
+/// Bit-identical to [`crate::threshold::select_above_threshold`] for every
+/// `threads` and `chunk_size` value (the per-element comparison is unchanged).
+pub fn select_above_threshold_chunked(
+    grad: &[f32],
+    threshold: f64,
+    chunk_size: usize,
+    threads: usize,
+) -> SparseGradient {
+    let t = threshold as f32;
+    let parts: Vec<(Vec<u32>, Vec<f32>)> = map_chunks(grad, chunk_size, threads, |c, chunk| {
+        let offset = (c * chunk_size) as u32;
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &g) in chunk.iter().enumerate() {
+            if g.abs() >= t {
+                indices.push(offset + i as u32);
+                values.push(g);
+            }
+        }
+        (indices, values)
+    });
+    concat_sparse_parts(parts, grad.len())
+}
+
+/// Parallel exact Top-k via chunked partial selection: each chunk selects its
+/// own top `min(k, chunk_len)` candidates, then one exact selection over the
+/// (much smaller) candidate set picks the global top `k`.
+///
+/// The effective chunk size is raised to at least `2k` so every chunk discards
+/// at least half of its elements — a smaller chunk would nominate itself
+/// wholesale and degenerate into a sequential full materialisation.
+///
+/// Ties at the selection boundary are broken deterministically by ascending
+/// index, and the returned indices are sorted ascending, so the result depends
+/// only on `(grad, k, chunk_size)` — never on `threads`. Uses quickselect
+/// within each chunk; [`top_k_chunked_with`] exposes the per-chunk algorithm.
+pub fn top_k_chunked(grad: &[f32], k: usize, chunk_size: usize, threads: usize) -> SparseGradient {
+    top_k_chunked_with(grad, k, chunk_size, threads, TopKAlgorithm::QuickSelect)
+}
+
+/// [`top_k_chunked`] with an explicit per-chunk selection algorithm (the
+/// algorithm can change which tied-magnitude candidates each chunk nominates,
+/// but never the result's dependence on the thread count).
+pub fn top_k_chunked_with(
+    grad: &[f32],
+    k: usize,
+    chunk_size: usize,
+    threads: usize,
+    algorithm: TopKAlgorithm,
+) -> SparseGradient {
+    let k = k.min(grad.len());
+    if k == 0 {
+        return SparseGradient::empty(grad.len());
+    }
+    if k == grad.len() {
+        let indices: Vec<u32> = (0..grad.len() as u32).collect();
+        return SparseGradient::new(indices, grad.to_vec(), grad.len());
+    }
+    // Keep every chunk at least 2k elements so the partial stage always
+    // discards at least half of each chunk; a smaller chunk would nominate
+    // itself wholesale. The effective size is a pure function of
+    // (k, chunk_size) — never of `threads` — so determinism per
+    // configuration holds.
+    let chunk_size = chunk_size.max(2 * k);
+    let parts: Vec<(Vec<u32>, Vec<f32>)> = map_chunks(grad, chunk_size, threads, |c, chunk| {
+        let offset = (c * chunk_size) as u32;
+        let local = top_k(chunk, k.min(chunk.len()), algorithm);
+        let mut pairs: Vec<(u32, f32)> = local.iter().map(|(i, v)| (offset + i, v)).collect();
+        pairs.sort_by_key(|&(i, _)| i);
+        pairs.into_iter().unzip()
+    });
+    let total: usize = parts.iter().map(|(i, _)| i.len()).sum();
+    let mut candidates = Vec::with_capacity(total);
+    for (indices, values) in parts {
+        candidates.extend(indices.into_iter().zip(values));
+    }
+    // Global cut over the (index-sorted) candidates: cap_largest applies the
+    // same magnitude-descending / index-ascending tie-break contract.
+    cap_largest(SparseGradient::from_pairs(candidates, grad.len()), k)
+}
+
+/// Concatenates per-chunk `(indices, values)` buffers into one sparse gradient,
+/// reserving the exact total size first.
+fn concat_sparse_parts(parts: Vec<(Vec<u32>, Vec<f32>)>, dense_len: usize) -> SparseGradient {
+    let total: usize = parts.iter().map(|(i, _)| i.len()).sum();
+    let mut indices = Vec::with_capacity(total);
+    let mut values = Vec::with_capacity(total);
+    for (i, v) in parts {
+        indices.extend(i);
+        values.extend(v);
+    }
+    SparseGradient::new(indices, values, dense_len)
+}
+
 /// Merges per-chunk absolute moments into the moments of the concatenated data.
+///
+/// A single part is returned as-is (bit-exact with the sequential computation);
+/// multiple parts are combined in slice order so the result is deterministic for
+/// a fixed chunk decomposition.
 fn merge_abs_moments(parts: &[AbsMoments]) -> AbsMoments {
+    if parts.len() == 1 {
+        return parts[0];
+    }
     let total: usize = parts.iter().map(|p| p.count).sum();
     if total == 0 {
         return AbsMoments {
@@ -102,6 +297,46 @@ fn merge_abs_moments(parts: &[AbsMoments]) -> AbsMoments {
     }
 }
 
+/// Merges per-chunk signed moments into the moments of the concatenated data.
+fn merge_signed_moments(parts: &[SignedMoments]) -> SignedMoments {
+    if parts.len() == 1 {
+        return parts[0];
+    }
+    let total: usize = parts.iter().map(|p| p.count).sum();
+    if total == 0 {
+        return SignedMoments {
+            count: 0,
+            mean: 0.0,
+            variance: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
+    }
+    let n = total as f64;
+    let mean = parts.iter().map(|p| p.mean * p.count as f64).sum::<f64>() / n;
+    let second_moment = parts
+        .iter()
+        .map(|p| (p.variance + p.mean * p.mean) * p.count as f64)
+        .sum::<f64>()
+        / n;
+    let variance = (second_moment - mean * mean).max(0.0);
+    let min = parts
+        .iter()
+        .filter(|p| p.count > 0)
+        .fold(f64::INFINITY, |m, p| m.min(p.min));
+    let max = parts
+        .iter()
+        .filter(|p| p.count > 0)
+        .fold(f64::NEG_INFINITY, |m, p| m.max(p.max));
+    SignedMoments {
+        count: total,
+        mean,
+        variance,
+        min,
+        max,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +360,26 @@ mod tests {
             assert!((par.variance - seq.variance).abs() < 1e-9);
             assert!((par.mean_ln - seq.mean_ln).abs() < 1e-9);
             assert!((par.max - seq.max).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moments_are_bit_identical_across_thread_counts() {
+        // The satellite guarantee: chunking depends only on the chunk size, so
+        // every thread count produces the exact same bits.
+        let grad = random_gradient(500_000, 71);
+        let reference = abs_moments_parallel(&grad, 1);
+        for threads in [2, 3, 4, 7, 16] {
+            assert_eq!(abs_moments_parallel(&grad, threads), reference);
+        }
+        let signed_ref = signed_moments_chunked(&grad, 1 << 12, 1);
+        let exceed_ref = exceedance_moments_chunked(&grad, 0.5, 1 << 12, 1);
+        for threads in [2, 5, 9] {
+            assert_eq!(signed_moments_chunked(&grad, 1 << 12, threads), signed_ref);
+            assert_eq!(
+                exceedance_moments_chunked(&grad, 0.5, 1 << 12, threads),
+                exceed_ref
+            );
         }
     }
 
@@ -155,5 +410,70 @@ mod tests {
         let merged = merge_abs_moments(&[empty, empty]);
         assert_eq!(merged.count, 0);
         assert_eq!(merged.mean, 0.0);
+        let merged = merge_signed_moments(&[SignedMoments::compute(&[]); 2]);
+        assert_eq!(merged.count, 0);
+        assert_eq!(merged.min, 0.0);
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let data: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        for threads in [1, 2, 3, 8] {
+            let firsts = map_chunks(&data, 64, threads, |c, chunk| (c, chunk[0]));
+            assert_eq!(firsts.len(), 1000usize.div_ceil(64));
+            for (c, &(idx, first)) in firsts.iter().enumerate() {
+                assert_eq!(idx, c);
+                assert_eq!(first, (c * 64) as f32);
+            }
+        }
+        assert!(map_chunks(&[] as &[f32], 64, 4, |_, _| 0).is_empty());
+    }
+
+    #[test]
+    fn parallel_select_is_bit_identical_to_sequential() {
+        let grad = random_gradient(200_000, 64);
+        let seq = crate::threshold::select_above_threshold(&grad, 0.4);
+        for threads in [1, 2, 7] {
+            for chunk in [97, 1 << 12, 1 << 20] {
+                let par = select_above_threshold_chunked(&grad, 0.4, chunk, threads);
+                assert_eq!(par, seq);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_topk_matches_count_and_magnitudes() {
+        let grad = random_gradient(50_000, 65);
+        for &k in &[1usize, 17, 500, 5_000] {
+            let exact = top_k(&grad, k, TopKAlgorithm::FullSort);
+            let mut exact_mags: Vec<f32> = exact.values().iter().map(|v| v.abs()).collect();
+            exact_mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let reference = top_k_chunked(&grad, k, 1 << 10, 1);
+            for threads in [2, 4, 7] {
+                assert_eq!(top_k_chunked(&grad, k, 1 << 10, threads), reference);
+            }
+            assert_eq!(reference.nnz(), k);
+            let mut mags: Vec<f32> = reference.values().iter().map(|v| v.abs()).collect();
+            mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            assert_eq!(mags, exact_mags, "k={k}");
+        }
+    }
+
+    #[test]
+    fn chunked_topk_breaks_ties_by_index() {
+        let grad = [1.0f32; 64];
+        let s = top_k_chunked(&grad, 10, 8, 4);
+        assert_eq!(s.nnz(), 10);
+        let expected: Vec<u32> = (0..10).collect();
+        assert_eq!(s.indices(), expected.as_slice());
+    }
+
+    #[test]
+    fn chunked_topk_edge_cases() {
+        let grad = [1.0f32, -2.0, 3.0];
+        assert_eq!(top_k_chunked(&grad, 0, 2, 4).nnz(), 0);
+        assert_eq!(top_k_chunked(&grad, 3, 2, 4).nnz(), 3);
+        assert_eq!(top_k_chunked(&grad, 10, 2, 4).nnz(), 3);
+        assert_eq!(top_k_chunked(&[], 5, 2, 4).nnz(), 0);
     }
 }

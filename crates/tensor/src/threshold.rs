@@ -3,6 +3,19 @@
 //! Every threshold-estimation compressor (SIDCo, RedSync, GaussianKSGD, and the
 //! threshold stage of DGC) finishes with one of these scans, so they are kept
 //! allocation-lean and branch-simple.
+//!
+//! # Boundary semantics
+//!
+//! Every operator in this module (and the exceedance moments in `sidco-stats`)
+//! uses the **inclusive** comparison `|g| >= threshold`, evaluated in `f32`
+//! with the threshold rounded once. The count, the selection operator `C_η`,
+//! and the exceedance set the multi-stage PoT refit fits are therefore always
+//! the *same* set of finite elements, even when gradient values tie the fitted
+//! threshold exactly — an inconsistency (`>` in the exceedance path vs `>=` in
+//! selection) previously made the refit see fewer elements than the selection
+//! would transmit. (The one intentional exception: non-finite magnitudes are
+//! transmitted by the selection but skipped by every moment pass in
+//! `sidco-stats`, which guards the statistical fits against `inf`/`NaN`.)
 
 use crate::sparse::SparseGradient;
 
@@ -32,32 +45,57 @@ pub fn select_above_threshold(grad: &[f32], threshold: f64) -> SparseGradient {
 ///
 /// DGC's hierarchical step and the capped variants of the heuristic estimators use
 /// this to guarantee they never exceed the target `k` by an unbounded amount.
+/// When the cap binds, ties at the boundary magnitude are broken by ascending
+/// index, so capped results are reproducible across runs and machines.
 pub fn select_above_threshold_capped(
     grad: &[f32],
     threshold: f64,
     max_elements: usize,
 ) -> SparseGradient {
     let selected = select_above_threshold(grad, threshold);
-    if selected.nnz() <= max_elements {
-        return selected;
+    cap_largest(selected, max_elements)
+}
+
+/// Keeps only the `max_elements` largest-magnitude entries of `sparse`
+/// (deterministic: ties at the cut are broken by ascending index), returning the
+/// survivors in ascending index order. A selection already within the cap is
+/// returned unchanged.
+///
+/// Uses an `O(nnz)` expected-time partition (`select_nth_unstable_by`) rather
+/// than a full sort, so capping never reintroduces the `O(n log n)` cost the
+/// threshold estimators exist to avoid.
+pub fn cap_largest(sparse: SparseGradient, max_elements: usize) -> SparseGradient {
+    if sparse.nnz() <= max_elements {
+        return sparse;
     }
-    // Cap bound: keep only the top `max_elements` of the already-selected subset.
-    let mut pairs: Vec<(u32, f32)> = selected.iter().collect();
-    pairs.sort_by(|a, b| {
+    let dense_len = sparse.dense_len();
+    let mut pairs: Vec<(u32, f32)> = sparse.iter().collect();
+    if max_elements == 0 {
+        return SparseGradient::empty(dense_len);
+    }
+    // Total order: magnitude descending, then index ascending — the cut at
+    // `max_elements` is unique even with tied magnitudes.
+    pairs.select_nth_unstable_by(max_elements - 1, |a, b| {
         b.1.abs()
             .partial_cmp(&a.1.abs())
             .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
     });
     pairs.truncate(max_elements);
-    SparseGradient::from_pairs(pairs, grad.len())
+    pairs.sort_by_key(|&(i, _)| i);
+    SparseGradient::from_pairs(pairs, dense_len)
 }
 
-/// Collects the absolute values of the elements whose magnitude strictly exceeds
-/// `threshold` (the exceedance set used by the multi-stage estimator when it needs
-/// the raw values rather than just moments).
+/// Collects the absolute values of the elements with `|g| >= threshold` (the
+/// exceedance set used by the multi-stage estimator when it needs the raw values
+/// rather than just moments).
+///
+/// Inclusive on purpose: this is exactly the set [`select_above_threshold`]
+/// transmits, so a refit over these values reasons about the same elements the
+/// selection operator keeps (see the module docs on boundary semantics).
 pub fn exceedance_magnitudes(grad: &[f32], threshold: f64) -> Vec<f32> {
     let t = threshold as f32;
-    grad.iter().map(|g| g.abs()).filter(|&a| a > t).collect()
+    grad.iter().map(|g| g.abs()).filter(|&a| a >= t).collect()
 }
 
 #[cfg(test)]
@@ -109,15 +147,56 @@ mod tests {
         // Cap not binding: identical to the plain selection.
         let uncapped = select_above_threshold_capped(&GRAD, 0.31, 10);
         assert_eq!(uncapped.nnz(), 2);
+        // Zero cap: empty selection.
+        assert_eq!(select_above_threshold_capped(&GRAD, 0.0, 0).nnz(), 0);
     }
 
     #[test]
-    fn exceedances_are_strict_and_absolute() {
+    fn capped_selection_is_deterministic_on_ties() {
+        // Eight tied magnitudes, cap at 3: the lowest three indices must win, and
+        // the result must be in ascending index order.
+        let tied = [0.5f32, -0.5, 0.5, 0.5, -0.5, 0.5, 0.5, -0.5];
+        let s = select_above_threshold_capped(&tied, 0.1, 3);
+        assert_eq!(s.indices(), &[0, 1, 2]);
+        assert_eq!(s.values(), &[0.5, -0.5, 0.5]);
+        // Mixed magnitudes with ties at the cut: 0.9 wins outright, then the two
+        // lowest-indexed 0.5s.
+        let mixed = [0.5f32, 0.9, -0.5, 0.5, 0.5];
+        let s = select_above_threshold_capped(&mixed, 0.0, 3);
+        assert_eq!(s.indices(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn exceedances_are_inclusive_and_absolute() {
         let ex = exceedance_magnitudes(&GRAD, 0.25);
         let mut sorted = ex.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert_eq!(sorted, vec![0.3, 0.5, 0.9]);
+        assert_eq!(sorted, vec![0.25, 0.3, 0.5, 0.9]);
         assert!(exceedance_magnitudes(&GRAD, 1.0).is_empty());
+    }
+
+    #[test]
+    fn boundary_semantics_agree_on_exact_ties() {
+        // Regression: values tying the threshold exactly must be seen by *all*
+        // three operators, so the PoT refit set equals the transmitted set.
+        let grad = [0.25f32, -0.25, 0.1, 0.7, -0.25, 0.25];
+        let t = 0.25;
+        let count = count_above_threshold(&grad, t);
+        let selected = select_above_threshold(&grad, t);
+        let exceedances = exceedance_magnitudes(&grad, t);
+        assert_eq!(count, 5);
+        assert_eq!(selected.nnz(), count);
+        assert_eq!(exceedances.len(), count);
+        // The PoT refit input must agree with the selection even when the f64
+        // threshold is not representable in f32 (0.35 rounds down, so the
+        // 0.35f32 elements tie the rounded threshold and are transmitted).
+        let irrational = [0.35f32, -0.35, 0.1, 0.7];
+        let eta = 0.35f64;
+        let refit = sidco_stats::moments::AbsMoments::compute_exceedances(&irrational, eta);
+        assert_eq!(count_above_threshold(&irrational, eta), 3);
+        assert_eq!(select_above_threshold(&irrational, eta).nnz(), 3);
+        assert_eq!(exceedance_magnitudes(&irrational, eta).len(), 3);
+        assert_eq!(refit.count, 3);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Integration tests of the sharded parallel [`CompressionEngine`]:
+//!
+//! * every compressor must produce **bit-identical** `SparseGradient`s at
+//!   `threads = 1, 2, 7` (property-based, multi-chunk decompositions);
+//! * overlapped (bucketed, pipelined) trainer runs must converge identically
+//!   to serial runs and only differ in simulated time.
+
+use proptest::prelude::*;
+use sidco::core::engine::CompressionEngine;
+use sidco::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a gradient long enough to span several 64-element chunks, with
+/// mixed magnitudes (including exact zeros and near-ties).
+fn gradient_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => -1.0f32..1.0,
+            1 => -0.001f32..0.001,
+            1 => Just(0.25f32),
+            1 => Just(0.0f32),
+        ],
+        96..700,
+    )
+}
+
+/// One instance of every engine-routed compressor, sharing `engine`.
+fn engine_compressors(engine: CompressionEngine) -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(SidcoCompressor::new(SidcoConfig::exponential()).with_engine(engine)),
+        Box::new(SidcoCompressor::new(SidcoConfig::gamma_pareto()).with_engine(engine)),
+        Box::new(SidcoCompressor::new(SidcoConfig::generalized_pareto()).with_engine(engine)),
+        Box::new(DgcCompressor::new().with_engine(engine)),
+        Box::new(RedSyncCompressor::new().with_engine(engine)),
+        Box::new(GaussianKSgdCompressor::new().with_engine(engine)),
+        Box::new(TopKCompressor::new().with_engine(engine)),
+        Box::new(HardThresholdCompressor::new(0.05).with_engine(engine)),
+    ]
+}
+
+/// Compresses `grad` with every compressor at the given thread count (chunk
+/// size pinned small so even short test gradients span many chunks).
+fn compress_all(threads: usize, grad: &[f32], delta: f64) -> Vec<(String, SparseGradient)> {
+    let engine = CompressionEngine::new(threads).with_chunk_size(64);
+    engine_compressors(engine)
+        .into_iter()
+        .map(|mut c| {
+            let result = c.compress(grad, delta);
+            (c.name().to_string(), result.sparse)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_compressor_is_bit_identical_across_thread_counts(
+        grad in gradient_strategy(),
+        delta in 0.005f64..0.5,
+    ) {
+        let reference = compress_all(1, &grad, delta);
+        for threads in [2usize, 7] {
+            let other = compress_all(threads, &grad, delta);
+            for ((name, a), (_, b)) in reference.iter().zip(&other) {
+                prop_assert!(
+                    a == b,
+                    "{name} differs between 1 and {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_selection_matches_sequential_operator(
+        grad in gradient_strategy(),
+        threshold in 0.0f64..0.6,
+    ) {
+        let engine = CompressionEngine::new(5).with_chunk_size(64);
+        let parallel = engine.select_above(&grad, threshold);
+        let sequential = sidco::tensor::threshold::select_above_threshold(&grad, threshold);
+        prop_assert_eq!(parallel, sequential);
+        prop_assert_eq!(
+            engine.count_above(&grad, threshold),
+            sidco::tensor::threshold::count_above_threshold(&grad, threshold)
+        );
+    }
+}
+
+#[test]
+fn adaptive_sidco_state_stays_identical_across_threads_over_iterations() {
+    // The stage-count controller feeds back achieved ratios; if any iteration
+    // diverged between thread counts the states (and outputs) would fork.
+    let grad: Vec<f32> = (1..=40_000)
+        .map(|j| if j % 2 == 0 { 1.0 } else { -1.0 } * (j as f32).powf(-0.7))
+        .collect();
+    let mut serial =
+        SidcoCompressor::new(SidcoConfig::exponential()).with_engine(CompressionEngine::new(1));
+    let mut parallel =
+        SidcoCompressor::new(SidcoConfig::exponential()).with_engine(CompressionEngine::new(7));
+    for _ in 0..12 {
+        let a = serial.compress(&grad, 0.003);
+        let b = parallel.compress(&grad, 0.003);
+        assert_eq!(a.sparse, b.sparse);
+        assert_eq!(a.threshold, b.threshold);
+        assert_eq!(a.stages_used, b.stages_used);
+    }
+    assert_eq!(serial.current_stages(), parallel.current_stages());
+}
+
+fn trainer_report(buckets: usize, overlap: bool, iterations: u64) -> sidco::dist::TrainingReport {
+    let model: Arc<dyn sidco::models::DifferentiableModel> =
+        Arc::new(sidco::models::regression::LinearRegression::new(
+            sidco::models::dataset::RegressionDataset::generate(128, 96, 0.01, 5),
+        ));
+    let config = TrainerConfig {
+        iterations,
+        batch_per_worker: 16,
+        schedule: LrSchedule::constant(0.1),
+        buckets,
+        overlap,
+        ..TrainerConfig::default()
+    };
+    let mut trainer = ModelTrainer::new(model, ClusterConfig::small_test(), config, || {
+        Box::new(SidcoCompressor::new(SidcoConfig::exponential()))
+    });
+    trainer.run(0.05)
+}
+
+#[test]
+fn overlapped_trainer_converges_identically_to_serial() {
+    let serial = trainer_report(6, false, 60);
+    let overlapped = trainer_report(6, true, 60);
+
+    let losses =
+        |r: &sidco::dist::TrainingReport| r.samples().iter().map(|s| s.loss).collect::<Vec<f64>>();
+    assert_eq!(losses(&serial), losses(&overlapped));
+    assert_eq!(serial.final_evaluation(), overlapped.final_evaluation());
+    assert_eq!(
+        serial.estimation_quality().mean_normalized_ratio,
+        overlapped.estimation_quality().mean_normalized_ratio
+    );
+
+    // Pipelining strictly reduces the simulated overhead with several buckets.
+    assert!(
+        overlapped.total_time() < serial.total_time(),
+        "overlapped {} should undercut serial {}",
+        overlapped.total_time(),
+        serial.total_time()
+    );
+    let accounting = overlapped.overlap().expect("compressed run");
+    assert_eq!(accounting.buckets(), 6);
+    assert!(accounting.saved() > 0.0);
+    assert!(accounting.speedup() > 1.0);
+}
