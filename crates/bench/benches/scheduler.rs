@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the async collective scheduler: host-side
+//! cost of building schedules (makespan computation) as stream count and
+//! bucket count grow on a 16Mi-element model, plus the *modeled* makespans
+//! those schedules charge — the numbers recorded in `BENCH_scheduler.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sidco_core::compressor::CompressorKind;
+use sidco_core::layerwise::LayerLayout;
+use sidco_dist::cluster::ClusterConfig;
+use sidco_dist::collective::{modeled_bucket_costs, BucketCost, CollectiveScheduler};
+use sidco_dist::schedule::auto_bucket_layout;
+use sidco_dist::PriorityPolicy;
+use sidco_stats::fit::SidKind;
+
+/// 16Mi elements — the ImageNet regime of the paper's large CNNs.
+const DIM: usize = 1 << 24;
+const DELTA: f64 = 0.001;
+
+fn model_costs(buckets: usize) -> Vec<BucketCost> {
+    let cluster = ClusterConfig::paper_dedicated();
+    let layout = LayerLayout::uniform(DIM, buckets);
+    modeled_bucket_costs(
+        &cluster,
+        CompressorKind::Sidco(SidKind::Exponential),
+        DELTA,
+        2,
+        &layout,
+    )
+}
+
+fn bench_schedule_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_16M");
+    for buckets in [4usize, 16, 64] {
+        let costs = model_costs(buckets);
+        for streams in [1usize, 2, 4, 8] {
+            let scheduler = CollectiveScheduler::new(streams, PriorityPolicy::SmallestFirst);
+            group.bench_with_input(
+                BenchmarkId::new("schedule", format!("buckets={buckets}/streams={streams}")),
+                &scheduler,
+                |b, scheduler| b.iter(|| scheduler.schedule(std::hint::black_box(&costs))),
+            );
+            let makespan = scheduler.best_schedule(&costs).makespan();
+            println!(
+                "scheduler_16M/modeled_makespan buckets={buckets} streams={streams}: \
+                 {:.6} ms",
+                makespan * 1e3
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_auto_tuner(c: &mut Criterion) {
+    // A VGG-ish 16Mi-element tensor list for the layout auto-tuner.
+    let mut layers: Vec<usize> = (0..23).map(|i| 1_000 << (i / 2)).collect();
+    let assigned: usize = layers.iter().sum();
+    layers.push(DIM - assigned);
+    let cluster = ClusterConfig::paper_dedicated();
+    let scheduler = CollectiveScheduler::new(4, PriorityPolicy::SmallestFirst);
+    let mut group = c.benchmark_group("scheduler_auto_tune_16M");
+    group.sample_size(10);
+    group.bench_function("auto_bucket_layout", |b| {
+        b.iter(|| {
+            auto_bucket_layout(
+                std::hint::black_box(&layers),
+                &cluster,
+                CompressorKind::Sidco(SidKind::Exponential),
+                0.01,
+                &scheduler,
+            )
+        })
+    });
+    let layout = auto_bucket_layout(
+        &layers,
+        &cluster,
+        CompressorKind::Sidco(SidKind::Exponential),
+        0.01,
+        &scheduler,
+    );
+    println!(
+        "scheduler_auto_tune_16M: tuned to {} buckets (largest {} elements)",
+        layout.len(),
+        layout.sizes().iter().max().unwrap()
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_construction, bench_auto_tuner);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! for which compression satisfies other quality targets"): instead of a fixed
 //! δ, the controller derives δ from the network model and a time budget.
 
+use crate::cluster::ClusterConfig;
 use crate::network::NetworkModel;
 use crate::SPARSE_WIRE_BYTES;
 
@@ -28,8 +29,7 @@ pub struct RatioControllerConfig {
 #[derive(Debug, Clone)]
 pub struct RatioController {
     config: RatioControllerConfig,
-    network: NetworkModel,
-    workers: usize,
+    cluster: ClusterConfig,
     elements: usize,
     /// Multiplicative correction for the compressor's systematic bias
     /// (achieved/requested), updated by [`observe`](RatioController::observe).
@@ -38,7 +38,8 @@ pub struct RatioController {
 
 impl RatioController {
     /// Creates a controller for a gradient of `elements` elements exchanged
-    /// between `workers` workers over `network`.
+    /// between `workers` workers over a flat `network`. See
+    /// [`for_cluster`](Self::for_cluster) for two-tier topologies.
     ///
     /// # Panics
     ///
@@ -49,6 +50,29 @@ impl RatioController {
         config: RatioControllerConfig,
         network: NetworkModel,
         workers: usize,
+        elements: usize,
+    ) -> Self {
+        Self::for_cluster(
+            config,
+            ClusterConfig {
+                workers,
+                network,
+                ..ClusterConfig::default()
+            },
+            elements,
+        )
+    }
+
+    /// Creates a controller pricing the all-gather on `cluster`'s
+    /// interconnect — hierarchical when the cluster has a two-tier topology,
+    /// so the derived δ reflects what the collective actually costs there.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid configurations as [`new`](Self::new).
+    pub fn for_cluster(
+        config: RatioControllerConfig,
+        cluster: ClusterConfig,
         elements: usize,
     ) -> Self {
         assert!(
@@ -68,19 +92,16 @@ impl RatioController {
         assert!(elements > 0, "gradient must have at least one element");
         Self {
             config,
-            network,
-            workers,
+            cluster,
             elements,
             correction: 1.0,
         }
     }
 
-    /// The ratio that exactly fills the budget under the network model,
-    /// before bias correction.
+    /// The ratio that exactly fills the budget under the cluster's network
+    /// model, before bias correction.
     fn uncorrected_ratio(&self) -> f64 {
-        let budget_bytes = self
-            .network
-            .allgather_budget_bytes(self.config.comm_budget, self.workers);
+        let budget_bytes = self.cluster.allgather_budget_bytes(self.config.comm_budget);
         budget_bytes / (self.elements as f64 * SPARSE_WIRE_BYTES)
     }
 
@@ -224,6 +245,36 @@ mod tests {
             1_000_000,
         );
         assert!(tight.recommend_ratio() < loose.recommend_ratio());
+    }
+
+    #[test]
+    fn two_tier_cluster_affords_a_larger_ratio_within_the_same_budget() {
+        let config = RatioControllerConfig {
+            comm_budget: 0.002,
+            min_ratio: 1e-4,
+            max_ratio: 0.5,
+            feedback: 0.0,
+        };
+        let flat = RatioController::for_cluster(
+            config,
+            crate::cluster::ClusterConfig::paper_dedicated(),
+            1_000_000,
+        );
+        let two_tier = RatioController::for_cluster(
+            config,
+            crate::cluster::ClusterConfig::paper_two_tier(),
+            1_000_000,
+        );
+        // The hierarchy makes the same payload cheaper, so the same budget
+        // affords a larger ratio.
+        assert!(two_tier.recommend_ratio() > flat.recommend_ratio());
+        // And the recommendation still meets the budget on that topology.
+        let payload = (two_tier.recommend_ratio() * 1_000_000.0 * SPARSE_WIRE_BYTES) as usize;
+        let time = crate::cluster::ClusterConfig::paper_two_tier().allgather_sparse(payload);
+        assert!(
+            time <= 0.002 * 1.001,
+            "modelled hierarchical time {time} blows the budget"
+        );
     }
 
     #[test]

@@ -1,18 +1,32 @@
 //! Cluster topologies used by the simulator and the trainer.
 
 use crate::device::{ComputeDevice, DeviceProfile};
-use crate::network::NetworkModel;
+use crate::network::{HierarchicalTopology, NetworkModel};
 
 /// A homogeneous synchronous-SGD cluster: `workers` identical workers joined
 /// by one interconnect, compressing on one kind of device.
+///
+/// The default interconnect is flat (every worker one hop from every other on
+/// [`network`](Self::network)); setting [`topology`](Self::topology) replaces
+/// it with a two-tier intra-/inter-node hierarchy whose collectives run
+/// hierarchically. [`engine_workers`](Self::engine_workers) tells the cost
+/// model how many compression-engine threads each worker runs, so simulated
+/// compression latencies match a multi-threaded
+/// [`CompressionEngine`](sidco_core::engine::CompressionEngine) deployment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterConfig {
     /// Number of data-parallel workers.
     pub workers: usize,
-    /// Interconnect between the workers.
+    /// Interconnect between the workers (used when `topology` is `None`).
     pub network: NetworkModel,
     /// Device on which gradient compression runs.
     pub compression_device: ComputeDevice,
+    /// Two-tier interconnect; when set, its worker count must equal
+    /// [`workers`](Self::workers) and collectives are charged hierarchically.
+    pub topology: Option<HierarchicalTopology>,
+    /// Compression-engine worker threads per worker (≥ 1); scales the
+    /// parallelisable part of the modelled compression time.
+    pub engine_workers: usize,
 }
 
 impl ClusterConfig {
@@ -22,6 +36,8 @@ impl ClusterConfig {
             workers: 4,
             network: NetworkModel::ethernet_25g(),
             compression_device: ComputeDevice::Gpu,
+            topology: None,
+            engine_workers: 1,
         }
     }
 
@@ -32,6 +48,8 @@ impl ClusterConfig {
             workers: 8,
             network: NetworkModel::ethernet_25g(),
             compression_device: ComputeDevice::Gpu,
+            topology: None,
+            engine_workers: 1,
         }
     }
 
@@ -51,12 +69,112 @@ impl ClusterConfig {
             workers: 8,
             network: NetworkModel::infiniband_100g(),
             compression_device: ComputeDevice::Gpu,
+            topology: None,
+            engine_workers: 1,
         }
+    }
+
+    /// A two-tier variant of the dedicated testbed: 2 machines × 4 GPUs with
+    /// a 100 Gbps intra-node fabric over the 25 Gbps datacentre network, so
+    /// hierarchical collectives have both tiers to exploit.
+    pub fn paper_two_tier() -> Self {
+        Self {
+            workers: 8,
+            network: NetworkModel::ethernet_25g(),
+            compression_device: ComputeDevice::Gpu,
+            topology: Some(HierarchicalTopology::new(
+                2,
+                4,
+                NetworkModel::infiniband_100g(),
+                NetworkModel::ethernet_25g(),
+            )),
+            engine_workers: 1,
+        }
+    }
+
+    /// Sets the two-tier topology (its worker count becomes the cluster's).
+    #[must_use]
+    pub fn with_topology(mut self, topology: HierarchicalTopology) -> Self {
+        self.workers = topology.workers();
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the modelled compression-engine worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engine_workers` is zero.
+    #[must_use]
+    pub fn with_engine_workers(mut self, engine_workers: usize) -> Self {
+        assert!(engine_workers >= 1, "the engine needs at least one worker");
+        self.engine_workers = engine_workers;
+        self
     }
 
     /// The device profile compression runs on.
     pub fn device_profile(&self) -> DeviceProfile {
         DeviceProfile::for_device(self.compression_device)
+    }
+
+    /// The topology, checked for consistency with the declared worker count
+    /// (the fields are public, so a hand-built config can disagree — every
+    /// collective dispatch funnels through this so the mismatch is loud
+    /// rather than a silently wrong simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a topology is set whose worker count differs from
+    /// [`workers`](Self::workers).
+    fn topology_checked(&self) -> Option<&HierarchicalTopology> {
+        if let Some(topology) = &self.topology {
+            assert_eq!(
+                topology.workers(),
+                self.workers,
+                "topology spans {} workers but the cluster declares {}",
+                topology.workers(),
+                self.workers
+            );
+        }
+        self.topology.as_ref()
+    }
+
+    /// Sparse all-gather cost of a `bytes`-byte per-worker payload on this
+    /// cluster's interconnect (hierarchical when a topology is set).
+    pub fn allgather_sparse(&self, bytes: usize) -> f64 {
+        match self.topology_checked() {
+            Some(topology) => topology.allgather_sparse(bytes),
+            None => self.network.allgather_sparse(bytes, self.workers),
+        }
+    }
+
+    /// The sparse all-gather cost split into `(overlappable, link-serialised)`
+    /// parts for the collective scheduler. Sums to
+    /// [`allgather_sparse`](Self::allgather_sparse).
+    pub fn allgather_sparse_parts(&self, bytes: usize) -> (f64, f64) {
+        match self.topology_checked() {
+            Some(topology) => topology.allgather_sparse_parts(bytes),
+            None => self.network.allgather_sparse_parts(bytes, self.workers),
+        }
+    }
+
+    /// Dense all-reduce cost of a `bytes`-byte buffer on this cluster's
+    /// interconnect (hierarchical when a topology is set).
+    pub fn allreduce_dense(&self, bytes: usize) -> f64 {
+        match self.topology_checked() {
+            Some(topology) => topology.allreduce_dense(bytes),
+            None => self.network.allreduce_dense(bytes, self.workers),
+        }
+    }
+
+    /// Largest per-worker sparse payload (bytes) whose all-gather on this
+    /// cluster's interconnect finishes within `budget` seconds — the inverse
+    /// of [`allgather_sparse`](Self::allgather_sparse).
+    pub fn allgather_budget_bytes(&self, budget: f64) -> f64 {
+        match self.topology_checked() {
+            Some(topology) => topology.allgather_budget_bytes(budget),
+            None => self.network.allgather_budget_bytes(budget, self.workers),
+        }
     }
 }
 
@@ -76,6 +194,8 @@ mod tests {
         assert_eq!(dedicated.workers, 8);
         assert_eq!(dedicated.compression_device, ComputeDevice::Gpu);
         assert_eq!(dedicated.network, NetworkModel::ethernet_25g());
+        assert_eq!(dedicated.topology, None);
+        assert_eq!(dedicated.engine_workers, 1);
 
         let cpu = ClusterConfig::paper_cpu_compression();
         assert_eq!(cpu.compression_device, ComputeDevice::Cpu);
@@ -100,5 +220,65 @@ mod tests {
             ClusterConfig::paper_dedicated().device_profile().device,
             ComputeDevice::Gpu
         );
+    }
+
+    #[test]
+    fn two_tier_preset_is_hierarchical_and_cheaper() {
+        let flat = ClusterConfig::paper_dedicated();
+        let two_tier = ClusterConfig::paper_two_tier();
+        assert_eq!(two_tier.workers, flat.workers);
+        let topology = two_tier.topology.expect("two-tier preset has a topology");
+        assert_eq!(topology.workers(), two_tier.workers);
+        let bytes = 1 << 22;
+        assert!(two_tier.allgather_sparse(bytes) < flat.allgather_sparse(bytes));
+        assert!(two_tier.allreduce_dense(bytes) < flat.allreduce_dense(bytes));
+        let (latency, transfer) = two_tier.allgather_sparse_parts(bytes);
+        assert!((latency + transfer - two_tier.allgather_sparse(bytes)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_update_topology_and_engine_workers() {
+        let cluster = ClusterConfig::small_test()
+            .with_topology(HierarchicalTopology::new(
+                3,
+                2,
+                NetworkModel::infiniband_100g(),
+                NetworkModel::ethernet_10g(),
+            ))
+            .with_engine_workers(4);
+        assert_eq!(cluster.workers, 6);
+        assert_eq!(cluster.engine_workers, 4);
+        // Flat dispatch still works when no topology is set.
+        let flat = ClusterConfig::small_test();
+        assert_eq!(
+            flat.allgather_sparse(1 << 20),
+            flat.network.allgather_sparse(1 << 20, flat.workers)
+        );
+        assert_eq!(
+            flat.allreduce_dense(1 << 20),
+            flat.network.allreduce_dense(1 << 20, flat.workers)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_engine_workers() {
+        let _ = ClusterConfig::small_test().with_engine_workers(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology spans")]
+    fn mismatched_topology_panics_on_dispatch() {
+        let inconsistent = ClusterConfig {
+            workers: 8,
+            topology: Some(HierarchicalTopology::new(
+                2,
+                2,
+                NetworkModel::infiniband_100g(),
+                NetworkModel::ethernet_25g(),
+            )),
+            ..ClusterConfig::paper_dedicated()
+        };
+        inconsistent.allgather_sparse(1 << 20);
     }
 }

@@ -1,0 +1,884 @@
+//! The async collective scheduler: multi-stream, priority-aware scheduling of
+//! bucketed compression ↔ communication pipelines.
+//!
+//! [`overlap`](crate::overlap) models the classic two-stage pipeline: one
+//! compression stream feeding one FIFO communication stream. Real frameworks
+//! go further — NCCL exposes multiple communication streams, and
+//! ByteScheduler-style schedulers let small, gradient-critical buckets preempt
+//! large transfers already on the wire. This module generalises the overlap
+//! model into an explicit schedule over three kinds of resources:
+//!
+//! * **one compression processor** — buckets are compressed serially in index
+//!   order (the trainer's layouts are input-first flat parameter order;
+//!   modeling true backward-pass arrival times is a ROADMAP item); bucket `i`
+//!   becomes *ready* at the prefix sum of compression costs;
+//! * **`streams` communication streams** — a bucket occupies exactly one
+//!   stream from the moment its collective is issued (the per-bucket latency
+//!   `α` phase begins) until its transfer completes. Streams are granted to
+//!   waiting buckets in priority order;
+//! * **one shared link** — transfer (`β`) phases serialise on the physical
+//!   link. The link always serves the highest-priority in-flight bucket whose
+//!   latency phase has finished, *preempting* a lower-priority transfer the
+//!   instant a higher-priority bucket is ready to transmit (the preempted
+//!   bucket keeps its stream and resumes where it stopped).
+//!
+//! Latency phases of different streams overlap each other and the active
+//! transfer, which is exactly why multi-stream schedules beat the single-FIFO
+//! pipeline: with one stream every bucket pays its `(n-1)·α` setup on the
+//! critical path, with several streams the setups hide under transfers.
+//!
+//! The model is work-conserving on the link, so every schedule respects the
+//! bandwidth lower bound `makespan ≥ Σ transferᵢ`, and a single-stream FIFO
+//! schedule reproduces [`overlap::pipelined_overhead`](crate::overlap::pipelined_overhead)
+//! exactly. With a stream per bucket, priority scheduling is provably optimal
+//! for the critical (highest-priority) bucket: it completes at its path lower
+//! bound `ready + α + β`, which no schedule — FIFO included — can beat. These
+//! invariants (and more) are proven over randomised configurations in
+//! `tests/scheduler_properties.rs`.
+//!
+//! One caveat the model surfaces faithfully: when buckets outnumber streams,
+//! a preempted transfer still *holds its stream* (the collective is already
+//! issued), so a freshly compressed high-priority bucket can wait for a slot
+//! behind transfers it would otherwise preempt — the classical priority
+//! inversion of slot-limited schedulers. Provision `streams ≥ buckets` (or
+//! accept FIFO's slot order) when the critical bucket's completion time is a
+//! hard constraint.
+
+use crate::cluster::ClusterConfig;
+use crate::SPARSE_WIRE_BYTES;
+use sidco_core::compressor::CompressorKind;
+use sidco_core::layerwise::LayerLayout;
+
+/// Order in which the scheduler serves buckets that contend for a stream or
+/// for the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PriorityPolicy {
+    /// First-compressed, first-served (bucket index order) — the behaviour of
+    /// the plain pipelined overlap model.
+    #[default]
+    Fifo,
+    /// Smallest communication first: buckets with the least `α + β` cost jump
+    /// the queue, so small buckets never wait behind a large transfer.
+    SmallestFirst,
+    /// Highest bucket index first. Bucket layouts are input-first flat
+    /// parameter order, so the highest indices hold the layers nearest the
+    /// model *output* — the gradients a real backward pass produces first —
+    /// making this the backward-order transmission schedule. (ByteScheduler's
+    /// forward-priority rule — input-side layers first, since the next
+    /// forward pass consumes them first — coincides with [`Fifo`](Self::Fifo)
+    /// here, because compression readiness already follows index order.)
+    NearestOutputFirst,
+}
+
+impl PriorityPolicy {
+    /// Priority rank of every bucket (lower rank = served first). Ranks are a
+    /// permutation of `0..buckets.len()`: ties are broken by bucket index, so
+    /// scheduling is fully deterministic.
+    pub fn ranks(&self, buckets: &[BucketCost]) -> Vec<usize> {
+        let n = buckets.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        match self {
+            PriorityPolicy::Fifo => {}
+            PriorityPolicy::NearestOutputFirst => order.reverse(),
+            PriorityPolicy::SmallestFirst => {
+                order.sort_by(|&a, &b| {
+                    buckets[a]
+                        .communication()
+                        .partial_cmp(&buckets[b].communication())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+            }
+        }
+        let mut rank = vec![0usize; n];
+        for (position, &bucket) in order.iter().enumerate() {
+            rank[bucket] = position;
+        }
+        rank
+    }
+}
+
+impl std::fmt::Display for PriorityPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PriorityPolicy::Fifo => "fifo",
+            PriorityPolicy::SmallestFirst => "smallest-first",
+            PriorityPolicy::NearestOutputFirst => "nearest-output-first",
+        })
+    }
+}
+
+/// Modelled cost of one gradient bucket, split the way the scheduler consumes
+/// it: serial compression time, overlappable collective setup (`α` phases and
+/// intra-node stages), and the transfer time that serialises on the
+/// bottleneck link (`β`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BucketCost {
+    /// Seconds on the (single) compression processor.
+    pub compression: f64,
+    /// Per-bucket collective setup: latency hops plus any phases that run on
+    /// resources other than the bottleneck link. Overlaps across streams.
+    pub latency: f64,
+    /// Seconds the bucket's payload occupies the bottleneck link. Transfers
+    /// never overlap each other.
+    pub transfer: f64,
+}
+
+impl BucketCost {
+    /// Total communication cost (`latency + transfer`) — what the lumped
+    /// single-stream overlap model charges per bucket.
+    pub fn communication(&self) -> f64 {
+        self.latency + self.transfer
+    }
+}
+
+/// One closed interval of link occupancy by a bucket's transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferSegment {
+    /// Seconds at which the link started serving this bucket.
+    pub start: f64,
+    /// Seconds at which the link stopped (completion or preemption).
+    pub end: f64,
+}
+
+/// Where and when one bucket was compressed and communicated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledBucket {
+    /// Bucket index (the layout order).
+    pub bucket: usize,
+    /// Communication stream the bucket occupied.
+    pub stream: usize,
+    /// Compression start on the serial compression processor.
+    pub compress_start: f64,
+    /// Compression end (the bucket's *ready* time).
+    pub compress_end: f64,
+    /// Stream acquisition — the collective is issued and its latency phase
+    /// begins.
+    pub comm_start: f64,
+    /// Transfer completion — the stream is released.
+    pub comm_end: f64,
+    /// Link-occupancy intervals of the bucket's transfer (several when the
+    /// bucket was preempted; empty for a zero-byte transfer).
+    pub segments: Vec<TransferSegment>,
+}
+
+/// A complete schedule: per-bucket placement plus the makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleTimeline {
+    streams: usize,
+    entries: Vec<ScheduledBucket>,
+    makespan: f64,
+}
+
+impl ScheduleTimeline {
+    /// Per-bucket schedule entries, in bucket-index order.
+    pub fn entries(&self) -> &[ScheduledBucket] {
+        &self.entries
+    }
+
+    /// Number of communication streams the schedule was built for.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// End of the last communication (or compression, if nothing was
+    /// communicated) — the iteration overhead this schedule charges.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Completion time of one bucket's communication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is out of range.
+    pub fn completion(&self, bucket: usize) -> f64 {
+        self.entries[bucket].comm_end
+    }
+
+    /// Every link-occupancy segment across all buckets, sorted by start time.
+    /// In a valid schedule these never overlap — the link is a serial
+    /// resource.
+    pub fn link_segments(&self) -> Vec<TransferSegment> {
+        let mut segments: Vec<TransferSegment> = self
+            .entries
+            .iter()
+            .flat_map(|e| e.segments.iter().copied())
+            .collect();
+        segments.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        segments
+    }
+}
+
+/// The transfer (bandwidth) component every schedule must serialise: no
+/// schedule can finish before `Σ transferᵢ`.
+pub fn bandwidth_lower_bound(buckets: &[BucketCost]) -> f64 {
+    buckets.iter().map(|b| b.transfer).sum()
+}
+
+/// The tightest analytic lower bound the model admits: the bandwidth bound,
+/// the serial compression bound, and every bucket's own
+/// `ready + latency + transfer` path.
+pub fn makespan_lower_bound(buckets: &[BucketCost]) -> f64 {
+    let mut bound = bandwidth_lower_bound(buckets);
+    let mut ready = 0.0;
+    for bucket in buckets {
+        ready += bucket.compression;
+        bound = bound.max(ready + bucket.latency + bucket.transfer);
+    }
+    bound.max(ready)
+}
+
+/// Multi-stream, priority-aware scheduler over the resource model described in
+/// the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use sidco_dist::collective::{BucketCost, CollectiveScheduler, PriorityPolicy};
+///
+/// let buckets = vec![
+///     BucketCost { compression: 1.0, latency: 0.5, transfer: 4.0 },
+///     BucketCost { compression: 1.0, latency: 0.5, transfer: 0.5 },
+/// ];
+/// let fifo = CollectiveScheduler::single_stream_fifo().schedule(&buckets);
+/// let multi = CollectiveScheduler::new(2, PriorityPolicy::SmallestFirst).schedule(&buckets);
+/// // The second stream hides the small bucket's latency under the large
+/// // transfer, and priority lets it finish long before the large bucket.
+/// assert!(multi.makespan() <= fifo.makespan());
+/// assert!(multi.completion(1) < fifo.completion(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollectiveScheduler {
+    streams: usize,
+    policy: PriorityPolicy,
+}
+
+impl Default for CollectiveScheduler {
+    fn default() -> Self {
+        Self::single_stream_fifo()
+    }
+}
+
+impl CollectiveScheduler {
+    /// A scheduler with `streams` communication streams serving buckets in
+    /// `policy` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is zero.
+    pub fn new(streams: usize, policy: PriorityPolicy) -> Self {
+        assert!(streams >= 1, "a schedule needs at least one stream");
+        Self { streams, policy }
+    }
+
+    /// The single-stream FIFO scheduler — equivalent to
+    /// [`overlap::pipelined_overhead`](crate::overlap::pipelined_overhead).
+    pub fn single_stream_fifo() -> Self {
+        Self::new(1, PriorityPolicy::Fifo)
+    }
+
+    /// Number of communication streams.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// The priority policy.
+    pub fn policy(&self) -> PriorityPolicy {
+        self.policy
+    }
+
+    /// The cheapest schedule within this scheduler's *budget*: the
+    /// single-stream FIFO pipeline and the configured policy at every stream
+    /// count up to [`streams`](Self::streams) are all evaluated, and the
+    /// first strictly-cheapest timeline wins (so a larger budget or a
+    /// priority policy never charges more than the plain pipeline). This is
+    /// what the trainer and the bucket auto-tuner charge; it is monotone in
+    /// the stream budget by construction, which sidesteps the Graham-style
+    /// anomalies a *fixed* priority schedule exhibits when buckets outnumber
+    /// streams (see [`schedule`](Self::schedule)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cost is negative or non-finite.
+    pub fn best_schedule(&self, buckets: &[BucketCost]) -> ScheduleTimeline {
+        let mut best = Self::single_stream_fifo().schedule(buckets);
+        for streams in 1..=self.streams {
+            if streams == 1 && self.policy == PriorityPolicy::Fifo {
+                continue;
+            }
+            let candidate = Self::new(streams, self.policy).schedule(buckets);
+            if candidate.makespan() < best.makespan() {
+                best = candidate;
+            }
+        }
+        best
+    }
+
+    /// Builds the schedule for `buckets` with exactly
+    /// [`streams`](Self::streams) streams and returns its timeline.
+    ///
+    /// This is the faithful fixed-configuration simulator; note that a fixed
+    /// priority schedule is *not* guaranteed monotone in the stream count
+    /// (slot-limited preemption has genuine scheduling anomalies — rarely,
+    /// an extra stream lets a high-priority transfer starve the
+    /// makespan-critical bucket). Use [`best_schedule`](Self::best_schedule)
+    /// when charging costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cost is negative or non-finite.
+    pub fn schedule(&self, buckets: &[BucketCost]) -> ScheduleTimeline {
+        for (i, b) in buckets.iter().enumerate() {
+            assert!(
+                b.compression >= 0.0
+                    && b.latency >= 0.0
+                    && b.transfer >= 0.0
+                    && b.compression.is_finite()
+                    && b.latency.is_finite()
+                    && b.transfer.is_finite(),
+                "bucket {i} has invalid costs {b:?}"
+            );
+        }
+        let n = buckets.len();
+        let rank = self.policy.ranks(buckets);
+
+        // Compression is serial and FIFO: ready[i] = prefix sum.
+        let mut entries: Vec<ScheduledBucket> = Vec::with_capacity(n);
+        let mut clock = 0.0f64;
+        for (i, bucket) in buckets.iter().enumerate() {
+            let start = clock;
+            clock += bucket.compression;
+            entries.push(ScheduledBucket {
+                bucket: i,
+                stream: 0,
+                compress_start: start,
+                compress_end: clock,
+                comm_start: f64::NAN,
+                comm_end: f64::NAN,
+                segments: Vec::new(),
+            });
+        }
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum Phase {
+            /// Not yet compressed (arrives at `ready`).
+            Compressing,
+            /// Compressed, waiting for a free stream.
+            AwaitingStream,
+            /// On a stream, collective setup running until the given time.
+            Latency(f64),
+            /// On a stream, transfer pending/suspended/active with remaining
+            /// seconds of link time.
+            LinkQueue(f64),
+            Done,
+        }
+
+        let mut phase: Vec<Phase> = vec![Phase::Compressing; n];
+        let mut free_streams: Vec<usize> = (0..self.streams).rev().collect();
+        let mut current: Option<usize> = None;
+        let mut done = 0usize;
+        let mut t = 0.0f64;
+        let mut makespan = clock; // nothing can end before the last compression
+
+        while done < n {
+            // Next event: earliest ready time, latency completion, or the
+            // active transfer finishing.
+            let mut t_next = f64::INFINITY;
+            let mut link_completion = f64::INFINITY;
+            for (i, p) in phase.iter().enumerate() {
+                match *p {
+                    Phase::Compressing => t_next = t_next.min(entries[i].compress_end),
+                    Phase::Latency(until) => t_next = t_next.min(until),
+                    _ => {}
+                }
+            }
+            if let Some(cur) = current {
+                if let Phase::LinkQueue(remaining) = phase[cur] {
+                    link_completion = t + remaining;
+                    t_next = t_next.min(link_completion);
+                }
+            }
+            assert!(
+                t_next.is_finite(),
+                "scheduler deadlocked with {done}/{n} buckets done"
+            );
+
+            // Advance the active transfer to t_next. The completion flag is
+            // decided by event selection (not float round-trips), so a served
+            // transfer always ends exactly at `t + remaining`.
+            let mut link_done = false;
+            if let Some(cur) = current {
+                if let Phase::LinkQueue(remaining) = phase[cur] {
+                    if link_completion <= t_next {
+                        phase[cur] = Phase::LinkQueue(0.0);
+                        link_done = true;
+                    } else {
+                        phase[cur] = Phase::LinkQueue(remaining - (t_next - t));
+                    }
+                }
+            }
+            t = t_next;
+
+            // Fire every event at time t. A bucket whose collective has no
+            // transfer completes the moment its latency phase drains.
+            for i in 0..n {
+                match phase[i] {
+                    Phase::Compressing if entries[i].compress_end <= t => {
+                        phase[i] = Phase::AwaitingStream;
+                    }
+                    Phase::Latency(until) if until <= t => {
+                        if buckets[i].transfer > 0.0 {
+                            phase[i] = Phase::LinkQueue(buckets[i].transfer);
+                        } else {
+                            entries[i].comm_end = t;
+                            makespan = makespan.max(t);
+                            phase[i] = Phase::Done;
+                            done += 1;
+                            free_streams.push(entries[i].stream);
+                            free_streams.sort_unstable_by(|a, b| b.cmp(a));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if link_done {
+                let cur = current.expect("link completion without an active transfer");
+                if let Some(segment) = entries[cur].segments.last_mut() {
+                    segment.end = t;
+                }
+                entries[cur].comm_end = t;
+                makespan = makespan.max(t);
+                phase[cur] = Phase::Done;
+                done += 1;
+                free_streams.push(entries[cur].stream);
+                free_streams.sort_unstable_by(|a, b| b.cmp(a));
+                current = None;
+            }
+
+            // Grant freed streams to waiting buckets in priority order. A
+            // zero-cost collective completes (and releases its stream) on the
+            // spot, which can cascade.
+            while let Some(&stream) = free_streams.last() {
+                let next = (0..n)
+                    .filter(|&i| matches!(phase[i], Phase::AwaitingStream))
+                    .min_by_key(|&i| rank[i]);
+                let Some(i) = next else { break };
+                free_streams.pop();
+                entries[i].stream = stream;
+                entries[i].comm_start = t;
+                if buckets[i].latency > 0.0 {
+                    phase[i] = Phase::Latency(t + buckets[i].latency);
+                } else if buckets[i].transfer > 0.0 {
+                    phase[i] = Phase::LinkQueue(buckets[i].transfer);
+                } else {
+                    entries[i].comm_end = t;
+                    makespan = makespan.max(t);
+                    phase[i] = Phase::Done;
+                    done += 1;
+                    free_streams.push(stream);
+                    free_streams.sort_unstable_by(|a, b| b.cmp(a));
+                }
+            }
+
+            // The link serves the highest-priority latency-done bucket,
+            // preempting whoever held it.
+            let best = (0..n)
+                .filter(|&i| matches!(phase[i], Phase::LinkQueue(r) if r > 0.0))
+                .min_by_key(|&i| rank[i]);
+            if best != current {
+                if let Some(prev) = current {
+                    if let Some(segment) = entries[prev].segments.last_mut() {
+                        if segment.end.is_nan() {
+                            segment.end = t;
+                        }
+                    }
+                }
+                if let Some(next) = best {
+                    entries[next].segments.push(TransferSegment {
+                        start: t,
+                        end: f64::NAN,
+                    });
+                }
+                current = best;
+            }
+        }
+
+        ScheduleTimeline {
+            streams: self.streams,
+            entries,
+            makespan,
+        }
+    }
+}
+
+/// Per-bucket [`BucketCost`]s of `layout` under the cluster's analytic cost
+/// models: compression charged by the (engine-aware) device profile, payloads
+/// projected from the target ratio `delta`, and communication split into its
+/// overlappable and link-serialised parts by the cluster's topology.
+pub fn modeled_bucket_costs(
+    cluster: &ClusterConfig,
+    kind: CompressorKind,
+    delta: f64,
+    stages: usize,
+    layout: &LayerLayout,
+) -> Vec<BucketCost> {
+    let profile = cluster.device_profile();
+    layout
+        .sizes()
+        .iter()
+        .map(|&size| {
+            let payload = (delta * size as f64 * SPARSE_WIRE_BYTES).ceil() as usize;
+            let (latency, transfer) = cluster.allgather_sparse_parts(payload);
+            BucketCost {
+                compression: profile.compression_time_with_workers(
+                    kind,
+                    size,
+                    delta,
+                    stages,
+                    cluster.engine_workers,
+                ),
+                latency,
+                transfer,
+            }
+        })
+        .collect()
+}
+
+/// Modelled iteration overhead of communicating `layout` under `scheduler` —
+/// the makespan of [`modeled_bucket_costs`] (compare schedulers on the same
+/// cluster to see what streams and priorities buy).
+pub fn scheduled_iteration_overhead(
+    cluster: &ClusterConfig,
+    kind: CompressorKind,
+    delta: f64,
+    stages: usize,
+    layout: &LayerLayout,
+    scheduler: &CollectiveScheduler,
+) -> f64 {
+    scheduler
+        .best_schedule(&modeled_bucket_costs(cluster, kind, delta, stages, layout))
+        .makespan()
+}
+
+/// Accumulated three-way overhead accounting over a training run: fully
+/// serial vs single-stream pipelined vs the configured (possibly
+/// multi-stream, priority) schedule, plus the last iteration's full timeline
+/// for per-stream/per-bucket inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleAccounting {
+    buckets: usize,
+    streams: usize,
+    policy: PriorityPolicy,
+    serial: f64,
+    pipelined: f64,
+    charged: f64,
+    iterations: u64,
+    last_timeline: Option<ScheduleTimeline>,
+}
+
+impl ScheduleAccounting {
+    /// Empty accounting for a run over `buckets` buckets scheduled on
+    /// `streams` streams with `policy`.
+    pub fn new(buckets: usize, streams: usize, policy: PriorityPolicy) -> Self {
+        Self {
+            buckets,
+            streams,
+            policy,
+            serial: 0.0,
+            pipelined: 0.0,
+            charged: 0.0,
+            iterations: 0,
+            last_timeline: None,
+        }
+    }
+
+    /// Adds one iteration's overheads: fully serialised, single-stream
+    /// pipelined, and actually charged.
+    pub fn record(&mut self, serial: f64, pipelined: f64, charged: f64) {
+        self.serial += serial;
+        self.pipelined += pipelined;
+        self.charged += charged;
+        self.iterations += 1;
+    }
+
+    /// Stores the most recent iteration's full timeline.
+    pub fn set_timeline(&mut self, timeline: ScheduleTimeline) {
+        self.last_timeline = Some(timeline);
+    }
+
+    /// Number of gradient buckets per iteration.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// The configured stream *budget*. The charged schedule may use fewer
+    /// streams when that is cheaper (see
+    /// [`CollectiveScheduler::best_schedule`]); the stream count actually
+    /// chosen is [`last_timeline`](Self::last_timeline)`.streams()`.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// The configured priority policy (the charged schedule may have fallen
+    /// back to the plain FIFO pipeline when that was cheaper).
+    pub fn policy(&self) -> PriorityPolicy {
+        self.policy
+    }
+
+    /// Iterations recorded.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Total overhead had every iteration been fully serialised.
+    pub fn serial_overhead(&self) -> f64 {
+        self.serial
+    }
+
+    /// Total overhead of the single-stream FIFO pipeline (the reference the
+    /// multi-stream schedule is compared against).
+    pub fn pipelined_overhead(&self) -> f64 {
+        self.pipelined
+    }
+
+    /// Total overhead actually charged to the clock.
+    pub fn charged_overhead(&self) -> f64 {
+        self.charged
+    }
+
+    /// Seconds the charged schedule saved over the single-stream pipeline.
+    pub fn multi_stream_saving(&self) -> f64 {
+        (self.pipelined - self.charged).max(0.0)
+    }
+
+    /// Overhead speed-up of the charged schedule over the serial baseline.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.charged > 0.0 {
+            self.serial / self.charged
+        } else {
+            1.0
+        }
+    }
+
+    /// Overhead speed-up of the charged schedule over the single-stream
+    /// pipeline (1.0 when the charged schedule *is* the single-stream
+    /// pipeline).
+    pub fn speedup_vs_pipelined(&self) -> f64 {
+        if self.charged > 0.0 {
+            self.pipelined / self.charged
+        } else {
+            1.0
+        }
+    }
+
+    /// The last recorded iteration's full timeline, when one was stored.
+    pub fn last_timeline(&self) -> Option<&ScheduleTimeline> {
+        self.last_timeline.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlap::pipelined_overhead;
+
+    fn costs(raw: &[(f64, f64, f64)]) -> Vec<BucketCost> {
+        raw.iter()
+            .map(|&(compression, latency, transfer)| BucketCost {
+                compression,
+                latency,
+                transfer,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_stream_fifo_matches_pipelined_overhead() {
+        let buckets = costs(&[
+            (1.0, 0.25, 2.0),
+            (0.5, 0.25, 3.0),
+            (2.0, 0.25, 0.5),
+            (0.1, 0.25, 1.0),
+        ]);
+        let comp: Vec<f64> = buckets.iter().map(|b| b.compression).collect();
+        let comm: Vec<f64> = buckets.iter().map(|b| b.communication()).collect();
+        let timeline = CollectiveScheduler::single_stream_fifo().schedule(&buckets);
+        let reference = pipelined_overhead(&comp, &comm);
+        assert!(
+            (timeline.makespan() - reference).abs() < 1e-12,
+            "DES {} vs recurrence {reference}",
+            timeline.makespan()
+        );
+    }
+
+    #[test]
+    fn empty_and_zero_cost_schedules() {
+        let scheduler = CollectiveScheduler::new(3, PriorityPolicy::SmallestFirst);
+        assert_eq!(scheduler.schedule(&[]).makespan(), 0.0);
+        let zeros = costs(&[(0.0, 0.0, 0.0), (0.0, 0.0, 0.0)]);
+        let timeline = scheduler.schedule(&zeros);
+        assert_eq!(timeline.makespan(), 0.0);
+        assert_eq!(timeline.entries().len(), 2);
+        // Compression-only buckets finish at the compression frontier.
+        let comp_only = costs(&[(1.0, 0.0, 0.0), (2.0, 0.0, 0.0)]);
+        assert_eq!(scheduler.schedule(&comp_only).makespan(), 3.0);
+    }
+
+    #[test]
+    fn extra_streams_hide_latency() {
+        // Four buckets, latency-dominated: a single stream pays every α on
+        // the critical path; two streams overlap them.
+        let buckets = costs(&[
+            (0.1, 1.0, 0.2),
+            (0.1, 1.0, 0.2),
+            (0.1, 1.0, 0.2),
+            (0.1, 1.0, 0.2),
+        ]);
+        let one = CollectiveScheduler::new(1, PriorityPolicy::Fifo)
+            .schedule(&buckets)
+            .makespan();
+        let four = CollectiveScheduler::new(4, PriorityPolicy::Fifo)
+            .schedule(&buckets)
+            .makespan();
+        assert!(four < one, "4 streams {four} should beat 1 stream {one}");
+        assert!(four >= bandwidth_lower_bound(&buckets));
+    }
+
+    #[test]
+    fn priority_preempts_the_wire_for_small_buckets() {
+        // A huge transfer is on the wire when the small bucket compresses.
+        let buckets = costs(&[(0.1, 0.0, 10.0), (0.1, 0.0, 0.1)]);
+        let fifo = CollectiveScheduler::new(2, PriorityPolicy::Fifo).schedule(&buckets);
+        let prio = CollectiveScheduler::new(2, PriorityPolicy::SmallestFirst).schedule(&buckets);
+        // Under FIFO the small bucket waits out the large transfer…
+        assert!(fifo.completion(1) > 10.0);
+        // …under priority it preempts and finishes immediately.
+        assert!((prio.completion(1) - 0.3).abs() < 1e-12);
+        // The preempted bucket resumes: same makespan, split into segments.
+        assert!((prio.makespan() - fifo.makespan()).abs() < 1e-12);
+        assert_eq!(prio.entries()[0].segments.len(), 2);
+        // The link never serves two transfers at once.
+        let segments = prio.link_segments();
+        for pair in segments.windows(2) {
+            assert!(pair[1].start >= pair[0].end - 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_schedule_never_loses_to_the_pipeline_and_is_monotone() {
+        let buckets = costs(&[
+            (1.9, 0.0, 0.2),
+            (0.0, 0.2, 0.4),
+            (0.2, 0.0, 1.2),
+            (0.0, 0.3, 0.1),
+            (1.1, 0.5, 4.3),
+            (2.7, 0.1, 4.4),
+            (1.3, 0.0, 4.8),
+            (1.7, 0.0, 2.1),
+        ]);
+        let pipeline = CollectiveScheduler::single_stream_fifo()
+            .schedule(&buckets)
+            .makespan();
+        for policy in [
+            PriorityPolicy::Fifo,
+            PriorityPolicy::SmallestFirst,
+            PriorityPolicy::NearestOutputFirst,
+        ] {
+            let mut previous = f64::INFINITY;
+            for streams in 1..=6 {
+                let best = CollectiveScheduler::new(streams, policy)
+                    .best_schedule(&buckets)
+                    .makespan();
+                assert!(
+                    best <= pipeline + 1e-12,
+                    "{policy} charged above the pipeline"
+                );
+                assert!(
+                    best <= previous + 1e-12,
+                    "{policy}: budget {streams} regressed {previous} -> {best}"
+                );
+                assert!(best >= bandwidth_lower_bound(&buckets) - 1e-12);
+                previous = best;
+            }
+        }
+        // A 1-stream FIFO budget returns the pipeline itself.
+        let base = CollectiveScheduler::single_stream_fifo().best_schedule(&buckets);
+        assert_eq!(base.makespan(), pipeline);
+        assert_eq!(base.streams(), 1);
+    }
+
+    #[test]
+    fn makespan_respects_lower_bounds() {
+        let buckets = costs(&[(0.5, 0.1, 1.5), (1.0, 0.2, 0.1), (0.2, 0.05, 2.0)]);
+        for streams in 1..=4 {
+            for policy in [
+                PriorityPolicy::Fifo,
+                PriorityPolicy::SmallestFirst,
+                PriorityPolicy::NearestOutputFirst,
+            ] {
+                let makespan = CollectiveScheduler::new(streams, policy)
+                    .schedule(&buckets)
+                    .makespan();
+                assert!(makespan >= makespan_lower_bound(&buckets) - 1e-12);
+                let serial: f64 = buckets
+                    .iter()
+                    .map(|b| b.compression + b.communication())
+                    .sum();
+                assert!(makespan <= serial + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_deterministic_permutations() {
+        let buckets = costs(&[(0.0, 0.1, 2.0), (0.0, 0.1, 2.0), (0.0, 0.1, 1.0)]);
+        assert_eq!(PriorityPolicy::Fifo.ranks(&buckets), vec![0, 1, 2]);
+        assert_eq!(
+            PriorityPolicy::NearestOutputFirst.ranks(&buckets),
+            vec![2, 1, 0]
+        );
+        // Smallest first; equal buckets tie-break by index.
+        assert_eq!(PriorityPolicy::SmallestFirst.ranks(&buckets), vec![1, 2, 0]);
+        assert_eq!(PriorityPolicy::default(), PriorityPolicy::Fifo);
+        assert_eq!(PriorityPolicy::SmallestFirst.to_string(), "smallest-first");
+    }
+
+    #[test]
+    fn accounting_tracks_three_way_comparison() {
+        let mut acc = ScheduleAccounting::new(4, 2, PriorityPolicy::SmallestFirst);
+        acc.record(10.0, 8.0, 6.0);
+        acc.record(10.0, 8.0, 6.0);
+        assert_eq!(acc.buckets(), 4);
+        assert_eq!(acc.streams(), 2);
+        assert_eq!(acc.iterations(), 2);
+        assert_eq!(acc.serial_overhead(), 20.0);
+        assert_eq!(acc.pipelined_overhead(), 16.0);
+        assert_eq!(acc.charged_overhead(), 12.0);
+        assert_eq!(acc.multi_stream_saving(), 4.0);
+        assert!((acc.speedup_vs_serial() - 20.0 / 12.0).abs() < 1e-12);
+        assert!((acc.speedup_vs_pipelined() - 16.0 / 12.0).abs() < 1e-12);
+        assert!(acc.last_timeline().is_none());
+        acc.set_timeline(CollectiveScheduler::default().schedule(&costs(&[(1.0, 0.0, 1.0)])));
+        assert_eq!(acc.last_timeline().unwrap().entries().len(), 1);
+        let empty = ScheduleAccounting::new(1, 1, PriorityPolicy::Fifo);
+        assert_eq!(empty.speedup_vs_serial(), 1.0);
+        assert_eq!(empty.speedup_vs_pipelined(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid costs")]
+    fn rejects_negative_costs() {
+        CollectiveScheduler::default().schedule(&costs(&[(1.0, -0.5, 1.0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn rejects_zero_streams() {
+        CollectiveScheduler::new(0, PriorityPolicy::Fifo);
+    }
+}

@@ -78,28 +78,37 @@ impl DeviceProfile {
         }
     }
 
-    /// Cost of one streaming pass over `dim` elements.
-    fn pass(&self, dim: usize) -> f64 {
-        self.pass_fixed + self.pass_cost * dim as f64
+    /// Cost of one streaming pass over `dim` elements on `workers` engine
+    /// threads: the per-element work shards perfectly (fixed-size chunks),
+    /// the fixed pass overhead (launch, fork/join) stays serial.
+    fn pass_with(&self, dim: usize, workers: usize) -> f64 {
+        self.pass_fixed + self.pass_cost * dim as f64 / workers as f64
     }
 
-    /// Cost of selecting the top elements out of `dim` candidates.
-    fn select(&self, dim: usize) -> f64 {
+    /// Cost of selecting the top elements out of `dim` candidates on
+    /// `workers` engine threads. The comparison work shards (the engine's
+    /// chunked partial Top-k merges without re-sorting), the fixed kernel
+    /// cost does not.
+    fn select_with(&self, dim: usize, workers: usize) -> f64 {
         if dim == 0 {
             return 0.0;
         }
         let d = dim as f64;
+        let w = workers as f64;
         match self.device {
             // Sort-based: d·log₂(d) with a large fixed kernel cost.
-            ComputeDevice::Gpu => self.select_fixed + self.select_cost * d * d.log2().max(1.0),
+            ComputeDevice::Gpu => self.select_fixed + self.select_cost * d * d.log2().max(1.0) / w,
             // Quickselect: expected ~4 partition passes.
-            ComputeDevice::Cpu => self.select_fixed + self.select_cost * d * 4.0,
+            ComputeDevice::Cpu => self.select_fixed + self.select_cost * d * 4.0 / w,
         }
     }
 
     /// Modelled latency (seconds) of compressing a `dim`-element gradient to
     /// ratio `delta` with `kind`, where multi-stage schemes use `stages`
-    /// estimation stages. [`CompressorKind::None`] costs nothing.
+    /// estimation stages. [`CompressorKind::None`] costs nothing. Charges the
+    /// single-threaded engine; see
+    /// [`compression_time_with_workers`](Self::compression_time_with_workers)
+    /// for the multi-threaded model.
     pub fn compression_time(
         &self,
         kind: CompressorKind,
@@ -107,12 +116,36 @@ impl DeviceProfile {
         delta: f64,
         stages: usize,
     ) -> f64 {
+        self.compression_time_with_workers(kind, dim, delta, stages, 1)
+    }
+
+    /// Modelled latency of compressing with a `workers`-thread
+    /// [`CompressionEngine`](sidco_core::engine::CompressionEngine): every
+    /// streaming pass and selection shards its per-element work across the
+    /// workers while fixed overheads (kernel launches, fork/join) remain
+    /// serial — the Amdahl profile the engine's chunked primitives exhibit on
+    /// real hosts. `workers = 1` reproduces
+    /// [`compression_time`](Self::compression_time) exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn compression_time_with_workers(
+        &self,
+        kind: CompressorKind,
+        dim: usize,
+        delta: f64,
+        stages: usize,
+        workers: usize,
+    ) -> f64 {
+        assert!(workers >= 1, "the engine needs at least one worker");
         let d = dim as f64;
+        let w = workers;
         match kind {
             CompressorKind::None => 0.0,
             // Exact Top-k over the full gradient.
-            CompressorKind::TopK => self.select(dim),
-            // Draw k random indices and gather them.
+            CompressorKind::TopK => self.select_with(dim, w),
+            // Draw k random indices and gather them (too little work to shard).
             CompressorKind::RandomK => {
                 self.pass_fixed + self.pass_cost * (delta * d).max(1.0) * 4.0
             }
@@ -121,24 +154,44 @@ impl DeviceProfile {
             CompressorKind::Dgc => {
                 let sample = (dim / 100).max(256).min(dim);
                 let survivors = ((2.0 * delta * d) as usize).max(1);
-                self.select(sample) + self.select(survivors) + 2.0 * self.pass(dim)
+                self.select_with(sample, w)
+                    + self.select_with(survivors, w)
+                    + 2.0 * self.pass_with(dim, w)
             }
             // Max/mean interpolation search: a handful of scan-and-count passes.
-            CompressorKind::RedSync => 7.0 * self.pass(dim),
+            CompressorKind::RedSync => 7.0 * self.pass_with(dim, w),
             // Two moment passes plus a few threshold-adjustment scans.
-            CompressorKind::GaussianKSgd => 4.0 * self.pass(dim),
+            CompressorKind::GaussianKSgd => 4.0 * self.pass_with(dim, w),
             // One full fitting pass, then peaks-over-threshold refits over the
             // geometrically shrinking exceedance set, then the selection scan.
             CompressorKind::Sidco(_) => {
                 let stages = stages.max(1);
                 // First-stage ratio δ₁ = 0.25 bounds every refit's input.
                 let refit_elements: f64 = (1..stages).map(|s| d * 0.25f64.powi(s as i32)).sum();
-                self.pass(dim)
-                    + self.pass_cost * refit_elements
-                    + self.pass(dim)
+                self.pass_with(dim, w)
+                    + self.pass_cost * refit_elements / w as f64
+                    + self.pass_with(dim, w)
                     + self.pass_fixed * (stages - 1) as f64
             }
         }
+    }
+
+    /// Modelled multi-thread speed-up of `kind` at `workers` engine threads
+    /// over the single-threaded engine (≥ 1, ≤ `workers`, saturating per
+    /// Amdahl as the serial fixed costs start to dominate).
+    pub fn engine_speedup(
+        &self,
+        kind: CompressorKind,
+        dim: usize,
+        delta: f64,
+        stages: usize,
+        workers: usize,
+    ) -> f64 {
+        let parallel = self.compression_time_with_workers(kind, dim, delta, stages, workers);
+        if parallel <= 0.0 {
+            return 1.0;
+        }
+        self.compression_time(kind, dim, delta, stages) / parallel
     }
 
     /// Modelled compression speed-up of `kind` over exact Top-k (Figures 1a/b,
@@ -233,5 +286,74 @@ mod tests {
             DeviceProfile::gpu().compression_time(CompressorKind::None, DIM, 1.0, 1),
             0.0
         );
+        assert_eq!(
+            DeviceProfile::gpu().engine_speedup(CompressorKind::None, DIM, 1.0, 1, 8),
+            1.0
+        );
+    }
+
+    #[test]
+    fn one_engine_worker_reproduces_the_serial_model_exactly() {
+        let kinds = [
+            CompressorKind::TopK,
+            CompressorKind::RandomK,
+            CompressorKind::Dgc,
+            CompressorKind::RedSync,
+            CompressorKind::GaussianKSgd,
+            CompressorKind::Sidco(SidKind::Exponential),
+        ];
+        for profile in [DeviceProfile::gpu(), DeviceProfile::cpu()] {
+            for kind in kinds {
+                assert_eq!(
+                    profile.compression_time(kind, DIM, 0.001, 2),
+                    profile.compression_time_with_workers(kind, DIM, 0.001, 2, 1),
+                    "{kind:?} on {}",
+                    profile.device
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_speedup_is_monotone_bounded_and_saturating() {
+        let cpu = DeviceProfile::cpu();
+        let kind = CompressorKind::Sidco(SidKind::Exponential);
+        let mut previous = 1.0;
+        for workers in [1usize, 2, 4, 8, 16] {
+            let speedup = cpu.engine_speedup(kind, DIM, 0.001, 2, workers);
+            assert!(
+                speedup >= previous - 1e-12,
+                "speed-up must not drop: {previous} -> {speedup} at {workers}"
+            );
+            assert!(
+                speedup <= workers as f64 + 1e-12,
+                "speed-up {speedup} cannot exceed {workers} workers"
+            );
+            previous = speedup;
+        }
+        // Amdahl: the marginal gain of doubling shrinks.
+        let s2 = cpu.engine_speedup(kind, DIM, 0.001, 2, 2);
+        let s4 = cpu.engine_speedup(kind, DIM, 0.001, 2, 4);
+        let s8 = cpu.engine_speedup(kind, DIM, 0.001, 2, 8);
+        assert!(s4 / s2 <= s2 / 1.0 + 1e-12);
+        assert!(s8 / s4 <= s4 / s2 + 1e-12);
+    }
+
+    #[test]
+    fn gpu_topk_saturates_on_its_fixed_kernel_cost() {
+        // The GPU's 3ms selection kernel is serial: even at a tiny dimension
+        // and many workers the speed-up stays near 1.
+        let gpu = DeviceProfile::gpu();
+        let speedup = gpu.engine_speedup(CompressorKind::TopK, 10_000, 0.01, 1, 64);
+        assert!(
+            speedup < 1.2,
+            "fixed kernel cost should cap the speed-up, got {speedup}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_engine_workers() {
+        DeviceProfile::cpu().compression_time_with_workers(CompressorKind::TopK, 1, 0.1, 1, 0);
     }
 }

@@ -8,30 +8,42 @@
 //!   three testbeds;
 //! * [`network`] — the α–β cost model of the collectives
 //!   ([`NetworkModel`]): dense ring all-reduce for the baseline, sparse ring
-//!   all-gather for compressed gradients;
+//!   all-gather for compressed gradients, and two-tier hierarchical
+//!   collectives ([`HierarchicalTopology`](network::HierarchicalTopology)):
+//!   intra-node reduce-scatter feeding an inter-node exchange;
 //! * [`device`] — calibrated GPU/CPU compression-latency models
-//!   ([`DeviceProfile`](device::DeviceProfile)) behind Figures 1 and 14–17;
+//!   ([`DeviceProfile`](device::DeviceProfile)) behind Figures 1 and 14–17,
+//!   engine-aware so a multi-threaded
+//!   [`CompressionEngine`](sidco_core::engine::CompressionEngine) deployment
+//!   is charged its Amdahl speed-up;
 //! * [`simulate`] — the Table-1 benchmark simulator
 //!   ([`simulate_benchmark`](simulate::simulate_benchmark)): real compression
 //!   on a measured gradient, analytic costs at full scale;
 //! * [`overlap`] — the DDP-style bucketed pipeline model that overlaps
 //!   compression of bucket `i + 1` with communication of bucket `i`;
+//! * [`collective`] — the async collective scheduler
+//!   ([`CollectiveScheduler`](collective::CollectiveScheduler)): multi-stream
+//!   schedules, priority preemption of large transfers
+//!   (ByteScheduler-style), per-stream/per-bucket timelines and the analytic
+//!   lower bounds its property tests pin down;
 //! * [`trainer`] — a real data-parallel trainer
 //!   ([`ModelTrainer`](trainer::ModelTrainer)) over the analytic models, with
-//!   per-worker error feedback, momentum, clipping and optional bucketed
+//!   per-worker error feedback, momentum, clipping and scheduled bucketed
 //!   overlap of compression and communication;
 //! * [`adaptive`] — the delay-aware ratio controller
 //!   ([`RatioController`](adaptive::RatioController)) that derives δ from a
 //!   communication-time budget;
 //! * [`metrics`] — training reports and the time-to-quality speed-up metric;
-//! * [`schedule`] / [`optimizer`] — learning-rate schedules and the Table-1
-//!   local optimizers.
+//! * [`schedule`] / [`optimizer`] — learning-rate schedules, the bucket
+//!   sizing policy (layer-aligned, α–β-auto-tuned), and the Table-1 local
+//!   optimizers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod cluster;
+pub mod collective;
 pub mod device;
 pub mod metrics;
 pub mod network;
@@ -41,10 +53,11 @@ pub mod schedule;
 pub mod simulate;
 pub mod trainer;
 
+pub use collective::{BucketCost, CollectiveScheduler, PriorityPolicy, ScheduleTimeline};
 pub use metrics::TrainingReport;
-pub use network::NetworkModel;
+pub use network::{HierarchicalTopology, NetworkModel};
 pub use optimizer::Optimizer;
-pub use schedule::LrSchedule;
+pub use schedule::{BucketPolicy, LrSchedule};
 
 /// Bytes on the wire per sparse element (u32 index + f32 value), matching
 /// [`sidco_tensor::SparseGradient::wire_bytes`]. Used wherever a payload size

@@ -1,5 +1,6 @@
 //! Training-run reports and the time-to-quality speed-up metric.
 
+use crate::collective::ScheduleAccounting;
 use crate::overlap::OverlapAccounting;
 use sidco_core::metrics::{EstimationQualitySummary, EstimationQualityTracker};
 
@@ -26,6 +27,7 @@ pub struct TrainingReport {
     final_evaluation: f64,
     final_accuracy: Option<f64>,
     overlap: Option<OverlapAccounting>,
+    schedule: Option<ScheduleAccounting>,
 }
 
 impl TrainingReport {
@@ -42,6 +44,7 @@ impl TrainingReport {
             final_evaluation,
             final_accuracy,
             overlap: None,
+            schedule: None,
         }
     }
 
@@ -52,10 +55,25 @@ impl TrainingReport {
         self
     }
 
+    /// Attaches the collective scheduler's three-way accounting (serial vs
+    /// single-stream pipeline vs the charged multi-stream schedule, plus the
+    /// last iteration's per-stream/per-bucket timeline).
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: ScheduleAccounting) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
     /// The compression↔communication overlap accounting, when the run was
     /// compressed (`None` for the dense baseline).
     pub fn overlap(&self) -> Option<&OverlapAccounting> {
         self.overlap.as_ref()
+    }
+
+    /// The collective scheduler's accounting, when the run was compressed
+    /// (`None` for the dense baseline).
+    pub fn schedule(&self) -> Option<&ScheduleAccounting> {
+        self.schedule.as_ref()
     }
 
     /// The per-iteration trajectory, in iteration order.

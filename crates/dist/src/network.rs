@@ -83,6 +83,179 @@ impl NetworkModel {
         let transfer_budget = budget - (n - 1.0) * self.latency;
         (transfer_budget * self.bytes_per_second() / (n - 1.0)).max(0.0)
     }
+
+    /// The sparse all-gather cost split into its `(latency, transfer)` parts:
+    /// `(n-1)` latency hops that concurrent collectives can overlap, and the
+    /// bandwidth term that serialises on the link. The parts always sum to
+    /// [`allgather_sparse`](NetworkModel::allgather_sparse).
+    pub fn allgather_sparse_parts(&self, bytes: usize, workers: usize) -> (f64, f64) {
+        if workers <= 1 || bytes == 0 {
+            return (0.0, 0.0);
+        }
+        let n = workers as f64;
+        (
+            (n - 1.0) * self.latency,
+            (n - 1.0) * bytes as f64 / self.bytes_per_second(),
+        )
+    }
+}
+
+/// A two-tier cluster interconnect: `nodes` machines of `workers_per_node`
+/// workers each, with a fast intra-node fabric (NVLink/PCIe-class) and a
+/// slower inter-node fabric (the datacentre network).
+///
+/// Hierarchical collectives run in phases — an intra-node stage, an
+/// inter-node stage over per-node aggregates, and an intra-node distribution
+/// stage — so the slow inter-node link carries `(nodes-1)` hops instead of
+/// `(workers-1)`. With a single node (`nodes == 1`) every formula collapses
+/// to the flat intra-node collective, and with one worker per node it
+/// collapses to the flat inter-node collective; both identities are proven in
+/// `tests/scheduler_properties.rs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalTopology {
+    /// Number of machines.
+    pub nodes: usize,
+    /// Workers (GPUs) per machine.
+    pub workers_per_node: usize,
+    /// Fabric joining the workers of one machine.
+    pub intra: NetworkModel,
+    /// Fabric joining the machines.
+    pub inter: NetworkModel,
+}
+
+impl HierarchicalTopology {
+    /// A two-tier topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `workers_per_node` is zero.
+    pub fn new(
+        nodes: usize,
+        workers_per_node: usize,
+        intra: NetworkModel,
+        inter: NetworkModel,
+    ) -> Self {
+        assert!(nodes >= 1, "a topology needs at least one node");
+        assert!(workers_per_node >= 1, "a node needs at least one worker");
+        Self {
+            nodes,
+            workers_per_node,
+            intra,
+            inter,
+        }
+    }
+
+    /// A single machine: hierarchical collectives degenerate to flat
+    /// collectives over the intra-node fabric.
+    pub fn single_node(workers: usize, intra: NetworkModel) -> Self {
+        Self::new(1, workers, intra, intra)
+    }
+
+    /// One worker per machine: hierarchical collectives degenerate to flat
+    /// collectives over the inter-node fabric.
+    pub fn one_worker_per_node(nodes: usize, inter: NetworkModel) -> Self {
+        Self::new(nodes, 1, inter, inter)
+    }
+
+    /// Total worker count.
+    pub fn workers(&self) -> usize {
+        self.nodes * self.workers_per_node
+    }
+
+    /// Hierarchical ring all-reduce of a dense `bytes`-byte buffer:
+    /// intra-node reduce-scatter, inter-node all-reduce over the node shard,
+    /// intra-node all-gather. Collapses exactly to
+    /// [`NetworkModel::allreduce_dense`] when either tier is trivial.
+    pub fn allreduce_dense(&self, bytes: usize) -> f64 {
+        if bytes == 0 || self.workers() <= 1 {
+            return 0.0;
+        }
+        let g = self.workers_per_node as f64;
+        // Reduce-scatter and all-gather each move (g-1)/g of the buffer over
+        // the slowest intra link in (g-1) latency hops — together they are
+        // exactly one intra-node ring all-reduce.
+        let intra_phases = if self.workers_per_node > 1 {
+            2.0 * (g - 1.0) / g * bytes as f64 / self.intra.bytes_per_second()
+                + 2.0 * (g - 1.0) * self.intra.latency
+        } else {
+            0.0
+        };
+        // Each worker all-reduces its 1/g shard across the nodes.
+        let shard = (bytes as f64 / g).ceil() as usize;
+        intra_phases + self.inter.allreduce_dense(shard, self.nodes)
+    }
+
+    /// Hierarchical sparse all-gather where every worker contributes `bytes`
+    /// bytes: gather payloads within each node, exchange the per-node
+    /// aggregates (`workers_per_node · bytes` each) across nodes, then fan the
+    /// remote aggregates out within each node.
+    pub fn allgather_sparse(&self, bytes: usize) -> f64 {
+        let (latency, transfer) = self.allgather_sparse_parts(bytes);
+        latency + transfer
+    }
+
+    /// Largest per-worker sparse payload (bytes) whose *hierarchical*
+    /// all-gather finishes within `budget` seconds — the inverse of
+    /// [`allgather_sparse`](HierarchicalTopology::allgather_sparse), mirroring
+    /// [`NetworkModel::allgather_budget_bytes`] (zero when the latency floor
+    /// alone exceeds the budget, infinite for a single worker).
+    pub fn allgather_budget_bytes(&self, budget: f64) -> f64 {
+        if self.workers() <= 1 {
+            return f64::INFINITY;
+        }
+        if self.nodes == 1 {
+            return self
+                .intra
+                .allgather_budget_bytes(budget, self.workers_per_node);
+        }
+        if self.workers_per_node == 1 {
+            return self.inter.allgather_budget_bytes(budget, self.nodes);
+        }
+        // allgather_sparse is affine in the payload: time = floor + slope·bytes
+        // with the three stage formulas' constants collected below.
+        let g = self.workers_per_node as f64;
+        let n = self.nodes as f64;
+        let floor =
+            (g - 1.0) * self.intra.latency + (n - 1.0) * self.inter.latency + self.intra.latency;
+        let slope = (g - 1.0) / self.intra.bytes_per_second()
+            + (n - 1.0) * g / self.inter.bytes_per_second()
+            + (n - 1.0) * g / self.intra.bytes_per_second();
+        ((budget - floor) / slope).max(0.0)
+    }
+
+    /// The hierarchical sparse all-gather split for the collective scheduler:
+    /// the intra-node stages and latency hops (overlappable across streams,
+    /// since they run on the per-node fabric) and the inter-node transfer that
+    /// serialises on the bottleneck link. Sums to
+    /// [`allgather_sparse`](HierarchicalTopology::allgather_sparse).
+    pub fn allgather_sparse_parts(&self, bytes: usize) -> (f64, f64) {
+        if bytes == 0 || self.workers() <= 1 {
+            return (0.0, 0.0);
+        }
+        // Degenerate tiers collapse to the flat collective, whose own fabric
+        // is then the bottleneck link.
+        if self.nodes == 1 {
+            return self
+                .intra
+                .allgather_sparse_parts(bytes, self.workers_per_node);
+        }
+        if self.workers_per_node == 1 {
+            return self.inter.allgather_sparse_parts(bytes, self.nodes);
+        }
+        let g = self.workers_per_node;
+        let n = self.nodes;
+        // Stage 1: every node gathers its workers' payloads.
+        let intra_gather = self.intra.allgather_sparse(bytes, g);
+        // Stage 2: nodes exchange their g-payload aggregates.
+        let (inter_latency, inter_transfer) = self.inter.allgather_sparse_parts(bytes * g, n);
+        // Stage 3: each node fans the (n-1) remote aggregates out internally.
+        let intra_fanout = if g > 1 && n > 1 {
+            (n - 1) as f64 * (g * bytes) as f64 / self.intra.bytes_per_second() + self.intra.latency
+        } else {
+            0.0
+        };
+        (intra_gather + inter_latency + intra_fanout, inter_transfer)
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +292,90 @@ mod tests {
         let net = NetworkModel::ethernet_25g();
         let t = net.allgather_sparse(8, 8);
         assert!(t >= 7.0 * net.latency);
+    }
+
+    #[test]
+    fn allgather_parts_sum_to_the_lumped_cost() {
+        let net = NetworkModel::ethernet_25g();
+        let (latency, transfer) = net.allgather_sparse_parts(1 << 20, 8);
+        assert!((latency + transfer - net.allgather_sparse(1 << 20, 8)).abs() < 1e-15);
+        assert_eq!(net.allgather_sparse_parts(0, 8), (0.0, 0.0));
+        assert_eq!(net.allgather_sparse_parts(1 << 20, 1), (0.0, 0.0));
+    }
+
+    #[test]
+    fn hierarchical_collapses_to_flat_on_degenerate_tiers() {
+        let intra = NetworkModel::infiniband_100g();
+        let inter = NetworkModel::ethernet_25g();
+        let bytes = 3 << 20;
+
+        let single = HierarchicalTopology::single_node(8, intra);
+        assert_eq!(single.workers(), 8);
+        assert!((single.allgather_sparse(bytes) - intra.allgather_sparse(bytes, 8)).abs() < 1e-15);
+        assert!((single.allreduce_dense(bytes) - intra.allreduce_dense(bytes, 8)).abs() < 1e-12);
+
+        let flat = HierarchicalTopology::one_worker_per_node(8, inter);
+        assert!((flat.allgather_sparse(bytes) - inter.allgather_sparse(bytes, 8)).abs() < 1e-15);
+        assert!((flat.allreduce_dense(bytes) - inter.allreduce_dense(bytes, 8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_beats_a_flat_collective_over_the_slow_fabric() {
+        let intra = NetworkModel::infiniband_100g();
+        let inter = NetworkModel::ethernet_25g();
+        let two_tier = HierarchicalTopology::new(2, 4, intra, inter);
+        let bytes = 1 << 22;
+        // Flat: all 8 workers ring over the slow 25G fabric.
+        let flat = inter.allgather_sparse(bytes, 8);
+        assert!(
+            two_tier.allgather_sparse(bytes) < flat,
+            "two-tier {} should beat flat {flat}",
+            two_tier.allgather_sparse(bytes)
+        );
+        assert!(two_tier.allreduce_dense(bytes) < inter.allreduce_dense(bytes, 8));
+        // The serialised part only carries the inter-node traffic.
+        let (latency, transfer) = two_tier.allgather_sparse_parts(bytes);
+        assert!(latency > 0.0 && transfer > 0.0);
+        assert!((latency + transfer - two_tier.allgather_sparse(bytes)).abs() < 1e-12);
+        let (_, flat_transfer) = inter.allgather_sparse_parts(bytes, 8);
+        assert!(transfer < flat_transfer);
+    }
+
+    #[test]
+    fn hierarchical_budget_inverts_the_hierarchical_allgather() {
+        let two_tier = HierarchicalTopology::new(
+            2,
+            4,
+            NetworkModel::infiniband_100g(),
+            NetworkModel::ethernet_25g(),
+        );
+        let bytes = two_tier.allgather_budget_bytes(0.002);
+        assert!(bytes > 0.0);
+        let time = two_tier.allgather_sparse(bytes as usize);
+        assert!((time - 0.002).abs() < 1e-6, "round trip gave {time}");
+        // Degenerate tiers invert through the flat formula.
+        let single = HierarchicalTopology::single_node(8, NetworkModel::infiniband_100g());
+        assert_eq!(
+            single.allgather_budget_bytes(0.001),
+            NetworkModel::infiniband_100g().allgather_budget_bytes(0.001, 8)
+        );
+        assert_eq!(
+            HierarchicalTopology::single_node(1, NetworkModel::ethernet_10g())
+                .allgather_budget_bytes(0.001),
+            f64::INFINITY
+        );
+        // A latency floor above the budget affords nothing.
+        assert_eq!(two_tier.allgather_budget_bytes(1e-9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn topology_rejects_zero_nodes() {
+        HierarchicalTopology::new(
+            0,
+            4,
+            NetworkModel::ethernet_25g(),
+            NetworkModel::ethernet_25g(),
+        );
     }
 }

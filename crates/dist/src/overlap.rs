@@ -15,6 +15,16 @@
 //! `max(Σ compression, Σ communication)` plus the unavoidable fill/drain
 //! bubbles, and bounded above by the fully serial `Σ compression +
 //! Σ communication`.
+//!
+//! This module is the single-stream FIFO special case; the general model —
+//! multiple communication streams, hierarchical collectives and
+//! ByteScheduler-style priority preemption — lives in
+//! [`collective`](crate::collective), whose single-stream FIFO schedule
+//! reproduces [`pipelined_overhead`] exactly (a property-tested invariant).
+//! [`multi_stream_overhead`] is the bridge: the same per-bucket cost slices,
+//! scheduled on a configurable [`CollectiveScheduler`].
+
+use crate::collective::{BucketCost, CollectiveScheduler};
 
 /// Total compression + communication overhead when the two phases are fully
 /// serialised (compress every bucket, then communicate every bucket).
@@ -54,6 +64,51 @@ pub fn pipelined_overhead(compression: &[f64], communication: &[f64]) -> f64 {
         wire_done = wire_done.max(compress_done) + comm;
     }
     wire_done
+}
+
+/// Total overhead when the per-bucket costs are scheduled by `scheduler`
+/// instead of the single FIFO stream: `communication[i]` is split into its
+/// overlappable latency part (`latency[i]`) and the link-serialised
+/// remainder. With one stream, FIFO priority and zero latencies this equals
+/// [`pipelined_overhead`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `latency[i] >
+/// communication[i]` for some bucket.
+pub fn multi_stream_overhead(
+    compression: &[f64],
+    communication: &[f64],
+    latency: &[f64],
+    scheduler: &CollectiveScheduler,
+) -> f64 {
+    assert_eq!(
+        compression.len(),
+        communication.len(),
+        "per-bucket cost slices must align"
+    );
+    assert_eq!(
+        compression.len(),
+        latency.len(),
+        "per-bucket cost slices must align"
+    );
+    let buckets: Vec<BucketCost> = compression
+        .iter()
+        .zip(communication)
+        .zip(latency)
+        .map(|((&compression, &communication), &latency)| {
+            assert!(
+                latency <= communication,
+                "latency {latency} exceeds total communication {communication}"
+            );
+            BucketCost {
+                compression,
+                latency,
+                transfer: communication - latency,
+            }
+        })
+        .collect();
+    scheduler.schedule(&buckets).makespan()
 }
 
 /// Accumulated overlap accounting over a training run: what the
@@ -160,6 +215,38 @@ mod tests {
     #[should_panic(expected = "align")]
     fn mismatched_buckets_panic() {
         pipelined_overhead(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn multi_stream_overhead_generalises_the_pipeline() {
+        use crate::collective::PriorityPolicy;
+        let comp = [1.0, 0.5, 2.0];
+        let comm = [2.0, 3.0, 0.5];
+        let zero_latency = [0.0, 0.0, 0.0];
+        let fifo = CollectiveScheduler::single_stream_fifo();
+        assert!(
+            (multi_stream_overhead(&comp, &comm, &zero_latency, &fifo)
+                - pipelined_overhead(&comp, &comm))
+            .abs()
+                < 1e-12
+        );
+        // Splitting part of the communication into overlappable latency can
+        // only help once a second stream exists.
+        let latency = [0.5, 0.5, 0.25];
+        let two = CollectiveScheduler::new(2, PriorityPolicy::SmallestFirst);
+        let overhead = multi_stream_overhead(&comp, &comm, &latency, &two);
+        assert!(overhead <= pipelined_overhead(&comp, &comm) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total communication")]
+    fn multi_stream_rejects_inconsistent_latency() {
+        multi_stream_overhead(
+            &[1.0],
+            &[1.0],
+            &[2.0],
+            &CollectiveScheduler::single_stream_fifo(),
+        );
     }
 
     #[test]

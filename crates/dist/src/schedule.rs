@@ -1,4 +1,11 @@
-//! Learning-rate schedules for the trainer.
+//! Schedules for the trainer: learning-rate schedules and the bucket sizing
+//! policy that lays gradient buckets out along real layer boundaries and
+//! auto-tunes the bucket count against the α–β network model.
+
+use crate::cluster::ClusterConfig;
+use crate::collective::{modeled_bucket_costs, CollectiveScheduler};
+use sidco_core::compressor::CompressorKind;
+use sidco_core::layerwise::LayerLayout;
 
 /// Learning-rate schedule: optional linear warm-up followed by optional
 /// periodic decay.
@@ -64,6 +71,113 @@ impl Default for LrSchedule {
     }
 }
 
+/// How the trainer turns a model's parameters into gradient buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BucketPolicy {
+    /// `TrainerConfig::buckets` near-equal buckets, ignoring layer shapes —
+    /// the original default.
+    #[default]
+    Uniform,
+    /// One bucket per model layer (the per-tensor hooks of the reference
+    /// integration).
+    PerLayer,
+    /// Layer-aligned buckets whose count and sizes are auto-tuned against the
+    /// cluster's α–β model via [`auto_bucket_layout`].
+    AutoTuned,
+}
+
+/// Packs consecutive layers into buckets of roughly `target` parameters:
+/// adjacent layers coalesce until the bucket would exceed the target, and a
+/// layer larger than the target is split into near-equal pieces no larger
+/// than the target (splitting within a layer is how DDP caps bucket sizes).
+///
+/// # Panics
+///
+/// Panics if `layers` is empty, any layer is zero, or `target` is zero.
+pub fn pack_layers(layers: &[usize], target: usize) -> LayerLayout {
+    assert!(!layers.is_empty(), "at least one layer is required");
+    assert!(target > 0, "bucket target must be positive");
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut open = 0usize;
+    for &layer in layers {
+        assert!(layer > 0, "layer sizes must be positive");
+        if layer > target {
+            if open > 0 {
+                sizes.push(open);
+                open = 0;
+            }
+            // Near-equal split into ceil(layer / target) pieces.
+            let pieces = layer.div_ceil(target);
+            let base = layer / pieces;
+            let remainder = layer % pieces;
+            for i in 0..pieces {
+                sizes.push(base + usize::from(i < remainder));
+            }
+        } else if open + layer > target {
+            sizes.push(open);
+            open = layer;
+        } else {
+            open += layer;
+        }
+    }
+    if open > 0 {
+        sizes.push(open);
+    }
+    LayerLayout::new(sizes)
+}
+
+/// Derives a bucket layout from a model's real layer shapes, auto-tuned
+/// against the cluster's α–β model: candidate bucket counts (powers of two)
+/// are packed along layer boundaries with [`pack_layers`], each candidate's
+/// iteration overhead is evaluated through `scheduler` over
+/// [`modeled_bucket_costs`], and the cheapest schedule wins (ties prefer
+/// fewer buckets). This replaces the near-uniform default with a layout that
+/// balances per-bucket latency floors against pipeline granularity.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty or contains a zero, or if `delta` is not in
+/// `(0, 1]`.
+pub fn auto_bucket_layout(
+    layers: &[usize],
+    cluster: &ClusterConfig,
+    kind: CompressorKind,
+    delta: f64,
+    scheduler: &CollectiveScheduler,
+) -> LayerLayout {
+    assert!(
+        delta > 0.0 && delta <= 1.0,
+        "delta must lie in (0,1], got {delta}"
+    );
+    let total: usize = layers.iter().sum();
+    // Multi-stage estimators settle around two stages; the tuner only needs
+    // the relative cost shape, not the exact stage count.
+    let stages = 2;
+    let evaluate = |layout: LayerLayout, best: &mut Option<(f64, LayerLayout)>| {
+        let costs = modeled_bucket_costs(cluster, kind, delta, stages, &layout);
+        let makespan = scheduler.best_schedule(&costs).makespan();
+        let better = match best {
+            Some((best_makespan, _)) => makespan < *best_makespan - 1e-15,
+            None => true,
+        };
+        if better {
+            *best = Some((makespan, layout));
+        }
+    };
+    let mut best: Option<(f64, LayerLayout)> = None;
+    let mut buckets = 1usize;
+    while buckets <= 128 && buckets <= total {
+        let target = total.div_ceil(buckets);
+        evaluate(pack_layers(layers, target), &mut best);
+        buckets *= 2;
+    }
+    // The per-tensor layout (what a DDP integration hands over) is always a
+    // candidate, so tuning never loses to not tuning; selection is strict, so
+    // earlier (coarser) candidates win ties.
+    evaluate(LayerLayout::new(layers.to_vec()), &mut best);
+    best.expect("at least one candidate layout").1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +206,69 @@ mod tests {
         assert_eq!(s.lr_at(109), 1.0);
         assert!((s.lr_at(110) - 0.1).abs() < 1e-12);
         assert!((s.lr_at(310) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packing_respects_layer_boundaries_and_targets() {
+        // Small layers coalesce, the big layer is split into ≤ target pieces.
+        let layout = pack_layers(&[100, 100, 100, 1000, 50], 300);
+        assert_eq!(layout.total(), 1350);
+        for &size in layout.sizes() {
+            assert!(size <= 300, "bucket of {size} exceeds the 300 target");
+        }
+        // The three small layers share one bucket; the 1000 layer yields 4.
+        assert_eq!(layout.sizes(), &[300, 250, 250, 250, 250, 50]);
+        // A huge target packs everything into one bucket.
+        assert_eq!(pack_layers(&[100, 100], 1 << 20).len(), 1);
+        // A tiny target degenerates to per-element buckets but stays valid.
+        assert_eq!(pack_layers(&[3], 1).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn packing_rejects_empty_layers() {
+        pack_layers(&[10, 0], 8);
+    }
+
+    #[test]
+    fn auto_tuned_layout_beats_single_bucket_and_excess_buckets() {
+        use crate::collective::{
+            scheduled_iteration_overhead, CollectiveScheduler, PriorityPolicy,
+        };
+        use sidco_core::layerwise::LayerLayout;
+
+        let cluster = ClusterConfig::paper_dedicated();
+        let kind = CompressorKind::Sidco(sidco_stats::fit::SidKind::Exponential);
+        let scheduler = CollectiveScheduler::new(2, PriorityPolicy::SmallestFirst);
+        // A VGG-ish shape: many small convs plus two huge FC layers.
+        let layers: Vec<usize> = vec![
+            1_728, 36_864, 73_728, 147_456, 294_912, 589_824, 1_179_648, 2_359_296, 2_359_296,
+            2_359_296, 4_194_304, 1_048_576,
+        ];
+        let layout = auto_bucket_layout(&layers, &cluster, kind, 0.01, &scheduler);
+        assert_eq!(layout.total(), layers.iter().sum::<usize>());
+        let tuned = scheduled_iteration_overhead(&cluster, kind, 0.01, 2, &layout, &scheduler);
+        let single = scheduled_iteration_overhead(
+            &cluster,
+            kind,
+            0.01,
+            2,
+            &LayerLayout::single(layout.total()),
+            &scheduler,
+        );
+        let shredded = scheduled_iteration_overhead(
+            &cluster,
+            kind,
+            0.01,
+            2,
+            &pack_layers(&layers, layout.total() / 512),
+            &scheduler,
+        );
+        assert!(
+            tuned <= single && tuned <= shredded,
+            "tuned {tuned} vs single {single} vs 512-way {shredded}"
+        );
+        // The tuner must have actually bucketed the model.
+        assert!(layout.len() > 1, "expected a multi-bucket layout");
     }
 }

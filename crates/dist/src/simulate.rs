@@ -228,10 +228,9 @@ pub fn simulate_benchmark(
 
     // Split the benchmark's measured iteration into compute and dense
     // communication so the simulated baseline reproduces Table 1's
-    // communication-overhead column on this cluster's network.
-    let dense_comm = cluster
-        .network
-        .allreduce_dense(spec.gradient_bytes(), cluster.workers);
+    // communication-overhead column on this cluster's network (hierarchical
+    // when the cluster has a two-tier topology).
+    let dense_comm = cluster.allreduce_dense(spec.gradient_bytes());
     let overhead = spec.communication_overhead.clamp(0.01, 0.99);
     let compute = if cluster.workers > 1 {
         dense_comm * (1.0 - overhead) / overhead
@@ -264,10 +263,14 @@ pub fn simulate_benchmark(
         let (compression, communication) = if compressor.is_some() {
             let payload = achieved * spec.parameters as f64 * SPARSE_WIRE_BYTES;
             (
-                profile.compression_time(kind, spec.parameters, delta, stages),
-                cluster
-                    .network
-                    .allgather_sparse(payload.round() as usize, cluster.workers),
+                profile.compression_time_with_workers(
+                    kind,
+                    spec.parameters,
+                    delta,
+                    stages,
+                    cluster.engine_workers,
+                ),
+                cluster.allgather_sparse(payload.round() as usize),
             )
         } else {
             (0.0, dense_comm)
@@ -385,6 +388,60 @@ mod tests {
         let samples = baseline.mean_throughput_samples(8, 3);
         let expected = (BenchmarkId::ResNet20Cifar10.spec().per_worker_batch * 8) as f64 / per_iter;
         assert!((samples - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn engine_workers_and_topology_shape_the_cost_model() {
+        let config = quick(BenchmarkId::Vgg16Cifar10);
+        let kind = CompressorKind::Sidco(SidKind::Exponential);
+        let serial = simulate_benchmark(&config, kind, 0.01);
+        // More engine workers: same quality series, cheaper compression.
+        let parallel_cluster = config.cluster.with_engine_workers(4);
+        let parallel = simulate_benchmark(
+            &SimulationConfig {
+                cluster: parallel_cluster,
+                ..config
+            },
+            kind,
+            0.01,
+        );
+        assert_eq!(serial.quality.history(), parallel.quality.history());
+        let t_serial: f64 = serial.timing.timings().iter().map(|t| t.compression).sum();
+        let t_parallel: f64 = parallel
+            .timing
+            .timings()
+            .iter()
+            .map(|t| t.compression)
+            .sum();
+        assert!(
+            t_parallel < t_serial,
+            "4 engine workers {t_parallel} should compress faster than 1 {t_serial}"
+        );
+        // A two-tier topology reduces communication on the slow fabric.
+        let two_tier = simulate_benchmark(
+            &SimulationConfig {
+                cluster: ClusterConfig::paper_two_tier(),
+                ..config
+            },
+            kind,
+            0.01,
+        );
+        let comm_flat: f64 = serial
+            .timing
+            .timings()
+            .iter()
+            .map(|t| t.communication)
+            .sum();
+        let comm_hier: f64 = two_tier
+            .timing
+            .timings()
+            .iter()
+            .map(|t| t.communication)
+            .sum();
+        assert!(
+            comm_hier < comm_flat,
+            "hierarchical {comm_hier} should beat flat {comm_flat}"
+        );
     }
 
     #[test]

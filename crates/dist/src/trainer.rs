@@ -7,19 +7,26 @@
 //! device models, so loss-vs-time curves (Figure 10) come out of one run.
 //!
 //! Gradients can be compressed as one flat vector (the default) or split into
-//! DDP-style per-layer buckets ([`TrainerConfig::buckets`] /
-//! [`TrainerConfig::bucket_layout`]); with [`TrainerConfig::overlap`] enabled
-//! the cost model pipelines the buckets, overlapping compression of bucket
-//! `i + 1` with communication of bucket `i`. The bucketing decides *what* is
-//! compressed (so it changes the selected elements); the overlap flag only
-//! decides *when* costs are charged, so overlapped and serial runs of the same
-//! bucketing converge identically and differ purely in simulated time.
+//! DDP-style buckets: near-uniform ([`TrainerConfig::buckets`]), along the
+//! model's real layer boundaries or auto-tuned against the α–β network model
+//! ([`TrainerConfig::bucket_policy`]), or fully explicit
+//! ([`TrainerConfig::bucket_layout`]). With [`TrainerConfig::overlap`]
+//! enabled the cost model schedules the buckets through the
+//! [`collective`](crate::collective) scheduler — single-stream FIFO by
+//! default, multi-stream and/or priority-preemptive via
+//! [`TrainerConfig::streams`] and [`TrainerConfig::priority`] — and charges
+//! the schedule's makespan. The bucketing decides *what* is compressed (so it
+//! changes the selected elements); the overlap flag, stream count and
+//! priority policy only decide *when* costs are charged, so overlapped,
+//! multi-stream and serial runs of the same bucketing converge bit-identically
+//! and differ purely in simulated time.
 
 use crate::cluster::ClusterConfig;
+use crate::collective::{BucketCost, CollectiveScheduler, PriorityPolicy, ScheduleAccounting};
 use crate::metrics::{TrainingReport, TrainingSample};
 use crate::optimizer::Optimizer;
-use crate::overlap::{pipelined_overhead, serial_overhead, OverlapAccounting};
-use crate::schedule::LrSchedule;
+use crate::overlap::{pipelined_overhead, OverlapAccounting};
+use crate::schedule::{auto_bucket_layout, BucketPolicy, LrSchedule};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sidco_core::layerwise::LayerLayout;
@@ -58,17 +65,39 @@ pub struct TrainerConfig {
     pub compressor_kind: Option<sidco_core::compressor::CompressorKind>,
     /// Number of near-equal gradient buckets compressed (and communicated)
     /// independently per iteration, DDP-style. 1 compresses the flat gradient
-    /// in one piece. Ignored when [`bucket_layout`](Self::bucket_layout) is
-    /// set.
+    /// in one piece. Used by [`BucketPolicy::Uniform`]; ignored when
+    /// [`bucket_layout`](Self::bucket_layout) is set or another policy is
+    /// selected.
     pub buckets: usize,
+    /// How buckets are derived when no explicit layout is given:
+    /// near-uniform ([`BucketPolicy::Uniform`], the default), one bucket per
+    /// model layer ([`BucketPolicy::PerLayer`]), or layer-aligned buckets
+    /// auto-tuned against the cluster's α–β model
+    /// ([`BucketPolicy::AutoTuned`]). Auto-tuning always optimises the
+    /// *overlapped* schedule under [`streams`](Self::streams) and
+    /// [`priority`](Self::priority) — even when [`overlap`](Self::overlap)
+    /// is off, so a serial run is the apples-to-apples baseline of the
+    /// overlapped run on the same bucketing (serial charging itself would
+    /// always prefer one flat bucket).
+    pub bucket_policy: BucketPolicy,
     /// Explicit per-layer bucket sizes (must sum to the model's parameter
-    /// count). Overrides [`buckets`](Self::buckets) so the trainer can bucket
-    /// along real layer boundaries.
+    /// count). Overrides [`buckets`](Self::buckets) and
+    /// [`bucket_policy`](Self::bucket_policy) so callers can bucket along
+    /// arbitrary boundaries.
     pub bucket_layout: Option<LayerLayout>,
     /// Overlap compression of bucket `i + 1` with communication of bucket `i`
     /// in the cost model. Has no effect on the numerics — only on simulated
     /// time — and no effect at all with a single bucket.
     pub overlap: bool,
+    /// Number of communication streams the overlapped cost model schedules
+    /// buckets onto (1 reproduces the classic single-FIFO pipeline). Only
+    /// consulted when [`overlap`](Self::overlap) is on.
+    pub streams: usize,
+    /// Order in which buckets contend for streams and the wire; non-FIFO
+    /// policies let small buckets preempt large transfers
+    /// (ByteScheduler-style). Only consulted when [`overlap`](Self::overlap)
+    /// is on.
+    pub priority: PriorityPolicy,
     /// Seed for parameter initialisation and mini-batch sampling.
     pub seed: u64,
 }
@@ -85,11 +114,28 @@ impl Default for TrainerConfig {
             error_feedback: true,
             compressor_kind: None,
             buckets: 1,
+            bucket_policy: BucketPolicy::Uniform,
             bucket_layout: None,
             overlap: false,
+            streams: 1,
+            priority: PriorityPolicy::Fifo,
             seed: 17,
         }
     }
+}
+
+/// Compression ratio the auto-tuner evaluates candidate layouts at (the
+/// paper's middle evaluated ratio; the layout must be fixed before
+/// [`ModelTrainer::run`] learns the real `delta`).
+const AUTO_TUNE_DELTA: f64 = 0.01;
+
+/// The compressor kind the cost model charges for (the factory is opaque).
+fn charged_kind(config: &TrainerConfig) -> sidco_core::compressor::CompressorKind {
+    config
+        .compressor_kind
+        .unwrap_or(sidco_core::compressor::CompressorKind::Sidco(
+            sidco_stats::fit::SidKind::Exponential,
+        ))
 }
 
 /// Synchronous data-parallel trainer.
@@ -129,8 +175,8 @@ impl ModelTrainer {
     where
         F: Fn() -> Box<dyn Compressor>,
     {
-        assert!(cluster.workers > 0, "cluster must have at least one worker");
-        let layout = resolve_layout(&config, model.num_parameters());
+        validate_cluster(&cluster, &config);
+        let layout = resolve_layout(&config, model.as_ref(), &cluster);
         let buckets = layout.len();
         let compressors = (0..cluster.workers)
             .map(|_| (0..buckets).map(|_| factory()).collect())
@@ -150,8 +196,8 @@ impl ModelTrainer {
         cluster: ClusterConfig,
         config: TrainerConfig,
     ) -> Self {
-        assert!(cluster.workers > 0, "cluster must have at least one worker");
-        let layout = resolve_layout(&config, model.num_parameters());
+        validate_cluster(&cluster, &config);
+        let layout = resolve_layout(&config, model.as_ref(), &cluster);
         Self {
             model,
             cluster,
@@ -196,16 +242,13 @@ impl ModelTrainer {
         // All workers compress concurrently; the slowest gates each bucket.
         // Charge the configured scheme's modelled cost (falling back to a
         // generic two-pass threshold scheme).
-        let charged_kind =
-            self.config
-                .compressor_kind
-                .unwrap_or(sidco_core::compressor::CompressorKind::Sidco(
-                    sidco_stats::fit::SidKind::Exponential,
-                ));
+        let charged_kind = charged_kind(&self.config);
 
         let mut quality = EstimationQualityTracker::new(delta);
         let mut samples = Vec::with_capacity(self.config.iterations as usize);
-        let mut overlap_accounting = OverlapAccounting::new(buckets);
+        let scheduler = CollectiveScheduler::new(self.config.streams, self.config.priority);
+        let mut schedule_accounting =
+            ScheduleAccounting::new(buckets, self.config.streams, self.config.priority);
         let mut clock = 0.0_f64;
         let profile = self.cluster.device_profile();
 
@@ -246,8 +289,14 @@ impl ModelTrainer {
                         let segment = &corrected.as_slice()[offset..offset + size];
                         let result = self.compressors[worker][bucket].compress(segment, delta);
                         let stages = result.stages_used.unwrap_or(1);
-                        bucket_compression[bucket] = bucket_compression[bucket]
-                            .max(profile.compression_time(charged_kind, size, delta, stages));
+                        bucket_compression[bucket] =
+                            bucket_compression[bucket].max(profile.compression_time_with_workers(
+                                charged_kind,
+                                size,
+                                delta,
+                                stages,
+                                self.cluster.engine_workers,
+                            ));
                         bucket_payloads[bucket] =
                             bucket_payloads[bucket].max(result.sparse.wire_bytes());
                         for (i, v) in result.sparse.iter() {
@@ -273,22 +322,51 @@ impl ModelTrainer {
             let compute_time =
                 COMPUTE_COST_PER_EXAMPLE_ELEMENT * self.config.batch_per_worker as f64 * dim as f64;
             let overhead_time = if compressed {
-                let bucket_communication: Vec<f64> = bucket_payloads
+                // Communication costs split into their overlappable and
+                // link-serialised parts (hierarchical when the cluster has a
+                // two-tier topology).
+                let costs: Vec<BucketCost> = bucket_compression
                     .iter()
-                    .map(|&bytes| self.cluster.network.allgather_sparse(bytes, workers))
+                    .zip(&bucket_payloads)
+                    .map(|(&compression, &bytes)| {
+                        let (latency, transfer) = self.cluster.allgather_sparse_parts(bytes);
+                        BucketCost {
+                            compression,
+                            latency,
+                            transfer,
+                        }
+                    })
                     .collect();
-                let serial = serial_overhead(&bucket_compression, &bucket_communication);
-                let charged = if self.config.overlap {
-                    pipelined_overhead(&bucket_compression, &bucket_communication)
-                } else {
+                let serial: f64 = costs
+                    .iter()
+                    .map(|c| c.compression + c.communication())
+                    .sum();
+                let bucket_communication: Vec<f64> =
+                    costs.iter().map(BucketCost::communication).collect();
+                let pipelined = pipelined_overhead(&bucket_compression, &bucket_communication);
+                let last_iteration = iteration + 1 == self.config.iterations;
+                let charged = if !self.config.overlap {
                     serial
+                } else if self.config.streams == 1 && self.config.priority == PriorityPolicy::Fifo {
+                    // The classic single-FIFO pipeline, charged through the
+                    // closed-form recurrence (bit-identical to PR 2 runs).
+                    if last_iteration {
+                        schedule_accounting.set_timeline(scheduler.best_schedule(&costs));
+                    }
+                    pipelined
+                } else {
+                    let timeline = scheduler.best_schedule(&costs);
+                    let makespan = timeline.makespan();
+                    if last_iteration {
+                        schedule_accounting.set_timeline(timeline);
+                    }
+                    makespan
                 };
-                overlap_accounting.record(serial, charged);
+                schedule_accounting.record(serial, pipelined, charged);
                 charged
             } else {
                 self.cluster
-                    .network
-                    .allreduce_dense(dim * std::mem::size_of::<f32>(), workers)
+                    .allreduce_dense(dim * std::mem::size_of::<f32>())
             };
             clock += compute_time + overhead_time;
             samples.push(TrainingSample {
@@ -303,35 +381,94 @@ impl ModelTrainer {
         let final_accuracy = self.model.accuracy(params.as_slice());
         let report = TrainingReport::new(samples, quality, final_evaluation, final_accuracy);
         if compressed {
-            report.with_overlap(overlap_accounting)
+            // The two-way overlap accounting is a view of the scheduler's
+            // three-way accounting — derived once here so there is a single
+            // source of truth for the charged totals.
+            let mut overlap_accounting = OverlapAccounting::new(buckets);
+            overlap_accounting.record(
+                schedule_accounting.serial_overhead(),
+                schedule_accounting.charged_overhead(),
+            );
+            report
+                .with_overlap(overlap_accounting)
+                .with_schedule(schedule_accounting)
         } else {
             report
         }
     }
 }
 
-/// The bucket layout a configuration induces for a `dim`-parameter model: the
-/// explicit layout when given, otherwise a near-uniform split into
-/// `config.buckets` buckets.
+/// Sanity checks shared by both constructors. (A topology inconsistent with
+/// the worker count is caught by `ClusterConfig`'s collective dispatch.)
 ///
 /// # Panics
 ///
-/// Panics if `config.buckets` is zero or an explicit layout does not total
-/// `dim`.
-fn resolve_layout(config: &TrainerConfig, dim: usize) -> LayerLayout {
-    match &config.bucket_layout {
-        Some(layout) => {
+/// Panics if the cluster has no workers or the schedule has no streams.
+fn validate_cluster(cluster: &ClusterConfig, config: &TrainerConfig) {
+    assert!(cluster.workers > 0, "cluster must have at least one worker");
+    assert!(config.streams > 0, "the schedule needs at least one stream");
+}
+
+/// The bucket layout a configuration induces for a model: the explicit
+/// layout when given, otherwise whatever [`BucketPolicy`] derives — a
+/// near-uniform split, the model's real layer boundaries, or the
+/// α–β-auto-tuned packing of those layers.
+///
+/// # Panics
+///
+/// Panics if `config.buckets` is zero under the uniform policy, or a layout
+/// (explicit or exported by the model) does not total the model's parameter
+/// count.
+fn resolve_layout(
+    config: &TrainerConfig,
+    model: &dyn DifferentiableModel,
+    cluster: &ClusterConfig,
+) -> LayerLayout {
+    let dim = model.num_parameters();
+    if let Some(layout) = &config.bucket_layout {
+        assert_eq!(
+            layout.total(),
+            dim,
+            "bucket layout covers {} parameters but the model has {dim}",
+            layout.total()
+        );
+        return layout.clone();
+    }
+    match config.bucket_policy {
+        BucketPolicy::Uniform => {
+            assert!(config.buckets > 0, "at least one bucket is required");
+            LayerLayout::uniform(dim, config.buckets.min(dim))
+        }
+        BucketPolicy::PerLayer => {
+            let layout = LayerLayout::new(model.layer_sizes());
             assert_eq!(
                 layout.total(),
                 dim,
-                "bucket layout covers {} parameters but the model has {dim}",
+                "model layers cover {} parameters but the model has {dim}",
                 layout.total()
             );
-            layout.clone()
+            layout
         }
-        None => {
-            assert!(config.buckets > 0, "at least one bucket is required");
-            LayerLayout::uniform(dim, config.buckets.min(dim))
+        BucketPolicy::AutoTuned => {
+            let layers = model.layer_sizes();
+            assert_eq!(
+                layers.iter().sum::<usize>(),
+                dim,
+                "model layers must cover every parameter"
+            );
+            // The tuner always optimises the *overlapped* schedule, even for
+            // a serial (overlap = false) run: the layout must not depend on
+            // how costs are charged, or serial and overlapped runs of the
+            // same config would stop converging bit-identically and serial
+            // baselines would no longer share the overlapped run's bucketing.
+            let scheduler = CollectiveScheduler::new(config.streams, config.priority);
+            auto_bucket_layout(
+                &layers,
+                cluster,
+                charged_kind(config),
+                AUTO_TUNE_DELTA,
+                &scheduler,
+            )
         }
     }
 }
@@ -451,6 +588,39 @@ mod tests {
             (serial.total_time() - overlapped.total_time() - acc.saved()).abs()
                 < 1e-9 * serial.total_time().max(1.0)
         );
+    }
+
+    #[test]
+    fn auto_tuned_layout_is_independent_of_cost_charging() {
+        // The AutoTuned layout must not depend on `overlap`/charging, so the
+        // serial run is a bit-identical baseline of the scheduled run.
+        let run = |overlap: bool| {
+            let cfg = TrainerConfig {
+                bucket_policy: BucketPolicy::AutoTuned,
+                overlap,
+                streams: 3,
+                priority: PriorityPolicy::SmallestFirst,
+                ..config(30)
+            };
+            ModelTrainer::new(model(), ClusterConfig::small_test(), cfg, || {
+                Box::new(TopKCompressor::new())
+            })
+            .run(0.1)
+        };
+        let serial = run(false);
+        let scheduled = run(true);
+        assert_eq!(
+            serial.overlap().unwrap().buckets(),
+            scheduled.overlap().unwrap().buckets()
+        );
+        let losses = |r: &TrainingReport| r.samples().iter().map(|s| s.loss).collect::<Vec<_>>();
+        assert_eq!(losses(&serial), losses(&scheduled));
+        assert_eq!(serial.final_evaluation(), scheduled.final_evaluation());
+        assert!(scheduled.total_time() <= serial.total_time());
+        // The scheduled run records its budget and chosen timeline.
+        let acc = scheduled.schedule().expect("accounting");
+        assert_eq!(acc.streams(), 3);
+        assert_eq!(acc.policy(), PriorityPolicy::SmallestFirst);
     }
 
     #[test]

@@ -190,6 +190,59 @@ impl BenchmarkSpec {
         self.parameters * std::mem::size_of::<f32>()
     }
 
+    /// A deterministic, plausible per-tensor decomposition of the model's
+    /// parameters, in flat parameter order (layers nearest the input first,
+    /// the same convention as `DifferentiableModel::layer_sizes`).
+    /// The reproduction has no PyTorch graphs to read shapes from, so this
+    /// synthesises the profile each architecture family exhibits — CNNs: conv
+    /// tensors growing geometrically into a few huge classifier tensors;
+    /// LSTMs: a handful of enormous gate matrices each paired with a small
+    /// bias. Sizes are all positive and sum exactly to
+    /// [`parameters`](Self::parameters), so the result is a valid
+    /// layer layout for the distributed trainer's bucket policies.
+    pub fn representative_layer_sizes(&self) -> Vec<usize> {
+        // (tensor count, geometric growth per tensor) per architecture
+        // family. The count is capped by the parameter total so hand-built
+        // tiny specs still get a valid (if degenerate) decomposition.
+        let (tensors, growth) = match self.task {
+            // Conv stacks: ~2 tensors per conv block, growing toward the head.
+            TaskKind::ImageClassification => (24usize, 1.45f64),
+            // Stacked LSTMs: few tensors, nearly flat sizes.
+            TaskKind::LanguageModeling => (8usize, 1.1f64),
+            TaskKind::SpeechRecognition => (12usize, 1.15f64),
+        };
+        let tensors = tensors.min(self.parameters.max(1));
+        let weights: Vec<f64> = (0..tensors).map(|i| growth.powi(i as i32)).collect();
+        let total_weight: f64 = weights.iter().sum();
+        let mut sizes: Vec<usize> = weights
+            .iter()
+            .map(|w| {
+                ((w / total_weight) * self.parameters as f64)
+                    .floor()
+                    .max(1.0) as usize
+            })
+            .collect();
+        // Reconcile rounding: give any shortfall to the largest (last)
+        // tensor; reclaim any excess (the 1-element floors can overshoot on
+        // tiny hand-built specs) from the largest tensors, never below 1.
+        let assigned: usize = sizes.iter().sum();
+        if assigned <= self.parameters {
+            *sizes.last_mut().expect("at least one tensor") += self.parameters - assigned;
+        } else {
+            let mut excess = assigned - self.parameters;
+            while excess > 0 {
+                let largest = (0..sizes.len())
+                    .max_by_key(|&i| sizes[i])
+                    .expect("at least one tensor");
+                let take = excess.min(sizes[largest] - 1);
+                debug_assert!(take > 0, "tensor count exceeds the parameter total");
+                sizes[largest] -= take;
+                excess -= take;
+            }
+        }
+        sizes
+    }
+
     /// Whether this benchmark is communication-bound (overhead above 50%), which is
     /// where the paper expects compression to pay off.
     pub fn is_communication_bound(&self) -> bool {
@@ -281,5 +334,51 @@ mod tests {
     #[test]
     fn evaluated_ratios_span_paper_range() {
         assert_eq!(EVALUATED_RATIOS, [0.1, 0.01, 0.001]);
+    }
+
+    #[test]
+    fn representative_layers_form_a_valid_layout() {
+        for benchmark in BenchmarkId::ALL {
+            let spec = benchmark.spec();
+            let layers = spec.representative_layer_sizes();
+            assert!(layers.len() > 1, "{benchmark}: expected several tensors");
+            assert!(layers.iter().all(|&s| s > 0), "{benchmark}: empty tensor");
+            assert_eq!(
+                layers.iter().sum::<usize>(),
+                spec.parameters,
+                "{benchmark}: layers must cover every parameter"
+            );
+            // Deterministic.
+            assert_eq!(layers, spec.representative_layer_sizes());
+        }
+        // CNNs grow toward the classifier head; the last tensor dominates.
+        let vgg = BenchmarkId::Vgg16Cifar10
+            .spec()
+            .representative_layer_sizes();
+        assert!(vgg.last().unwrap() > vgg.first().unwrap());
+        assert!(*vgg.last().unwrap() > BenchmarkId::Vgg16Cifar10.spec().parameters / 10);
+        // LSTM tensors are much flatter.
+        let lstm = BenchmarkId::LstmPtb.spec().representative_layer_sizes();
+        let ratio = *lstm.last().unwrap() as f64 / *lstm.first().unwrap() as f64;
+        assert!(
+            ratio < 4.0,
+            "LSTM tensors should be near-uniform, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn representative_layers_survive_tiny_hand_built_specs() {
+        // The fields are public, so a caller can shrink a spec below the
+        // synthesized tensor count; the decomposition must stay valid.
+        for parameters in [1usize, 5, 23, 24, 25, 40] {
+            let spec = BenchmarkSpec {
+                parameters,
+                ..BenchmarkId::Vgg16Cifar10.spec()
+            };
+            let layers = spec.representative_layer_sizes();
+            assert!(layers.iter().all(|&s| s > 0), "{parameters}: empty tensor");
+            assert_eq!(layers.iter().sum::<usize>(), parameters);
+            assert!(layers.len() <= parameters.max(1));
+        }
     }
 }

@@ -86,6 +86,10 @@ impl DifferentiableModel for SoftmaxClassifier {
         self.classes() * self.dim() + self.classes()
     }
 
+    fn layer_sizes(&self) -> Vec<usize> {
+        vec![self.classes() * self.dim(), self.classes()]
+    }
+
     fn num_examples(&self) -> usize {
         self.data.len()
     }
@@ -211,6 +215,7 @@ mod tests {
         let m = model();
         assert_eq!(m.name(), "softmax-classifier");
         assert_eq!(m.num_parameters(), 4 * 10 + 4);
+        assert_eq!(m.layer_sizes(), vec![4 * 10, 4]);
         assert_eq!(m.num_examples(), 240);
         let params = m.initial_parameters(3);
         let p = m.predict(params.as_slice(), 0);

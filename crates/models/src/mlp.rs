@@ -122,6 +122,15 @@ impl DifferentiableModel for Mlp {
         self.hidden * self.dim() + self.hidden + self.classes() * self.hidden + self.classes()
     }
 
+    fn layer_sizes(&self) -> Vec<usize> {
+        vec![
+            self.hidden * self.dim(),
+            self.hidden,
+            self.classes() * self.hidden,
+            self.classes(),
+        ]
+    }
+
     fn num_examples(&self) -> usize {
         self.data.len()
     }
@@ -236,6 +245,8 @@ mod tests {
     fn parameter_layout_adds_up() {
         let m = model();
         assert_eq!(m.num_parameters(), 12 * 8 + 12 + 3 * 12 + 3);
+        assert_eq!(m.layer_sizes(), vec![12 * 8, 12, 3 * 12, 3]);
+        assert_eq!(m.layer_sizes().iter().sum::<usize>(), m.num_parameters());
         assert_eq!(m.hidden(), 12);
         let params = m.initial_parameters(1);
         assert_eq!(params.len(), m.num_parameters());

@@ -12,6 +12,15 @@ pub trait DifferentiableModel: Send + Sync {
     /// Total number of trainable parameters (the gradient dimension `d`).
     fn num_parameters(&self) -> usize;
 
+    /// Sizes of the model's consecutive parameter tensors (layers), in flat
+    /// parameter order. Must be non-empty, all-positive, and sum to
+    /// [`num_parameters`](Self::num_parameters). The distributed trainer uses
+    /// these shapes to lay gradient buckets out along real layer boundaries.
+    /// Defaults to a single layer covering every parameter.
+    fn layer_sizes(&self) -> Vec<usize> {
+        vec![self.num_parameters()]
+    }
+
     /// Number of training examples in the dataset.
     fn num_examples(&self) -> usize;
 
@@ -72,6 +81,7 @@ mod tests {
     fn default_accuracy_is_none_and_trait_is_object_safe() {
         let model: Box<dyn DifferentiableModel> = Box::new(Constant);
         assert_eq!(model.accuracy(&[0.0]), None);
+        assert_eq!(model.layer_sizes(), vec![1]);
         assert_eq!(model.name(), "constant");
         let (loss, grad) = model.loss_and_gradient(&[2.0], &[0]);
         assert_eq!(loss, 2.0);

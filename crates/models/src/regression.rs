@@ -181,6 +181,8 @@ mod tests {
         let m = model();
         assert_eq!(m.name(), "linear-regression");
         assert_eq!(m.num_parameters(), 16);
+        // A single dense weight vector: the default single-layer export.
+        assert_eq!(m.layer_sizes(), vec![16]);
         assert_eq!(m.num_examples(), 200);
         assert!(m.accuracy(&[0.0; 16]).is_none());
         assert_eq!(m.dataset().dim(), 16);

@@ -120,6 +120,16 @@ impl DifferentiableModel for ElmanRnn {
         self.hidden * self.input_dim() + self.hidden * self.hidden + self.hidden + self.hidden + 1
     }
 
+    fn layer_sizes(&self) -> Vec<usize> {
+        vec![
+            self.hidden * self.input_dim(),
+            self.hidden * self.hidden,
+            self.hidden,
+            self.hidden,
+            1,
+        ]
+    }
+
     fn num_examples(&self) -> usize {
         self.data.len()
     }
@@ -223,6 +233,8 @@ mod tests {
     fn parameter_layout_adds_up() {
         let m = model();
         assert_eq!(m.num_parameters(), 8 * 3 + 8 * 8 + 8 + 8 + 1);
+        assert_eq!(m.layer_sizes(), vec![8 * 3, 8 * 8, 8, 8, 1]);
+        assert_eq!(m.layer_sizes().iter().sum::<usize>(), m.num_parameters());
         assert_eq!(m.hidden(), 8);
         assert_eq!(m.initial_parameters(1).len(), m.num_parameters());
     }

@@ -56,7 +56,10 @@ pub mod prelude {
     pub use sidco_dist::cluster::ClusterConfig;
     pub use sidco_dist::simulate::{simulate_benchmark, SimulationConfig};
     pub use sidco_dist::trainer::{ModelTrainer, TrainerConfig};
-    pub use sidco_dist::{LrSchedule, NetworkModel, Optimizer};
+    pub use sidco_dist::{
+        BucketPolicy, CollectiveScheduler, HierarchicalTopology, LrSchedule, NetworkModel,
+        Optimizer, PriorityPolicy,
+    };
     pub use sidco_models::benchmarks::BenchmarkId;
     pub use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
     pub use sidco_models::DifferentiableModel;

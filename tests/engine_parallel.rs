@@ -153,3 +153,64 @@ fn overlapped_trainer_converges_identically_to_serial() {
     assert!(accounting.saved() > 0.0);
     assert!(accounting.speedup() > 1.0);
 }
+
+/// Cross-validation of the engine-aware device cost model
+/// (`DeviceProfile::compression_time_with_workers`) against the *measured*
+/// multi-thread behaviour of the real `CompressionEngine` on this host.
+///
+/// Wall-clock assertions are kept deliberately loose (CI machines vary, and
+/// single-core hosts measure no speed-up at all): the test checks the
+/// *shape* — the model is monotone with diminishing returns, the measured
+/// speed-up never meaningfully exceeds the model's ideal sharding prediction,
+/// and on any host the measured curve stays within a generous envelope of 1×
+/// to the modelled ceiling.
+#[test]
+fn modeled_engine_speedup_bounds_the_measured_speedup() {
+    use sidco::core::compressor::CompressorKind;
+    use sidco::dist::device::DeviceProfile;
+    use std::time::Instant;
+
+    const DIM: usize = 1 << 22;
+    const DELTA: f64 = 0.01;
+    let grad: Vec<f32> = {
+        let mut generator = SyntheticGradientGenerator::new(DIM, GradientProfile::LaplaceLike, 3);
+        generator.gradient(0).into_vec()
+    };
+    let cpu = DeviceProfile::cpu();
+    let kind = CompressorKind::Sidco(sidco::stats::fit::SidKind::Exponential);
+
+    let measure = |threads: usize| -> f64 {
+        let mut compressor = SidcoCompressor::new(SidcoConfig::exponential())
+            .with_engine(CompressionEngine::new(threads));
+        compressor.compress(&grad, DELTA); // warm up (allocation, stages)
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            compressor.compress(&grad, DELTA);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let serial = measure(1);
+    for threads in [2usize, 4] {
+        let measured_speedup = serial / measure(threads);
+        let modeled_speedup = cpu.engine_speedup(kind, DIM, DELTA, 2, threads);
+        // The model shards per-element work perfectly, so it is an upper
+        // envelope for the measured ratio (3× slack for timer noise, cache
+        // effects and loaded CI runners).
+        assert!(
+            measured_speedup <= modeled_speedup * 3.0,
+            "measured {measured_speedup:.2}x exceeds even thrice the modeled \
+             ideal {modeled_speedup:.2}x at {threads} threads"
+        );
+        // And no configuration should make compression dramatically slower.
+        assert!(
+            measured_speedup > 0.2,
+            "{threads} threads slowed compression {measured_speedup:.2}x"
+        );
+        // The model itself predicts a real speed-up for this linear-pass
+        // scheme, bounded by the thread count.
+        assert!(modeled_speedup > 1.0 && modeled_speedup <= threads as f64);
+    }
+}

@@ -1,0 +1,151 @@
+//! Golden regression tests for the overlap cost model and
+//! `TrainingReport::overlap()` on the Table-1 device/cluster profiles.
+//!
+//! The serial and pipelined overheads below were produced by the cost model
+//! at the time the collective scheduler landed; they pin the α–β network
+//! model, the (engine-aware) device profiles and the trainer's charging path
+//! so later cost-model refactors cannot silently drift the paper-facing
+//! numbers. If a drift is *intentional*, regenerate the constants with
+//!
+//! ```text
+//! cargo test --test overlap_golden -- --ignored --nocapture
+//! ```
+//!
+//! and update this file alongside the change that moved them.
+
+use sidco::prelude::*;
+use sidco_dist::collective::modeled_bucket_costs;
+use sidco_dist::overlap::{pipelined_overhead, serial_overhead};
+use sidco_dist::schedule::pack_layers;
+use sidco_models::dataset::RegressionDataset;
+use sidco_models::regression::LinearRegression;
+use std::sync::Arc;
+
+const REL_TOL: f64 = 1e-9;
+
+fn assert_close(actual: f64, golden: f64, what: &str) {
+    assert!(
+        (actual - golden).abs() <= REL_TOL * golden.abs().max(1e-30),
+        "{what} drifted: golden {golden:.17e}, got {actual:.17e}"
+    );
+}
+
+/// The three Table-1 testbeds the paper reports on.
+fn clusters() -> [(&'static str, ClusterConfig); 3] {
+    [
+        ("dedicated-gpu", ClusterConfig::paper_dedicated()),
+        ("dedicated-cpu", ClusterConfig::paper_cpu_compression()),
+        ("shared-multi-gpu", ClusterConfig::paper_shared_multi_gpu()),
+    ]
+}
+
+/// Per-cluster modeled serial/pipelined overheads of one VGG16-CIFAR10
+/// iteration at δ = 0.01, over the representative layer shapes packed into
+/// 8 buckets (SIDCo-E cost profile, 2 estimation stages).
+fn modeled_overheads(cluster: &ClusterConfig) -> (f64, f64) {
+    let spec = BenchmarkId::Vgg16Cifar10.spec();
+    let layout = pack_layers(
+        &spec.representative_layer_sizes(),
+        spec.parameters.div_ceil(8),
+    );
+    let kind =
+        sidco::core::compressor::CompressorKind::Sidco(sidco::stats::fit::SidKind::Exponential);
+    let costs = modeled_bucket_costs(cluster, kind, 0.01, 2, &layout);
+    let compression: Vec<f64> = costs.iter().map(|c| c.compression).collect();
+    let communication: Vec<f64> = costs.iter().map(|c| c.communication()).collect();
+    (
+        serial_overhead(&compression, &communication),
+        pipelined_overhead(&compression, &communication),
+    )
+}
+
+/// A deterministic compressed training run on `cluster` (Top-k, 8 uniform
+/// buckets, fixed seeds); returns `TrainingReport::overlap()`'s
+/// (serial, charged) totals.
+fn trainer_overheads(cluster: ClusterConfig, overlap: bool) -> (f64, f64) {
+    let model: Arc<dyn DifferentiableModel> = Arc::new(LinearRegression::new(
+        RegressionDataset::generate(128, 64, 0.01, 5),
+    ));
+    let config = TrainerConfig {
+        iterations: 25,
+        batch_per_worker: 16,
+        compressor_kind: Some(sidco::core::compressor::CompressorKind::TopK),
+        buckets: 8,
+        overlap,
+        ..TrainerConfig::default()
+    };
+    let mut trainer = ModelTrainer::new(model, cluster, config, || Box::new(TopKCompressor::new()));
+    let report = trainer.run(0.1);
+    let acc = report.overlap().expect("compressed run has accounting");
+    (acc.serial_overhead(), acc.charged_overhead())
+}
+
+/// Golden (cluster, serial, pipelined) triples for [`modeled_overheads`].
+const MODELED_GOLDENS: [(&str, f64, f64); 3] = [
+    ("dedicated-gpu", 5.4220752875000005e-3, 4.8511897175e-3),
+    ("dedicated-cpu", 3.175733468e-2, 2.7460167959999997e-2),
+    ("shared-multi-gpu", 1.6583567275e-3, 1.0874711575e-3),
+];
+
+/// Golden (cluster, serial, overlapped-charged) rows for
+/// [`trainer_overheads`].
+const TRAINER_GOLDENS: [(&str, f64, f64); 3] = [
+    ("dedicated-gpu", 6.42003824e-1, 6.052506880000001e-1),
+    ("dedicated-cpu", 4.2008704e-2, 4.2004223999999986e-2),
+    (
+        "shared-multi-gpu",
+        6.070011359999999e-1,
+        6.008753520000002e-1,
+    ),
+];
+
+#[test]
+fn modeled_overheads_match_goldens() {
+    for ((name, cluster), golden) in clusters().iter().zip(MODELED_GOLDENS) {
+        assert_eq!(*name, golden.0, "golden table out of sync");
+        let (serial, pipelined) = modeled_overheads(cluster);
+        assert_close(serial, golden.1, &format!("{name} serial overhead"));
+        assert_close(pipelined, golden.2, &format!("{name} pipelined overhead"));
+        // Structural sanity alongside the pinned values.
+        assert!(pipelined <= serial);
+    }
+}
+
+#[test]
+fn trainer_overlap_accounting_matches_goldens() {
+    for ((name, cluster), golden) in clusters().iter().zip(TRAINER_GOLDENS) {
+        assert_eq!(*name, golden.0, "golden table out of sync");
+        let (serial, serial_charged) = trainer_overheads(*cluster, false);
+        // A serial run charges exactly its serial overhead.
+        assert_close(serial_charged, serial, &format!("{name} serial charge"));
+        assert_close(serial, golden.1, &format!("{name} trainer serial overhead"));
+        let (overlap_serial, charged) = trainer_overheads(*cluster, true);
+        // Overlap changes the charge, never the serialised reference.
+        assert_close(overlap_serial, serial, &format!("{name} overlap reference"));
+        assert_close(
+            charged,
+            golden.2,
+            &format!("{name} trainer charged overhead"),
+        );
+        assert!(charged <= serial);
+    }
+}
+
+/// Regenerates the golden constants above (run with `--ignored --nocapture`).
+#[test]
+#[ignore = "golden generator, not a regression test"]
+fn dump_goldens() {
+    println!("const MODELED_GOLDENS: [(&str, f64, f64); 3] = [");
+    for (name, cluster) in clusters() {
+        let (serial, pipelined) = modeled_overheads(&cluster);
+        println!("    (\"{name}\", {serial:e}, {pipelined:e}),");
+    }
+    println!("];");
+    println!("const TRAINER_GOLDENS: [(&str, f64, f64); 3] = [");
+    for (name, cluster) in clusters() {
+        let (serial, _) = trainer_overheads(cluster, false);
+        let (_, charged) = trainer_overheads(cluster, true);
+        println!("    (\"{name}\", {serial:e}, {charged:e}),");
+    }
+    println!("];");
+}

@@ -71,6 +71,24 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(f32, f64, u32, u64, usize, i32, i64);
 
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
 /// Weighted choice between type-erased strategies of a common value type.
 pub struct WeightedUnion<T> {
     arms: Vec<(u32, BoxedStrategy<T>)>,

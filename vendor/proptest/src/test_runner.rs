@@ -19,7 +19,15 @@ impl Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { cases: 256 }
+        // Mirror real proptest: the PROPTEST_CASES environment variable
+        // overrides the default case count (explicit `with_cases` calls are
+        // unaffected), so CI can dial coverage up without code changes.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&c| c >= 1)
+            .unwrap_or(256);
+        Self { cases }
     }
 }
 
@@ -192,6 +200,20 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    fn tuple_strategies_generate_componentwise() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            fn tuples(pair in (0.25f64..0.75, 1i32..5), triple in (0u32..2, 0u32..2, 0u32..2)) {
+                prop_assert!((0.25..0.75).contains(&pair.0));
+                prop_assert!((1..5).contains(&pair.1));
+                prop_assert!(triple.0 < 2 && triple.1 < 2 && triple.2 < 2);
+            }
+        }
+        tuples();
     }
 
     #[test]
