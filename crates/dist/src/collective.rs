@@ -8,10 +8,14 @@
 //! large transfers already on the wire. This module generalises the overlap
 //! model into an explicit schedule over three kinds of resources:
 //!
-//! * **one compression processor** — buckets are compressed serially in index
-//!   order (the trainer's layouts are input-first flat parameter order;
-//!   modeling true backward-pass arrival times is a ROADMAP item); bucket `i`
-//!   becomes *ready* at the prefix sum of compression costs;
+//! * **one compression processor** — buckets are compressed serially,
+//!   first-come-first-served in *gradient arrival* order: a bucket may not
+//!   enter compression before its [`BucketCost::ready_at`] release time (the
+//!   moment the backward pass has produced every gradient the bucket covers),
+//!   and among arrived buckets the processor serves the earliest arrival
+//!   (ties broken by bucket index — exactly how a framework's backward hooks
+//!   enqueue compression kernels). With all arrivals at zero this collapses
+//!   to plain index-order prefix sums, bit-identically;
 //! * **`streams` communication streams** — a bucket occupies exactly one
 //!   stream from the moment its collective is issued (the per-bucket latency
 //!   `α` phase begins) until its transfer completes. Streams are granted to
@@ -40,9 +44,14 @@
 //! a preempted transfer still *holds its stream* (the collective is already
 //! issued), so a freshly compressed high-priority bucket can wait for a slot
 //! behind transfers it would otherwise preempt — the classical priority
-//! inversion of slot-limited schedulers. Provision `streams ≥ buckets` (or
-//! accept FIFO's slot order) when the critical bucket's completion time is a
-//! hard constraint.
+//! inversion of slot-limited schedulers, complete with Graham-style
+//! non-monotonicity (an extra stream can make a fixed schedule *worse*).
+//! Provision `streams ≥ buckets` (or accept FIFO's slot order) when the
+//! critical bucket's completion time is a hard constraint, and charge costs
+//! through [`CollectiveScheduler::best_schedule`] or
+//! [`CollectiveScheduler::repaired_schedule`], whose list-scheduling repair
+//! guarantees a fixed configuration never exceeds the FIFO pipeline
+//! makespan.
 
 use crate::cluster::ClusterConfig;
 use crate::SPARSE_WIRE_BYTES;
@@ -63,10 +72,13 @@ pub enum PriorityPolicy {
     /// Highest bucket index first. Bucket layouts are input-first flat
     /// parameter order, so the highest indices hold the layers nearest the
     /// model *output* — the gradients a real backward pass produces first —
-    /// making this the backward-order transmission schedule. (ByteScheduler's
-    /// forward-priority rule — input-side layers first, since the next
-    /// forward pass consumes them first — coincides with [`Fifo`](Self::Fifo)
-    /// here, because compression readiness already follows index order.)
+    /// making this the backward-order transmission schedule; with
+    /// [`BucketCost::ready_at`] release times it transmits buckets in their
+    /// genuine arrival order, interleaving with the backward pass.
+    /// (ByteScheduler's forward-priority rule — input-side layers first,
+    /// since the next forward pass consumes them first — coincides with
+    /// [`Fifo`](Self::Fifo) here, because zero-arrival compression
+    /// readiness follows index order.)
     NearestOutputFirst,
 }
 
@@ -109,11 +121,17 @@ impl std::fmt::Display for PriorityPolicy {
 }
 
 /// Modelled cost of one gradient bucket, split the way the scheduler consumes
-/// it: serial compression time, overlappable collective setup (`α` phases and
-/// intra-node stages), and the transfer time that serialises on the
-/// bottleneck link (`β`).
+/// it: the gradient-availability release time, serial compression time,
+/// overlappable collective setup (`α` phases and intra-node stages), and the
+/// transfer time that serialises on the bottleneck link (`β`).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BucketCost {
+    /// Seconds (from the start of the schedule) at which the bucket's
+    /// gradients become available — the backward pass has produced every
+    /// layer the bucket covers. The bucket may not enter compression (and
+    /// therefore the wire) before this release time. Zero (the default)
+    /// reproduces the everything-ready-up-front model.
+    pub ready_at: f64,
     /// Seconds on the (single) compression processor.
     pub compression: f64,
     /// Per-bucket collective setup: latency hops plus any phases that run on
@@ -148,7 +166,12 @@ pub struct ScheduledBucket {
     pub bucket: usize,
     /// Communication stream the bucket occupied.
     pub stream: usize,
-    /// Compression start on the serial compression processor.
+    /// Gradient-availability release time ([`BucketCost::ready_at`]),
+    /// recorded so timelines show how long a bucket waited on the backward
+    /// pass versus on the compression processor.
+    pub ready_at: f64,
+    /// Compression start on the serial compression processor (never before
+    /// [`ready_at`](Self::ready_at)).
     pub compress_start: f64,
     /// Compression end (the bucket's *ready* time).
     pub compress_end: f64,
@@ -220,17 +243,34 @@ pub fn bandwidth_lower_bound(buckets: &[BucketCost]) -> f64 {
     buckets.iter().map(|b| b.transfer).sum()
 }
 
+/// The first-come-first-served compression order: bucket indices sorted by
+/// `(ready_at, index)`. This is exactly the order a work-conserving serial
+/// compression processor serves arrivals in (the earliest-arrived waiting
+/// bucket is always the one with the smallest release time), and it collapses
+/// to plain index order when every release time is equal.
+fn compression_order(buckets: &[BucketCost]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..buckets.len()).collect();
+    order.sort_by(|&a, &b| {
+        buckets[a]
+            .ready_at
+            .partial_cmp(&buckets[b].ready_at)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
 /// The tightest analytic lower bound the model admits: the bandwidth bound,
-/// the serial compression bound, and every bucket's own
-/// `ready + latency + transfer` path.
+/// the serial compression bound (arrival-gated), and every bucket's own
+/// `compressed + latency + transfer` path.
 pub fn makespan_lower_bound(buckets: &[BucketCost]) -> f64 {
     let mut bound = bandwidth_lower_bound(buckets);
-    let mut ready = 0.0;
-    for bucket in buckets {
-        ready += bucket.compression;
-        bound = bound.max(ready + bucket.latency + bucket.transfer);
+    let mut frontier = 0.0f64;
+    for &i in &compression_order(buckets) {
+        frontier = frontier.max(buckets[i].ready_at) + buckets[i].compression;
+        bound = bound.max(frontier + buckets[i].latency + buckets[i].transfer);
     }
-    bound.max(ready)
+    bound.max(frontier)
 }
 
 /// Multi-stream, priority-aware scheduler over the resource model described in
@@ -242,8 +282,8 @@ pub fn makespan_lower_bound(buckets: &[BucketCost]) -> f64 {
 /// use sidco_dist::collective::{BucketCost, CollectiveScheduler, PriorityPolicy};
 ///
 /// let buckets = vec![
-///     BucketCost { compression: 1.0, latency: 0.5, transfer: 4.0 },
-///     BucketCost { compression: 1.0, latency: 0.5, transfer: 0.5 },
+///     BucketCost { compression: 1.0, latency: 0.5, transfer: 4.0, ..BucketCost::default() },
+///     BucketCost { compression: 1.0, latency: 0.5, transfer: 0.5, ..BucketCost::default() },
 /// ];
 /// let fifo = CollectiveScheduler::single_stream_fifo().schedule(&buckets);
 /// let multi = CollectiveScheduler::new(2, PriorityPolicy::SmallestFirst).schedule(&buckets);
@@ -306,7 +346,19 @@ impl CollectiveScheduler {
     ///
     /// Panics if any cost is negative or non-finite.
     pub fn best_schedule(&self, buckets: &[BucketCost]) -> ScheduleTimeline {
-        let mut best = Self::single_stream_fifo().schedule(buckets);
+        self.best_schedule_from(buckets, Self::single_stream_fifo().schedule(buckets))
+    }
+
+    /// [`best_schedule`](Self::best_schedule) seeded with a precomputed
+    /// single-stream FIFO `baseline` timeline for the same `buckets`, so a
+    /// caller that already simulated the pipeline (e.g. as its accounting
+    /// reference) does not pay for it twice.
+    pub(crate) fn best_schedule_from(
+        &self,
+        buckets: &[BucketCost],
+        baseline: ScheduleTimeline,
+    ) -> ScheduleTimeline {
+        let mut best = baseline;
         for streams in 1..=self.streams {
             if streams == 1 && self.policy == PriorityPolicy::Fifo {
                 continue;
@@ -326,8 +378,11 @@ impl CollectiveScheduler {
     /// priority schedule is *not* guaranteed monotone in the stream count
     /// (slot-limited preemption has genuine scheduling anomalies — rarely,
     /// an extra stream lets a high-priority transfer starve the
-    /// makespan-critical bucket). Use [`best_schedule`](Self::best_schedule)
-    /// when charging costs.
+    /// makespan-critical bucket; with release times even fixed FIFO
+    /// schedules exhibit them). Use
+    /// [`repaired_schedule`](Self::repaired_schedule) when a fixed
+    /// configuration must never lose to the pipeline, and
+    /// [`best_schedule`](Self::best_schedule) when charging a stream budget.
     ///
     /// # Panics
     ///
@@ -335,9 +390,11 @@ impl CollectiveScheduler {
     pub fn schedule(&self, buckets: &[BucketCost]) -> ScheduleTimeline {
         for (i, b) in buckets.iter().enumerate() {
             assert!(
-                b.compression >= 0.0
+                b.ready_at >= 0.0
+                    && b.compression >= 0.0
                     && b.latency >= 0.0
                     && b.transfer >= 0.0
+                    && b.ready_at.is_finite()
                     && b.compression.is_finite()
                     && b.latency.is_finite()
                     && b.transfer.is_finite(),
@@ -347,21 +404,32 @@ impl CollectiveScheduler {
         let n = buckets.len();
         let rank = self.policy.ranks(buckets);
 
-        // Compression is serial and FIFO: ready[i] = prefix sum.
-        let mut entries: Vec<ScheduledBucket> = Vec::with_capacity(n);
-        let mut clock = 0.0f64;
-        for (i, bucket) in buckets.iter().enumerate() {
-            let start = clock;
-            clock += bucket.compression;
-            entries.push(ScheduledBucket {
+        // Compression is serial and first-come-first-served in arrival order:
+        // the processor serves the earliest-arrived waiting bucket (ties by
+        // index), and a bucket never starts before its release time. With all
+        // release times equal this is the plain index-order prefix sum. The
+        // compression timeline is independent of the wire, so it can be laid
+        // out up front.
+        let mut entries: Vec<ScheduledBucket> = buckets
+            .iter()
+            .enumerate()
+            .map(|(i, bucket)| ScheduledBucket {
                 bucket: i,
                 stream: 0,
-                compress_start: start,
-                compress_end: clock,
+                ready_at: bucket.ready_at,
+                compress_start: f64::NAN,
+                compress_end: f64::NAN,
                 comm_start: f64::NAN,
                 comm_end: f64::NAN,
                 segments: Vec::new(),
-            });
+            })
+            .collect();
+        let mut clock = 0.0f64;
+        for &i in &compression_order(buckets) {
+            let start = clock.max(buckets[i].ready_at);
+            clock = start + buckets[i].compression;
+            entries[i].compress_start = start;
+            entries[i].compress_end = clock;
         }
 
         #[derive(Clone, Copy, PartialEq)]
@@ -410,11 +478,17 @@ impl CollectiveScheduler {
 
             // Advance the active transfer to t_next. The completion flag is
             // decided by event selection (not float round-trips), so a served
-            // transfer always ends exactly at `t + remaining`.
+            // transfer always ends exactly at `t + remaining` — except when
+            // rounding collapses the remaining work to zero even though
+            // `t + remaining` compared above `t_next` (e.g. `t = 1.4`,
+            // `remaining = 2.2`, `t_next = 3.6`): a transfer with nothing
+            // left must complete *now*, or it would sit in the queue with
+            // zero remaining, invisible to the `r > 0` link arbitration, and
+            // deadlock the scheduler.
             let mut link_done = false;
             if let Some(cur) = current {
                 if let Phase::LinkQueue(remaining) = phase[cur] {
-                    if link_completion <= t_next {
+                    if link_completion <= t_next || remaining - (t_next - t) <= 0.0 {
                         phase[cur] = Phase::LinkQueue(0.0);
                         link_done = true;
                     } else {
@@ -514,12 +588,81 @@ impl CollectiveScheduler {
             makespan,
         }
     }
+
+    /// The fixed-configuration schedule with a list-scheduling *repair pass*
+    /// for the slot-limited Graham anomaly: a fixed priority schedule with
+    /// fewer streams than buckets can rarely end up *worse* than plain FIFO
+    /// (a preempted transfer holds its stream, so an extra stream can let a
+    /// high-priority transfer starve the makespan-critical bucket). This
+    /// method simulates the configured schedule and, when the anomaly bites,
+    /// falls back to the same-stream-count FIFO list schedule — and, as a
+    /// belt-and-braces floor, to the single-stream FIFO pipeline — keeping
+    /// the first strictly-cheapest timeline. The result therefore **never
+    /// exceeds the FIFO pipeline makespan at any stream count**, which
+    /// `tests/scheduler_properties.rs` pins as a property (the anomaly is
+    /// repaired, no longer merely documented).
+    ///
+    /// Use [`schedule`](Self::schedule) when you need the faithful
+    /// fixed-configuration simulation, anomalies included;
+    /// [`best_schedule`](Self::best_schedule) when charging a stream
+    /// *budget*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cost is negative or non-finite.
+    pub fn repaired_schedule(&self, buckets: &[BucketCost]) -> ScheduleTimeline {
+        let mut best = self.schedule(buckets);
+        if self.policy != PriorityPolicy::Fifo {
+            let fifo = Self::new(self.streams, PriorityPolicy::Fifo).schedule(buckets);
+            if fifo.makespan() < best.makespan() {
+                best = fifo;
+            }
+        }
+        if self.streams > 1 {
+            let pipeline = Self::single_stream_fifo().schedule(buckets);
+            if pipeline.makespan() < best.makespan() {
+                best = pipeline;
+            }
+        }
+        best
+    }
+}
+
+/// Projects the sparse wire payload (bytes) of compressing a `size`-element
+/// bucket at ratio `delta`, guarding the `f64 → usize` cast: the product is
+/// computed in `f64` and can be non-finite or exceed `usize::MAX` for extreme
+/// (but representable) inputs, so the cast saturates explicitly rather than
+/// relying on the caller to stay in range, and the result is clamped to at
+/// least one wire element — a real compressor always transmits ≥ 1 selected
+/// element (`ceil(δ·k) ≥ 1`), so a modelled payload of zero bytes would
+/// charge a collective as free.
+///
+/// # Panics
+///
+/// Panics if `delta` is NaN or negative (a silent NaN would otherwise
+/// saturate to a zero payload and make communication free).
+pub fn projected_payload_bytes(delta: f64, size: usize) -> usize {
+    assert!(
+        !delta.is_nan() && delta >= 0.0,
+        "compression ratio must be non-negative, got {delta}"
+    );
+    let bytes = (delta * size as f64 * SPARSE_WIRE_BYTES).ceil();
+    // `as` casts from f64 saturate (and map NaN to zero); the guard above
+    // plus this explicit clamp make both directions loud and intentional.
+    let bytes = if bytes >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        bytes as usize
+    };
+    bytes.max(SPARSE_WIRE_BYTES as usize)
 }
 
 /// Per-bucket [`BucketCost`]s of `layout` under the cluster's analytic cost
 /// models: compression charged by the (engine-aware) device profile, payloads
-/// projected from the target ratio `delta`, and communication split into its
-/// overlappable and link-serialised parts by the cluster's topology.
+/// projected from the target ratio `delta` (via [`projected_payload_bytes`]),
+/// and communication split into its overlappable and link-serialised parts by
+/// the cluster's topology. All release times are zero; pair with
+/// [`with_ready_times`] to model gradient arrivals.
 pub fn modeled_bucket_costs(
     cluster: &ClusterConfig,
     kind: CompressorKind,
@@ -532,9 +675,10 @@ pub fn modeled_bucket_costs(
         .sizes()
         .iter()
         .map(|&size| {
-            let payload = (delta * size as f64 * SPARSE_WIRE_BYTES).ceil() as usize;
+            let payload = projected_payload_bytes(delta, size);
             let (latency, transfer) = cluster.allgather_sparse_parts(payload);
             BucketCost {
+                ready_at: 0.0,
                 compression: profile.compression_time_with_workers(
                     kind,
                     size,
@@ -547,6 +691,25 @@ pub fn modeled_bucket_costs(
             }
         })
         .collect()
+}
+
+/// Stamps per-bucket release times onto modelled costs: `costs[i].ready_at =
+/// ready[i]`. The typical source of `ready` is
+/// [`schedule::bucket_ready_times`](crate::schedule::bucket_ready_times).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn with_ready_times(mut costs: Vec<BucketCost>, ready: &[f64]) -> Vec<BucketCost> {
+    assert_eq!(
+        costs.len(),
+        ready.len(),
+        "per-bucket cost and release-time slices must align"
+    );
+    for (cost, &ready_at) in costs.iter_mut().zip(ready) {
+        cost.ready_at = ready_at;
+    }
+    costs
 }
 
 /// Modelled iteration overhead of communicating `layout` under `scheduler` —
@@ -690,6 +853,7 @@ mod tests {
     fn costs(raw: &[(f64, f64, f64)]) -> Vec<BucketCost> {
         raw.iter()
             .map(|&(compression, latency, transfer)| BucketCost {
+                ready_at: 0.0,
                 compression,
                 latency,
                 transfer,
@@ -870,10 +1034,193 @@ mod tests {
         assert_eq!(empty.speedup_vs_pipelined(), 1.0);
     }
 
+    fn costs_with_arrivals(raw: &[(f64, f64, f64, f64)]) -> Vec<BucketCost> {
+        raw.iter()
+            .map(|&(ready_at, compression, latency, transfer)| BucketCost {
+                ready_at,
+                compression,
+                latency,
+                transfer,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arrivals_gate_compression_and_the_wire() {
+        // Backward-order arrivals: the output-side bucket (index 2) is ready
+        // first, bucket 0 last — the shape `bucket_ready_times` produces.
+        let buckets = costs_with_arrivals(&[
+            (3.0, 0.5, 0.1, 1.0),
+            (2.0, 0.5, 0.1, 1.0),
+            (0.5, 0.5, 0.1, 1.0),
+        ]);
+        for streams in 1..=3 {
+            for policy in [
+                PriorityPolicy::Fifo,
+                PriorityPolicy::SmallestFirst,
+                PriorityPolicy::NearestOutputFirst,
+            ] {
+                let timeline = CollectiveScheduler::new(streams, policy).schedule(&buckets);
+                for (entry, bucket) in timeline.entries().iter().zip(&buckets) {
+                    // No compression before arrival…
+                    assert!(entry.compress_start >= bucket.ready_at);
+                    assert_eq!(entry.ready_at, bucket.ready_at);
+                    // …and therefore no wire activity before arrival either.
+                    assert!(entry.comm_start >= entry.compress_end);
+                    for segment in &entry.segments {
+                        assert!(segment.start >= bucket.ready_at);
+                    }
+                }
+                // Compression is FCFS in arrival order: 2, then 1, then 0.
+                let e = timeline.entries();
+                assert_eq!(e[2].compress_start, 0.5);
+                assert_eq!(e[1].compress_start, 2.0);
+                assert_eq!(e[0].compress_start, 3.0);
+            }
+        }
+        // The output-side bucket's transfer completes while bucket 0 is
+        // still waiting on the backward pass — genuine interleaving.
+        let nof =
+            CollectiveScheduler::new(3, PriorityPolicy::NearestOutputFirst).schedule(&buckets);
+        assert!(
+            nof.completion(2) <= buckets[0].ready_at,
+            "bucket 2 finished at {} but bucket 0 only arrives at 3.0",
+            nof.completion(2)
+        );
+    }
+
+    #[test]
+    fn equal_arrivals_shift_the_zero_arrival_schedule_rigidly() {
+        // All buckets released at the same instant T behave exactly like the
+        // zero-arrival schedule delayed by T.
+        let raw = [(1.0, 0.25, 2.0), (0.5, 0.25, 3.0), (2.0, 0.25, 0.5)];
+        let base =
+            CollectiveScheduler::new(2, PriorityPolicy::SmallestFirst).schedule(&costs(&raw));
+        let shifted: Vec<BucketCost> = costs(&raw)
+            .into_iter()
+            .map(|b| BucketCost { ready_at: 5.0, ..b })
+            .collect();
+        let delayed = CollectiveScheduler::new(2, PriorityPolicy::SmallestFirst).schedule(&shifted);
+        assert_eq!(delayed.makespan(), base.makespan() + 5.0);
+        for (d, b) in delayed.entries().iter().zip(base.entries()) {
+            assert_eq!(d.compress_start, b.compress_start + 5.0);
+            assert_eq!(d.comm_end, b.comm_end + 5.0);
+        }
+    }
+
+    #[test]
+    fn arrival_lower_bound_accounts_for_release_times() {
+        let buckets = costs_with_arrivals(&[(4.0, 1.0, 0.5, 2.0), (0.0, 1.0, 0.0, 1.0)]);
+        // FCFS compression: bucket 1 at [0,1], bucket 0 at [4,5]; its path
+        // then runs to 5 + 0.5 + 2 = 7.5.
+        assert_eq!(makespan_lower_bound(&buckets), 7.5);
+        let makespan = CollectiveScheduler::single_stream_fifo()
+            .schedule(&buckets)
+            .makespan();
+        assert!(makespan >= makespan_lower_bound(&buckets) - 1e-12);
+    }
+
+    #[test]
+    fn slot_limited_anomaly_is_real_but_repaired() {
+        // A found instance of the Graham anomaly: under NearestOutputFirst a
+        // 4th stream makes the fixed schedule *worse* than 3 streams. The
+        // repair pass must still never lose to the single-stream pipeline —
+        // the property that used to be merely documented.
+        let buckets = costs(&[
+            (1.0, 1.9, 0.9),
+            (0.0, 0.7, 0.0),
+            (0.0, 1.3, 0.3),
+            (0.0, 1.2, 1.6),
+            (1.1, 0.0, 0.4),
+            (1.2, 0.1, 0.9),
+            (0.8, 0.1, 1.9),
+            (1.1, 0.2, 0.0),
+            (0.2, 2.6, 0.0),
+            (1.3, 1.7, 1.0),
+        ]);
+        let three = CollectiveScheduler::new(3, PriorityPolicy::NearestOutputFirst)
+            .schedule(&buckets)
+            .makespan();
+        let four = CollectiveScheduler::new(4, PriorityPolicy::NearestOutputFirst)
+            .schedule(&buckets)
+            .makespan();
+        assert!(
+            four > three + 1e-9,
+            "expected the anomaly: 4 streams {four} vs 3 streams {three}"
+        );
+        let pipeline = CollectiveScheduler::single_stream_fifo()
+            .schedule(&buckets)
+            .makespan();
+        for streams in 1..=12 {
+            for policy in [
+                PriorityPolicy::Fifo,
+                PriorityPolicy::SmallestFirst,
+                PriorityPolicy::NearestOutputFirst,
+            ] {
+                let repaired = CollectiveScheduler::new(streams, policy)
+                    .repaired_schedule(&buckets)
+                    .makespan();
+                assert!(
+                    repaired <= pipeline + 1e-12,
+                    "{policy} at {streams} streams: repaired {repaired} lost to \
+                     the pipeline {pipeline}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projected_payloads_guard_the_cast_and_clamp_to_one_element() {
+        // Ordinary case: ceil of the projected bytes.
+        assert_eq!(projected_payload_bytes(0.01, 1000), 80);
+        // Tiny products clamp to one wire element (8 bytes).
+        assert_eq!(projected_payload_bytes(1e-300, 1), 8);
+        assert_eq!(projected_payload_bytes(0.0, 1 << 20), 8);
+        // Oversized products saturate instead of wrapping.
+        assert_eq!(projected_payload_bytes(f64::MAX, usize::MAX), usize::MAX);
+        assert_eq!(projected_payload_bytes(1.0, usize::MAX), usize::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn projected_payloads_reject_nan_ratios() {
+        projected_payload_bytes(f64::NAN, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn projected_payloads_reject_negative_ratios() {
+        projected_payload_bytes(-0.5, 100);
+    }
+
+    #[test]
+    fn ready_time_stamping_aligns_with_costs() {
+        let stamped = with_ready_times(costs(&[(1.0, 0.0, 1.0), (1.0, 0.0, 1.0)]), &[2.0, 0.5]);
+        assert_eq!(stamped[0].ready_at, 2.0);
+        assert_eq!(stamped[1].ready_at, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn ready_time_stamping_rejects_misaligned_slices() {
+        with_ready_times(costs(&[(1.0, 0.0, 1.0)]), &[0.0, 0.0]);
+    }
+
     #[test]
     #[should_panic(expected = "invalid costs")]
     fn rejects_negative_costs() {
         CollectiveScheduler::default().schedule(&costs(&[(1.0, -0.5, 1.0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid costs")]
+    fn rejects_non_finite_arrivals() {
+        CollectiveScheduler::default().schedule(&costs_with_arrivals(&[(
+            f64::INFINITY,
+            1.0,
+            0.0,
+            1.0,
+        )]));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   ([`NetworkModel`]): dense ring all-reduce for the baseline, sparse ring
 //!   all-gather for compressed gradients, and two-tier hierarchical
 //!   collectives ([`HierarchicalTopology`](network::HierarchicalTopology)):
-//!   intra-node reduce-scatter feeding an inter-node exchange;
+//!   intra-node reduce-scatter feeding an inter-node exchange charged across
+//!   per-node NIC rails rather than one bottleneck link;
 //! * [`device`] — calibrated GPU/CPU compression-latency models
 //!   ([`DeviceProfile`](device::DeviceProfile)) behind Figures 1 and 14–17,
 //!   engine-aware so a multi-threaded
@@ -23,9 +24,10 @@
 //!   compression of bucket `i + 1` with communication of bucket `i`;
 //! * [`collective`] — the async collective scheduler
 //!   ([`CollectiveScheduler`](collective::CollectiveScheduler)): multi-stream
-//!   schedules, priority preemption of large transfers
-//!   (ByteScheduler-style), per-stream/per-bucket timelines and the analytic
-//!   lower bounds its property tests pin down;
+//!   schedules over gradient-arrival release times, priority preemption of
+//!   large transfers (ByteScheduler-style), anomaly-repaired fixed
+//!   schedules, per-stream/per-bucket timelines and the analytic lower
+//!   bounds its property tests pin down;
 //! * [`trainer`] — a real data-parallel trainer
 //!   ([`ModelTrainer`](trainer::ModelTrainer)) over the analytic models, with
 //!   per-worker error feedback, momentum, clipping and scheduled bucketed

@@ -57,7 +57,8 @@ impl TrainingReport {
 
     /// Attaches the collective scheduler's three-way accounting (serial vs
     /// single-stream pipeline vs the charged multi-stream schedule, plus the
-    /// last iteration's per-stream/per-bucket timeline).
+    /// last iteration's per-stream/per-bucket timeline — whose entries carry
+    /// each bucket's gradient-arrival release time on arrival-aware runs).
     #[must_use]
     pub fn with_schedule(mut self, schedule: ScheduleAccounting) -> Self {
         self.schedule = Some(schedule);

@@ -102,15 +102,27 @@ impl NetworkModel {
 
 /// A two-tier cluster interconnect: `nodes` machines of `workers_per_node`
 /// workers each, with a fast intra-node fabric (NVLink/PCIe-class) and a
-/// slower inter-node fabric (the datacentre network).
+/// slower inter-node fabric (the datacentre network) reached through
+/// [`nics_per_node`](Self::nics_per_node) NIC rails per machine.
 ///
 /// Hierarchical collectives run in phases — an intra-node stage, an
 /// inter-node stage over per-node aggregates, and an intra-node distribution
-/// stage — so the slow inter-node link carries `(nodes-1)` hops instead of
+/// stage — so the slow inter-node fabric carries `(nodes-1)` hops instead of
 /// `(workers-1)`. With a single node (`nodes == 1`) every formula collapses
 /// to the flat intra-node collective, and with one worker per node it
 /// collapses to the flat inter-node collective; both identities are proven in
 /// `tests/scheduler_properties.rs`.
+///
+/// **Per-node NICs.** The inter-node stage is *not* a single shared
+/// bottleneck link: every node drives its own NIC(s), all nodes transmit in
+/// parallel, and the stage completes when the slowest NIC drains its
+/// `(nodes-1)` per-node-aggregate messages. With homogeneous nodes each NIC
+/// rail carries `(nodes-1)·aggregate / nics_per_node` bytes, so the stage
+/// time at one NIC rail is *exactly* the old single-bottleneck charge (the
+/// models coincide bit-for-bit at `nics_per_node == 1`), and extra rails
+/// stripe the egress — the rail-optimised fabrics real hierarchical
+/// all-gathers scale on. Makespans are monotonically non-increasing in the
+/// NIC count, a property `tests/scheduler_properties.rs` pins down.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HierarchicalTopology {
     /// Number of machines.
@@ -119,12 +131,16 @@ pub struct HierarchicalTopology {
     pub workers_per_node: usize,
     /// Fabric joining the workers of one machine.
     pub intra: NetworkModel,
-    /// Fabric joining the machines.
+    /// Fabric joining the machines (per NIC rail).
     pub inter: NetworkModel,
+    /// NIC rails per machine striping the inter-node traffic (≥ 1; 1
+    /// reproduces the classic single-bottleneck charge exactly).
+    pub nics_per_node: usize,
 }
 
 impl HierarchicalTopology {
-    /// A two-tier topology.
+    /// A two-tier topology with one NIC rail per node (the classic
+    /// single-bottleneck inter-node charge).
     ///
     /// # Panics
     ///
@@ -142,6 +158,31 @@ impl HierarchicalTopology {
             workers_per_node,
             intra,
             inter,
+            nics_per_node: 1,
+        }
+    }
+
+    /// Sets the number of NIC rails per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nics_per_node` is zero.
+    #[must_use]
+    pub fn with_nics_per_node(mut self, nics_per_node: usize) -> Self {
+        assert!(nics_per_node >= 1, "a node needs at least one NIC");
+        self.nics_per_node = nics_per_node;
+        self
+    }
+
+    /// The inter-node fabric as seen through the node's full NIC complement:
+    /// `nics_per_node` rails stripe the bandwidth term while per-hop latency
+    /// is rail-independent. At one rail this *is* [`inter`](Self::inter), so
+    /// every charge below collapses bit-identically to the single-bottleneck
+    /// model.
+    fn inter_effective(&self) -> NetworkModel {
+        NetworkModel {
+            bandwidth_gbps: self.inter.bandwidth_gbps * self.nics_per_node as f64,
+            latency: self.inter.latency,
         }
     }
 
@@ -182,7 +223,7 @@ impl HierarchicalTopology {
         };
         // Each worker all-reduces its 1/g shard across the nodes.
         let shard = (bytes as f64 / g).ceil() as usize;
-        intra_phases + self.inter.allreduce_dense(shard, self.nodes)
+        intra_phases + self.inter_effective().allreduce_dense(shard, self.nodes)
     }
 
     /// Hierarchical sparse all-gather where every worker contributes `bytes`
@@ -209,7 +250,9 @@ impl HierarchicalTopology {
                 .allgather_budget_bytes(budget, self.workers_per_node);
         }
         if self.workers_per_node == 1 {
-            return self.inter.allgather_budget_bytes(budget, self.nodes);
+            return self
+                .inter_effective()
+                .allgather_budget_bytes(budget, self.nodes);
         }
         // allgather_sparse is affine in the payload: time = floor + slope·bytes
         // with the three stage formulas' constants collected below.
@@ -218,7 +261,7 @@ impl HierarchicalTopology {
         let floor =
             (g - 1.0) * self.intra.latency + (n - 1.0) * self.inter.latency + self.intra.latency;
         let slope = (g - 1.0) / self.intra.bytes_per_second()
-            + (n - 1.0) * g / self.inter.bytes_per_second()
+            + (n - 1.0) * g / self.inter_effective().bytes_per_second()
             + (n - 1.0) * g / self.intra.bytes_per_second();
         ((budget - floor) / slope).max(0.0)
     }
@@ -240,14 +283,17 @@ impl HierarchicalTopology {
                 .allgather_sparse_parts(bytes, self.workers_per_node);
         }
         if self.workers_per_node == 1 {
-            return self.inter.allgather_sparse_parts(bytes, self.nodes);
+            return self
+                .inter_effective()
+                .allgather_sparse_parts(bytes, self.nodes);
         }
         let g = self.workers_per_node;
         let n = self.nodes;
         // Stage 1: every node gathers its workers' payloads.
         let intra_gather = self.intra.allgather_sparse(bytes, g);
         // Stage 2: nodes exchange their g-payload aggregates.
-        let (inter_latency, inter_transfer) = self.inter.allgather_sparse_parts(bytes * g, n);
+        let (inter_latency, inter_transfer) =
+            self.inter_effective().allgather_sparse_parts(bytes * g, n);
         // Stage 3: each node fans the (n-1) remote aggregates out internally.
         let intra_fanout = if g > 1 && n > 1 {
             (n - 1) as f64 * (g * bytes) as f64 / self.intra.bytes_per_second() + self.intra.latency
@@ -366,6 +412,78 @@ mod tests {
         );
         // A latency floor above the budget affords nothing.
         assert_eq!(two_tier.allgather_budget_bytes(1e-9), 0.0);
+    }
+
+    #[test]
+    fn one_nic_rail_is_bit_identical_to_the_single_bottleneck_model() {
+        let base = HierarchicalTopology::new(
+            3,
+            4,
+            NetworkModel::infiniband_100g(),
+            NetworkModel::ethernet_25g(),
+        );
+        let one_rail = base.with_nics_per_node(1);
+        for bytes in [1usize, 1 << 10, 1 << 22] {
+            assert_eq!(
+                base.allgather_sparse(bytes),
+                one_rail.allgather_sparse(bytes)
+            );
+            assert_eq!(
+                base.allgather_sparse_parts(bytes),
+                one_rail.allgather_sparse_parts(bytes)
+            );
+            assert_eq!(base.allreduce_dense(bytes), one_rail.allreduce_dense(bytes));
+        }
+        assert_eq!(
+            base.allgather_budget_bytes(0.002),
+            one_rail.allgather_budget_bytes(0.002)
+        );
+    }
+
+    #[test]
+    fn more_nic_rails_never_slow_the_inter_node_stage() {
+        let base = HierarchicalTopology::new(
+            4,
+            4,
+            NetworkModel::infiniband_100g(),
+            NetworkModel::ethernet_25g(),
+        );
+        let bytes = 1 << 20;
+        let mut previous = f64::INFINITY;
+        for nics in 1usize..=8 {
+            let railed = base.with_nics_per_node(nics);
+            let gather = railed.allgather_sparse(bytes);
+            assert!(
+                gather <= previous,
+                "{nics} rails regressed the all-gather: {previous} -> {gather}"
+            );
+            // Only the link-serialised transfer part shrinks; the
+            // latency/overlappable part is rail-independent only in its
+            // inter-node bandwidth term, so the parts must keep summing.
+            let (latency, transfer) = railed.allgather_sparse_parts(bytes);
+            assert!((latency + transfer - gather).abs() < 1e-12);
+            assert!(railed.allreduce_dense(bytes) <= base.allreduce_dense(bytes));
+            // Budget inversion tracks the railed charge.
+            let budget = 0.004;
+            let affordable = railed.allgather_budget_bytes(budget);
+            let round_trip = railed.allgather_sparse(affordable as usize);
+            assert!((round_trip - budget).abs() < 1e-6);
+            previous = gather;
+        }
+        // Rails strictly beat the single bottleneck once there are ≥ 2.
+        assert!(base.with_nics_per_node(4).allgather_sparse(bytes) < base.allgather_sparse(bytes));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NIC")]
+    fn topology_rejects_zero_nics() {
+        let _ = HierarchicalTopology::new(
+            2,
+            2,
+            NetworkModel::ethernet_25g(),
+            NetworkModel::ethernet_25g(),
+        )
+        .with_nics_per_node(0);
     }
 
     #[test]

@@ -102,6 +102,7 @@ pub fn multi_stream_overhead(
                 "latency {latency} exceeds total communication {communication}"
             );
             BucketCost {
+                ready_at: 0.0,
                 compression,
                 latency,
                 transfer: communication - latency,

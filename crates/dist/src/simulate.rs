@@ -19,8 +19,6 @@ use sidco_core::sidco::{SidcoCompressor, SidcoConfig};
 use sidco_models::benchmarks::{BenchmarkId, TaskKind};
 use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
 
-use crate::SPARSE_WIRE_BYTES;
-
 /// Constructs the compressor for a scheme, or `None` for
 /// [`CompressorKind::None`] (the dense baseline has nothing to build).
 /// `seed` feeds the randomised schemes (Random-k selection, DGC sampling) so
@@ -261,7 +259,9 @@ pub fn simulate_benchmark(
         quality.record(achieved);
 
         let (compression, communication) = if compressor.is_some() {
-            let payload = achieved * spec.parameters as f64 * SPARSE_WIRE_BYTES;
+            // Projection guarded against non-finite/oversized ratios and
+            // clamped to ≥ 1 wire element, like every other modelled payload.
+            let payload = crate::collective::projected_payload_bytes(achieved, spec.parameters);
             (
                 profile.compression_time_with_workers(
                     kind,
@@ -270,7 +270,7 @@ pub fn simulate_benchmark(
                     stages,
                     cluster.engine_workers,
                 ),
-                cluster.allgather_sparse(payload.round() as usize),
+                cluster.allgather_sparse(payload),
             )
         } else {
             (0.0, dense_comm)

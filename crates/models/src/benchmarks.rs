@@ -243,6 +243,21 @@ impl BenchmarkSpec {
         sizes
     }
 
+    /// Relative backward-pass cost of each representative tensor, aligned
+    /// with [`representative_layer_sizes`](Self::representative_layer_sizes)
+    /// — the Table-1 analogue of
+    /// `DifferentiableModel::layer_backward_costs`. Flop-proportional (one
+    /// unit of backward work per parameter), which matches the dense
+    /// conv/FC/gate blocks these architectures are built from; only the
+    /// ratios matter to the arrival-time model. The backward pass runs
+    /// output-to-input, so the last tensor's gradient arrives first.
+    pub fn representative_backward_costs(&self) -> Vec<f64> {
+        self.representative_layer_sizes()
+            .iter()
+            .map(|&s| s as f64)
+            .collect()
+    }
+
     /// Whether this benchmark is communication-bound (overhead above 50%), which is
     /// where the paper expects compression to pay off.
     pub fn is_communication_bound(&self) -> bool {
@@ -364,6 +379,21 @@ mod tests {
             ratio < 4.0,
             "LSTM tensors should be near-uniform, got {ratio}"
         );
+    }
+
+    #[test]
+    fn representative_backward_costs_align_with_layers() {
+        for benchmark in BenchmarkId::ALL {
+            let spec = benchmark.spec();
+            let layers = spec.representative_layer_sizes();
+            let costs = spec.representative_backward_costs();
+            assert_eq!(costs.len(), layers.len(), "{benchmark}: misaligned");
+            assert!(costs.iter().all(|&c| c > 0.0), "{benchmark}: zero cost");
+            // Flop-proportional: one unit of backward work per parameter.
+            for (&size, &cost) in layers.iter().zip(&costs) {
+                assert_eq!(cost, size as f64, "{benchmark}");
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,19 @@ pub trait DifferentiableModel: Send + Sync {
         vec![self.num_parameters()]
     }
 
+    /// Relative backward-pass cost of each layer, aligned with
+    /// [`layer_sizes`](Self::layer_sizes) (same length, all positive). Only
+    /// the *ratios* matter: the distributed simulator normalises the weights
+    /// against its modelled backward-pass duration to derive the time at
+    /// which each layer's gradient becomes available. The backward pass runs
+    /// output-to-input, so the **last** layer's gradient materialises first
+    /// and layer 0's last. Defaults to flop-proportional weights (one unit of
+    /// backward work per parameter), which is exact for the dense blocks all
+    /// bundled workloads are built from.
+    fn layer_backward_costs(&self) -> Vec<f64> {
+        self.layer_sizes().iter().map(|&s| s as f64).collect()
+    }
+
     /// Number of training examples in the dataset.
     fn num_examples(&self) -> usize;
 
@@ -82,6 +95,7 @@ mod tests {
         let model: Box<dyn DifferentiableModel> = Box::new(Constant);
         assert_eq!(model.accuracy(&[0.0]), None);
         assert_eq!(model.layer_sizes(), vec![1]);
+        assert_eq!(model.layer_backward_costs(), vec![1.0]);
         assert_eq!(model.name(), "constant");
         let (loss, grad) = model.loss_and_gradient(&[2.0], &[0]);
         assert_eq!(loss, 2.0);

@@ -14,10 +14,11 @@
 //! and update this file alongside the change that moved them.
 
 use sidco::prelude::*;
-use sidco_dist::collective::modeled_bucket_costs;
+use sidco_dist::collective::{modeled_bucket_costs, with_ready_times};
 use sidco_dist::overlap::{pipelined_overhead, serial_overhead};
-use sidco_dist::schedule::pack_layers;
-use sidco_models::dataset::RegressionDataset;
+use sidco_dist::schedule::{bucket_ready_times, pack_layers};
+use sidco_models::dataset::{ClassificationDataset, RegressionDataset};
+use sidco_models::mlp::Mlp;
 use sidco_models::regression::LinearRegression;
 use std::sync::Arc;
 
@@ -80,6 +81,51 @@ fn trainer_overheads(cluster: ClusterConfig, overlap: bool) -> (f64, f64) {
     (acc.serial_overhead(), acc.charged_overhead())
 }
 
+/// The arrival-aware modelled makespan of one VGG16-CIFAR10 iteration's
+/// schedule at δ = 0.01 on `cluster`: the same 8-bucket layout as
+/// [`modeled_overheads`], released on a flop-proportional backward pass one
+/// second long, scheduled with 4 streams under `NearestOutputFirst`.
+fn arrival_aware_makespan(cluster: &ClusterConfig) -> f64 {
+    let spec = BenchmarkId::Vgg16Cifar10.spec();
+    let layers = spec.representative_layer_sizes();
+    let layout = pack_layers(&layers, spec.parameters.div_ceil(8));
+    let kind =
+        sidco::core::compressor::CompressorKind::Sidco(sidco::stats::fit::SidKind::Exponential);
+    let ready = bucket_ready_times(&layers, &spec.representative_backward_costs(), 1.0, &layout);
+    let costs = with_ready_times(
+        modeled_bucket_costs(cluster, kind, 0.01, 2, &layout),
+        &ready,
+    );
+    CollectiveScheduler::new(4, PriorityPolicy::NearestOutputFirst)
+        .best_schedule(&costs)
+        .makespan()
+}
+
+/// A deterministic arrival-aware trainer run (4-layer MLP, per-layer
+/// buckets, 4 streams, `NearestOutputFirst`); returns the schedule
+/// accounting's (pipelined, charged) totals.
+fn arrival_aware_trainer_overheads(cluster: ClusterConfig) -> (f64, f64) {
+    let model: Arc<dyn DifferentiableModel> = Arc::new(Mlp::new(
+        ClassificationDataset::gaussian_blobs(96, 10, 3, 3.0, 11),
+        12,
+    ));
+    let config = TrainerConfig {
+        iterations: 25,
+        batch_per_worker: 16,
+        compressor_kind: Some(sidco::core::compressor::CompressorKind::TopK),
+        bucket_policy: BucketPolicy::PerLayer,
+        overlap: true,
+        streams: 4,
+        priority: PriorityPolicy::NearestOutputFirst,
+        arrival_aware: true,
+        ..TrainerConfig::default()
+    };
+    let mut trainer = ModelTrainer::new(model, cluster, config, || Box::new(TopKCompressor::new()));
+    let report = trainer.run(0.1);
+    let acc = report.schedule().expect("compressed run has accounting");
+    (acc.pipelined_overhead(), acc.charged_overhead())
+}
+
 /// Golden (cluster, serial, pipelined) triples for [`modeled_overheads`].
 const MODELED_GOLDENS: [(&str, f64, f64); 3] = [
     ("dedicated-gpu", 5.4220752875000005e-3, 4.8511897175e-3),
@@ -96,6 +142,27 @@ const TRAINER_GOLDENS: [(&str, f64, f64); 3] = [
         "shared-multi-gpu",
         6.070011359999999e-1,
         6.008753520000002e-1,
+    ),
+];
+
+/// Golden (cluster, makespan) rows for [`arrival_aware_makespan`], plus a
+/// rail-optimised row pinning the per-node NIC model.
+const ARRIVAL_GOLDENS: [(&str, f64); 4] = [
+    ("dedicated-gpu", 1.0005647973975e0),
+    ("dedicated-cpu", 1.00339739676e0),
+    ("shared-multi-gpu", 1.0001733730775e0),
+    ("rail-optimized", 1.0002295967575e0),
+];
+
+/// Golden (cluster, pipelined, charged) rows for
+/// [`arrival_aware_trainer_overheads`].
+const ARRIVAL_TRAINER_GOLDENS: [(&str, f64, f64); 3] = [
+    ("dedicated-gpu", 3.051671043982614e-1, 3.051671043982614e-1),
+    ("dedicated-cpu", 2.0919152000000003e-2, 5.264976000000002e-3),
+    (
+        "shared-multi-gpu",
+        3.007880723982614e-1,
+        3.007880723982614e-1,
     ),
 ];
 
@@ -131,6 +198,57 @@ fn trainer_overlap_accounting_matches_goldens() {
     }
 }
 
+#[test]
+fn arrival_aware_makespans_match_goldens() {
+    for ((name, cluster), golden) in clusters().iter().zip(&ARRIVAL_GOLDENS[..3]) {
+        assert_eq!(*name, golden.0, "golden table out of sync");
+        let makespan = arrival_aware_makespan(cluster);
+        assert_close(
+            makespan,
+            golden.1,
+            &format!("{name} arrival-aware makespan"),
+        );
+        // The makespan always covers the 1s backward pass it overlaps with,
+        // and never exceeds waiting the backward out before the zero-arrival
+        // pipeline.
+        assert!(makespan >= 1.0);
+        let (serial, _) = modeled_overheads(cluster);
+        assert!(makespan <= 1.0 + serial);
+    }
+    let railed = ClusterConfig::paper_rail_optimized();
+    assert_eq!(ARRIVAL_GOLDENS[3].0, "rail-optimized");
+    let makespan = arrival_aware_makespan(&railed);
+    assert_close(
+        makespan,
+        ARRIVAL_GOLDENS[3].1,
+        "rail-optimized arrival-aware makespan",
+    );
+    // Four NIC rails must not charge more than the single-bottleneck
+    // two-tier fabric on the identical schedule.
+    assert!(makespan <= arrival_aware_makespan(&ClusterConfig::paper_two_tier()));
+}
+
+#[test]
+fn arrival_aware_trainer_accounting_matches_goldens() {
+    for ((name, cluster), golden) in clusters().iter().zip(ARRIVAL_TRAINER_GOLDENS) {
+        assert_eq!(*name, golden.0, "golden table out of sync");
+        let (pipelined, charged) = arrival_aware_trainer_overheads(*cluster);
+        assert_close(
+            pipelined,
+            golden.1,
+            &format!("{name} arrival-aware pipelined overhead"),
+        );
+        assert_close(
+            charged,
+            golden.2,
+            &format!("{name} arrival-aware charged overhead"),
+        );
+        // Charged never loses to its own single-stream FIFO reference.
+        assert!(charged <= pipelined + 1e-12 * pipelined.abs().max(1.0));
+        assert!(charged >= 0.0);
+    }
+}
+
 /// Regenerates the golden constants above (run with `--ignored --nocapture`).
 #[test]
 #[ignore = "golden generator, not a regression test"]
@@ -146,6 +264,21 @@ fn dump_goldens() {
         let (serial, _) = trainer_overheads(cluster, false);
         let (_, charged) = trainer_overheads(cluster, true);
         println!("    (\"{name}\", {serial:e}, {charged:e}),");
+    }
+    println!("];");
+    println!("const ARRIVAL_GOLDENS: [(&str, f64); 4] = [");
+    for (name, cluster) in clusters() {
+        println!("    (\"{name}\", {:e}),", arrival_aware_makespan(&cluster));
+    }
+    println!(
+        "    (\"rail-optimized\", {:e}),",
+        arrival_aware_makespan(&ClusterConfig::paper_rail_optimized())
+    );
+    println!("];");
+    println!("const ARRIVAL_TRAINER_GOLDENS: [(&str, f64, f64); 3] = [");
+    for (name, cluster) in clusters() {
+        let (pipelined, charged) = arrival_aware_trainer_overheads(cluster);
+        println!("    (\"{name}\", {pipelined:e}, {charged:e}),");
     }
     println!("];");
 }

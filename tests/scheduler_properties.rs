@@ -20,6 +20,22 @@
 //! `overlap::pipelined_overhead`, and bit-identical convergence of
 //! overlapped/multi-stream trainer runs against serial runs for every
 //! evaluated compressor.
+//!
+//! The arrival-aware/NIC extensions add four more pinned properties:
+//!
+//! 5. **Release safety** — no bucket enters compression (or the wire) before
+//!    its `ready_at` gradient-arrival time, for every policy and stream
+//!    count;
+//! 6. **Zero-arrival collapse** — with every release at zero the schedule is
+//!    bit-identical to the arrival-oblivious model (index-order prefix-sum
+//!    compression, the recurrence equivalence of invariant 6 above);
+//! 7. **NIC monotonicity** — the hierarchical all-gather is monotonically
+//!    non-increasing in the per-node NIC count and collapses bit-identically
+//!    to the single-bottleneck model at one rail;
+//! 8. **Anomaly repair** — `repaired_schedule` never exceeds the
+//!    single-stream FIFO pipeline makespan at any stream count, arrivals
+//!    included (the slot-limited Graham anomaly is repaired, not merely
+//!    documented).
 
 use proptest::prelude::*;
 use sidco::prelude::*;
@@ -59,11 +75,38 @@ fn bucket_costs_strategy() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
 fn to_costs(raw: &[(f64, f64, f64)]) -> Vec<BucketCost> {
     raw.iter()
         .map(|&(compression, latency, transfer)| BucketCost {
+            ready_at: 0.0,
             compression,
             latency,
             transfer,
         })
         .collect()
+}
+
+/// Strategy: bucket costs plus a backward-pass shape — per-bucket release
+/// times are derived the way `schedule::bucket_ready_times` produces them
+/// (non-increasing in the bucket index: output-side buckets arrive first),
+/// scaled by a random backward duration including zero (the arrival-oblivious
+/// collapse).
+fn bucket_costs_with_arrivals_strategy() -> impl Strategy<Value = Vec<BucketCost>> {
+    (
+        bucket_costs_strategy(),
+        prop_oneof![3 => 0.0f64..4.0, 1 => Just(0.0f64)],
+        prop::collection::vec(0.01f64..1.0, 16),
+    )
+        .prop_map(|(raw, backward, weights)| {
+            let mut costs = to_costs(&raw);
+            let n = costs.len();
+            // Suffix-sum releases over the first n weights: non-increasing,
+            // bucket 0 released exactly at the full backward duration.
+            let total: f64 = weights[..n].iter().sum();
+            let mut suffix = 0.0f64;
+            for i in (0..n).rev() {
+                suffix += weights[i];
+                costs[i].ready_at = suffix / total * backward;
+            }
+            costs
+        })
 }
 
 /// Relative tolerance for event-time comparisons (the simulator accumulates
@@ -84,7 +127,27 @@ fn assert_well_formed(
     prop_assert_eq!(entries.len(), buckets.len());
     prop_assert_eq!(timeline.streams(), streams);
     let eps = tol(timeline.makespan());
+    // Compression is serial, first-come-first-served in arrival order (ties
+    // by index) and never before a bucket's release time. With all releases
+    // at zero this is exactly the index-order prefix sum.
+    let mut order: Vec<usize> = (0..buckets.len()).collect();
+    order.sort_by(|&a, &b| {
+        buckets[a]
+            .ready_at
+            .partial_cmp(&buckets[b].ready_at)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
     let mut compress_frontier = 0.0f64;
+    for &i in &order {
+        let expected_start = compress_frontier.max(buckets[i].ready_at);
+        prop_assert!(
+            (entries[i].compress_start - expected_start).abs() <= eps,
+            "bucket {i} compressed at {} instead of {expected_start}",
+            entries[i].compress_start
+        );
+        compress_frontier = entries[i].compress_end;
+    }
     for (i, entry) in entries.iter().enumerate() {
         prop_assert_eq!(entry.bucket, i);
         prop_assert!(
@@ -92,12 +155,17 @@ fn assert_well_formed(
             "stream {} of {streams}",
             entry.stream
         );
-        // Compression is serial, in index order.
-        prop_assert!((entry.compress_start - compress_frontier).abs() <= eps);
+        // Release safety: nothing happens before the gradient arrives.
+        prop_assert_eq!(entry.ready_at, buckets[i].ready_at);
+        prop_assert!(
+            entry.compress_start >= buckets[i].ready_at - eps,
+            "bucket {i} compressed at {} before its release {}",
+            entry.compress_start,
+            buckets[i].ready_at
+        );
         prop_assert!(
             (entry.compress_end - entry.compress_start - buckets[i].compression).abs() <= eps
         );
-        compress_frontier = entry.compress_end;
         // Communication starts after compression and lasts at least α + β.
         prop_assert!(entry.comm_start >= entry.compress_end - eps);
         prop_assert!(
@@ -342,6 +410,163 @@ proptest! {
         let lumped = two_tier.allgather_sparse(bytes);
         prop_assert!((latency + transfer - lumped).abs() <= tol(lumped));
     }
+
+    /// Property 5 (+ structural sanity under arrivals): schedules stay
+    /// well-formed and no bucket enters compression or the wire before its
+    /// release time, for every policy and stream count.
+    #[test]
+    fn arrival_aware_schedules_are_well_formed(
+        buckets in bucket_costs_with_arrivals_strategy(),
+        streams in 1usize..6,
+    ) {
+        for policy in POLICIES {
+            let timeline = CollectiveScheduler::new(streams, policy).schedule(&buckets);
+            assert_well_formed(&timeline, &buckets, streams)?;
+            let eps = tol(timeline.makespan());
+            for (entry, bucket) in timeline.entries().iter().zip(&buckets) {
+                for segment in &entry.segments {
+                    prop_assert!(
+                        segment.start >= bucket.ready_at - eps,
+                        "bucket {} on the wire at {} before its release {}",
+                        entry.bucket,
+                        segment.start,
+                        bucket.ready_at
+                    );
+                }
+            }
+            // Bounds still hold: the arrival-gated path bound from below,
+            // the wait-for-everything-then-serialise schedule from above.
+            let makespan = timeline.makespan();
+            prop_assert!(makespan >= makespan_lower_bound(&buckets) - eps);
+            let last_arrival = buckets.iter().fold(0.0f64, |a, b| a.max(b.ready_at));
+            let serial: f64 = buckets.iter().map(|b| b.compression + b.communication()).sum();
+            prop_assert!(makespan <= last_arrival + serial + eps);
+        }
+    }
+
+    /// Property 6: a uniform release time only shifts the schedule rigidly —
+    /// every event of the all-arrivals-at-`T` schedule is the zero-arrival
+    /// event plus `T` — so the zero-arrival model (whose bit-identity with
+    /// the pre-arrival scheduler the goldens and the prefix-sum check in
+    /// `assert_well_formed` pin) is the exact `T → 0` limit.
+    #[test]
+    fn uniform_arrivals_shift_the_zero_arrival_schedule_rigidly(
+        raw in bucket_costs_strategy(),
+        streams in 1usize..6,
+        shift in 0.0f64..10.0,
+    ) {
+        let zero = to_costs(&raw);
+        let shifted: Vec<BucketCost> = zero
+            .iter()
+            .map(|b| BucketCost { ready_at: shift, ..*b })
+            .collect();
+        for policy in POLICIES {
+            let scheduler = CollectiveScheduler::new(streams, policy);
+            let base = scheduler.schedule(&zero);
+            let delayed = scheduler.schedule(&shifted);
+            let eps = tol(base.makespan() + shift);
+            prop_assert!((delayed.makespan() - base.makespan() - shift).abs() <= eps);
+            for (d, b) in delayed.entries().iter().zip(base.entries()) {
+                prop_assert!((d.compress_start - b.compress_start - shift).abs() <= eps);
+                prop_assert!((d.compress_end - b.compress_end - shift).abs() <= eps);
+                prop_assert!((d.comm_start - b.comm_start - shift).abs() <= eps);
+                prop_assert!((d.comm_end - b.comm_end - shift).abs() <= eps);
+                prop_assert_eq!(d.stream, b.stream);
+                prop_assert_eq!(d.segments.len(), b.segments.len());
+            }
+            // The single-stream FIFO recurrence equivalence survives as the
+            // shifted limit.
+            if streams == 1 && policy == PriorityPolicy::Fifo {
+                let comp: Vec<f64> = zero.iter().map(|b| b.compression).collect();
+                let comm: Vec<f64> = zero.iter().map(|b| b.communication()).collect();
+                let reference = pipelined_overhead(&comp, &comm);
+                prop_assert!((delayed.makespan() - shift - reference).abs() <= tol(reference + shift));
+            }
+        }
+    }
+
+    /// Property 8: the repaired scheduler never loses to the single-stream
+    /// FIFO pipeline at any stream count — with or without arrivals — even
+    /// though the *fixed* schedule provably can regress (the slot-limited
+    /// Graham anomaly, demonstrated on a concrete instance in
+    /// `sidco_dist::collective`'s unit tests).
+    #[test]
+    fn repaired_schedules_never_lose_to_the_pipeline(
+        buckets in bucket_costs_with_arrivals_strategy(),
+        streams in 1usize..6,
+    ) {
+        let pipeline = CollectiveScheduler::single_stream_fifo().schedule(&buckets).makespan();
+        for policy in POLICIES {
+            let repaired = CollectiveScheduler::new(streams, policy)
+                .repaired_schedule(&buckets)
+                .makespan();
+            prop_assert!(
+                repaired <= pipeline + tol(pipeline),
+                "{policy} at {streams} streams: repaired {repaired} lost to \
+                 the pipeline {pipeline}"
+            );
+            prop_assert!(repaired >= bandwidth_lower_bound(&buckets) - tol(pipeline));
+        }
+    }
+
+    /// Budget monotonicity survives arrivals: `best_schedule` (what the
+    /// trainer charges) never worsens with a larger stream budget and never
+    /// loses to the pipeline, release times included.
+    #[test]
+    fn best_schedule_stays_monotone_under_arrivals(
+        buckets in bucket_costs_with_arrivals_strategy(),
+    ) {
+        let pipeline = CollectiveScheduler::single_stream_fifo().schedule(&buckets).makespan();
+        for policy in POLICIES {
+            let mut previous = f64::INFINITY;
+            for streams in 1usize..=6 {
+                let makespan = CollectiveScheduler::new(streams, policy)
+                    .best_schedule(&buckets)
+                    .makespan();
+                prop_assert!(makespan <= previous + tol(previous));
+                prop_assert!(makespan <= pipeline + tol(pipeline));
+                previous = makespan;
+            }
+        }
+    }
+
+    /// Property 7: the hierarchical all-gather (and its budget inverse) is
+    /// monotonically non-increasing in the per-node NIC count, the parts
+    /// keep summing, and one rail is bit-identical to the single-bottleneck
+    /// model.
+    #[test]
+    fn nic_rails_are_monotone_and_collapse_at_one(
+        nodes in 2usize..6,
+        workers_per_node in 1usize..5,
+        bytes in 1usize..(1 << 22),
+        fabrics in ((1.0f64..100.0, 1e-6f64..1e-4), (1.0f64..100.0, 1e-6f64..1e-4)),
+    ) {
+        let intra = NetworkModel { bandwidth_gbps: fabrics.0 .0, latency: fabrics.0 .1 };
+        let inter = NetworkModel { bandwidth_gbps: fabrics.1 .0, latency: fabrics.1 .1 };
+        let base = HierarchicalTopology::new(nodes, workers_per_node, intra, inter);
+        // Bit-identical collapse at one rail.
+        let one = base.with_nics_per_node(1);
+        prop_assert_eq!(base.allgather_sparse(bytes), one.allgather_sparse(bytes));
+        prop_assert_eq!(base.allgather_sparse_parts(bytes), one.allgather_sparse_parts(bytes));
+        prop_assert_eq!(base.allreduce_dense(bytes), one.allreduce_dense(bytes));
+        let mut previous = f64::INFINITY;
+        for nics in 1usize..=8 {
+            let railed = base.with_nics_per_node(nics);
+            let gather = railed.allgather_sparse(bytes);
+            prop_assert!(
+                gather <= previous,
+                "{nics} rails regressed the all-gather: {previous} -> {gather}"
+            );
+            let (latency, transfer) = railed.allgather_sparse_parts(bytes);
+            prop_assert!((latency + transfer - gather).abs() <= tol(gather));
+            prop_assert!(railed.allreduce_dense(bytes) <= base.allreduce_dense(bytes) + tol(1.0));
+            // More rails afford at least as much payload per time budget.
+            prop_assert!(
+                railed.allgather_budget_bytes(1e-3) >= base.allgather_budget_bytes(1e-3) - 1e-6
+            );
+            previous = gather;
+        }
+    }
 }
 
 /// Acceptance: on the Table-1 multi-node configurations a multi-stream +
@@ -382,6 +607,101 @@ fn multi_stream_priority_beats_the_pipeline_on_table1_multi_node_configs() {
             );
         }
     }
+}
+
+/// Acceptance: per-node NIC rails strictly beat the single-bottleneck
+/// two-tier model on the Table-1 benchmarks — schedules never get slower,
+/// and the communication-bound configs get strictly faster.
+#[test]
+fn nic_rails_beat_the_single_bottleneck_on_table1_configs() {
+    let kind =
+        sidco::core::compressor::CompressorKind::Sidco(sidco::stats::fit::SidKind::Exponential);
+    let two_tier = ClusterConfig::paper_two_tier();
+    let railed = ClusterConfig::paper_rail_optimized();
+    let scheduler = CollectiveScheduler::new(4, PriorityPolicy::SmallestFirst);
+    let mut strict_wins = 0usize;
+    for benchmark in BenchmarkId::ALL {
+        let layers = benchmark.spec().representative_layer_sizes();
+        let per_tensor = sidco::core::layerwise::LayerLayout::new(layers);
+        let bottleneck = scheduler
+            .best_schedule(&modeled_bucket_costs(&two_tier, kind, 0.01, 2, &per_tensor))
+            .makespan();
+        let striped = scheduler
+            .best_schedule(&modeled_bucket_costs(&railed, kind, 0.01, 2, &per_tensor))
+            .makespan();
+        assert!(
+            striped <= bottleneck + 1e-15,
+            "{benchmark}: NIC rails regressed {bottleneck} -> {striped}"
+        );
+        if striped < bottleneck * (1.0 - 1e-9) {
+            strict_wins += 1;
+        }
+    }
+    assert!(
+        strict_wins >= 1,
+        "NIC rails should strictly beat the bottleneck on at least one config"
+    );
+}
+
+/// Acceptance: arrival-aware scheduling interleaves compression and
+/// communication with the backward pass on the Table-1 benchmarks — the
+/// makespan measured from backward start never exceeds (and on the
+/// communication-bound configs strictly beats) running the same zero-arrival
+/// schedule after the backward pass completes.
+#[test]
+fn arrival_aware_schedules_interleave_with_the_backward_pass_on_table1() {
+    use sidco_dist::collective::with_ready_times;
+    use sidco_dist::schedule::bucket_ready_times;
+    use sidco_dist::trainer::BACKWARD_COMPUTE_FRACTION;
+
+    let kind =
+        sidco::core::compressor::CompressorKind::Sidco(sidco::stats::fit::SidKind::Exponential);
+    let mut strict_wins = 0usize;
+    for cluster in [
+        ClusterConfig::paper_dedicated(),
+        ClusterConfig::paper_two_tier(),
+    ] {
+        for benchmark in BenchmarkId::ALL {
+            let spec = benchmark.spec();
+            let layers = spec.representative_layer_sizes();
+            let per_tensor = sidco::core::layerwise::LayerLayout::new(layers.clone());
+            // The same compute split the trainer and the Table-1 simulator
+            // charge: dense-communication overhead ratio → compute time,
+            // two thirds of which is the backward pass.
+            let dense_comm = cluster.allreduce_dense(spec.gradient_bytes());
+            let overhead = spec.communication_overhead.clamp(0.01, 0.99);
+            let backward = BACKWARD_COMPUTE_FRACTION * dense_comm * (1.0 - overhead) / overhead;
+            let ready = bucket_ready_times(
+                &layers,
+                &spec.representative_backward_costs(),
+                backward,
+                &per_tensor,
+            );
+            let costs = modeled_bucket_costs(&cluster, kind, 0.01, 2, &per_tensor);
+            let scheduler = CollectiveScheduler::new(4, PriorityPolicy::NearestOutputFirst);
+            let after_backward = backward + scheduler.best_schedule(&costs).makespan();
+            let interleaved = scheduler
+                .best_schedule(&with_ready_times(costs, &ready))
+                .makespan();
+            assert!(
+                interleaved <= after_backward + 1e-12,
+                "{benchmark}: arrival-aware {interleaved} lost to \
+                 wait-for-backward {after_backward}"
+            );
+            assert!(
+                interleaved >= backward,
+                "{benchmark}: the makespan must cover the backward pass"
+            );
+            if interleaved < after_backward * (1.0 - 1e-9) {
+                strict_wins += 1;
+            }
+        }
+    }
+    assert!(
+        strict_wins >= 6,
+        "arrival-aware scheduling should strictly beat wait-for-backward on \
+         most Table-1 configs, won {strict_wins}"
+    );
 }
 
 /// Overlapped and multi-stream schedules only move costs on the simulated

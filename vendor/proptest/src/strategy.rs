@@ -22,6 +22,35 @@ pub trait Strategy {
     {
         BoxedStrategy(Box::new(self))
     }
+
+    /// Maps every generated value through `f` — the (shrink-free) subset of
+    /// proptest's `prop_map` combinator the workspace uses.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter mapping generated values through a function (see
+/// [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
 }
 
 /// A type-erased [`Strategy`].
