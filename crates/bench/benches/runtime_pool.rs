@@ -1,0 +1,182 @@
+//! Criterion micro-benchmarks of the persistent work-stealing runtime vs the
+//! per-call scoped fallback — the numbers recorded in `BENCH_engine.json`.
+//!
+//! Two regimes bracket the design space:
+//!
+//! * **many-small-layers** — 256 layers of 64Ki elements, the layer-wise /
+//!   per-layer-bucket regime where every `compress` call is short and the
+//!   scoped runtime's per-call thread spawn+join storm dominates. This is the
+//!   workload the pool exists for.
+//! * **single-large** — one 16Mi-element gradient, the ImageNet regime where
+//!   a call is long enough to amortise any dispatch cost and the two runtimes
+//!   should converge.
+//!
+//! The pool's lifecycle counters (spawns, steals, parks, per-socket
+//! placement) are printed after the sweep; on a multi-socket host the
+//! per-socket chunk counts show the NUMA placement at work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sidco_core::engine::{CompressionEngine, RuntimeKind};
+use sidco_core::prelude::*;
+use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
+
+/// Many-small-layer regime: layer count × per-layer elements = 16Mi total.
+const LAYERS: usize = 256;
+const LAYER_DIM: usize = 1 << 16;
+/// Single-large regime: one tensor of the same total element count.
+const LARGE_DIM: usize = 1 << 24;
+const DELTA: f64 = 0.01;
+
+fn layer_gradients() -> Vec<Vec<f32>> {
+    (0..LAYERS)
+        .map(|layer| {
+            let mut generator = SyntheticGradientGenerator::new(
+                LAYER_DIM,
+                GradientProfile::LaplaceLike,
+                11 + layer as u64,
+            );
+            generator.gradient(0).into_vec()
+        })
+        .collect()
+}
+
+fn large_gradient() -> Vec<f32> {
+    let mut generator = SyntheticGradientGenerator::new(LARGE_DIM, GradientProfile::LaplaceLike, 7);
+    generator.gradient(0).into_vec()
+}
+
+fn configurations() -> Vec<(RuntimeKind, usize)> {
+    vec![
+        (RuntimeKind::Scoped, 1),
+        (RuntimeKind::Scoped, 2),
+        (RuntimeKind::Scoped, 4),
+        (RuntimeKind::Pool, 2),
+        (RuntimeKind::Pool, 4),
+    ]
+}
+
+fn bench_many_small_layers(c: &mut Criterion) {
+    println!(
+        "host parallelism: {} hardware threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let layers = layer_gradients();
+    let mut group = c.benchmark_group("runtime_many_small_layers_256x64Ki");
+    group.throughput(Throughput::Elements((LAYERS * LAYER_DIM) as u64));
+    group.sample_size(3);
+
+    for (runtime, threads) in configurations() {
+        // A 64Ki layer is exactly one default chunk, which would dispatch
+        // inline; 16Ki chunks make every layer span 4 chunks so each of the
+        // ~5 chunked passes per compress call really exercises the runtime
+        // (the chunk size is identical across configurations, so outputs —
+        // and the work done — stay bit-identical).
+        let engine = CompressionEngine::new(threads)
+            .with_runtime(runtime)
+            .with_chunk_size(1 << 14);
+        group.bench_with_input(
+            BenchmarkId::new(
+                "sidco-e",
+                format!("runtime={},threads={threads}", runtime.as_str()),
+            ),
+            &engine,
+            |b, &engine| {
+                let mut compressor =
+                    SidcoCompressor::new(SidcoConfig::exponential()).with_engine(engine);
+                // Warm up: allocations, stage controller, lazy pool spawn.
+                for grad in &layers {
+                    compressor.compress(grad, DELTA);
+                }
+                b.iter(|| {
+                    for grad in &layers {
+                        compressor.compress(std::hint::black_box(grad.as_slice()), DELTA);
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_large(c: &mut Criterion) {
+    let grad = large_gradient();
+    let mut group = c.benchmark_group("runtime_single_large_16Mi");
+    group.throughput(Throughput::Elements(LARGE_DIM as u64));
+    group.sample_size(3);
+
+    for (runtime, threads) in configurations() {
+        let engine = CompressionEngine::new(threads).with_runtime(runtime);
+        group.bench_with_input(
+            BenchmarkId::new(
+                "sidco-e",
+                format!("runtime={},threads={threads}", runtime.as_str()),
+            ),
+            &engine,
+            |b, &engine| {
+                let mut compressor =
+                    SidcoCompressor::new(SidcoConfig::exponential()).with_engine(engine);
+                compressor.compress(&grad, DELTA);
+                b.iter(|| compressor.compress(std::hint::black_box(&grad), DELTA));
+            },
+        );
+    }
+    group.finish();
+
+    // Parallel delta-varint stitching on the selected survivors (the ROADMAP
+    // item the encoder satellite closed): serial vs sharded.
+    let engine = CompressionEngine::new(4);
+    let threshold = engine.abs_moments(&grad).mean * 2.0;
+    let sparse = engine.select_above(&grad, threshold);
+    let mut group = c.benchmark_group("delta_varint_encode");
+    group.throughput(Throughput::Elements(sparse.nnz() as u64));
+    group.sample_size(5);
+    group.bench_function(BenchmarkId::from_parameter("serial"), |b| {
+        b.iter(|| sidco_tensor::encoding::delta_varint_encode(std::hint::black_box(&sparse)))
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", format!("threads={threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    sidco_tensor::encoding::delta_varint_encode_parallel(
+                        std::hint::black_box(&sparse),
+                        threads,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn report_pool_stats(_c: &mut Criterion) {
+    for threads in [2usize, 4] {
+        let engine = CompressionEngine::new(threads).with_runtime(RuntimeKind::Pool);
+        if let Some(stats) = engine.pool_stats() {
+            println!(
+                "pool[threads={threads}]: spawned={} jobs={} chunks={} local_pops={} \
+                 injector_pops={} sibling_steals={} remote_steals={} parks={} unparks={} \
+                 socket_chunks={:?}",
+                stats.threads_spawned,
+                stats.jobs,
+                stats.chunks_executed,
+                stats.local_pops,
+                stats.injector_pops,
+                stats.sibling_steals,
+                stats.remote_steals,
+                stats.parks,
+                stats.unparks,
+                stats.socket_chunks
+            );
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_many_small_layers,
+    bench_single_large,
+    report_pool_stats
+);
+criterion_main!(benches);

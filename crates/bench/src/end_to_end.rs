@@ -48,7 +48,7 @@ fn benchmark_block(
     ratios: &[f64],
     scale: Scale,
 ) -> String {
-    let config = simulation_config(benchmark, scale).with_cluster(cluster);
+    let config = simulation_config(benchmark, scale).with_cluster(cluster.clone());
     let baseline = simulate_benchmark(&config, CompressorKind::None, 1.0);
     let mut table = Table::new(
         title,
@@ -213,7 +213,7 @@ pub fn fig12(scale: Scale) -> String {
         BenchmarkId::LstmPtb,
     ] {
         let cluster = ClusterConfig::paper_cpu_compression();
-        let config = simulation_config(benchmark, scale).with_cluster(cluster);
+        let config = simulation_config(benchmark, scale).with_cluster(cluster.clone());
         let mut table = Table::new(
             format!("Figure 12 — {benchmark}, CPU compression device: throughput (samples/s)"),
             &["scheme", "δ=0.1", "δ=0.01", "δ=0.001"],

@@ -1,34 +1,52 @@
-//! The parallel compression engine: a thread-pool-backed executor that shards a
+//! The parallel compression engine: an executor-backed front end that shards a
 //! gradient into deterministic fixed-size chunks and runs every stage of the
-//! fit → threshold → select → encode pipeline concurrently.
+//! fit → threshold → select → encode pipeline concurrently on a
+//! [`Runtime`](sidco_runtime::Runtime).
 //!
 //! Every compressor in this crate routes its hot loops through a
 //! [`CompressionEngine`] — moments for the statistical fits, threshold
 //! counts/selections, and exact Top-k via chunked partial selection. Sparse
-//! encoding ([`encode`](CompressionEngine::encode)) is offered as an engine
-//! primitive for integrations that materialise wire payloads (the simulator
-//! itself only *accounts* bytes, so no compressor calls it internally).
-//! Callers opt in to parallelism by constructing a compressor with
-//! [`CompressionEngine::new`]`(threads)`; the default engine is sequential
-//! unless the `SIDCO_THREADS` environment variable requests more workers.
+//! encoding ([`encode`](CompressionEngine::encode) /
+//! [`encode_varint`](CompressionEngine::encode_varint)) is offered as an
+//! engine primitive for integrations that materialise wire payloads (the
+//! simulator itself only *accounts* bytes, so no compressor calls it
+//! internally). Callers opt in to parallelism by constructing a compressor
+//! with [`CompressionEngine::new`]`(threads)`; the default engine is
+//! sequential unless the `SIDCO_THREADS` environment variable requests more
+//! workers.
+//!
+//! # Runtimes
+//!
+//! The engine itself holds no threads — it dispatches to a process-wide
+//! [`Runtime`](sidco_runtime::Runtime): by default the **persistent
+//! NUMA-aware work-stealing pool** ([`RuntimeKind::Pool`]), which spawns its
+//! OS workers once (on the first parallel call) and reuses them for every
+//! subsequent `compress`, or the legacy per-call scoped-thread executor
+//! ([`RuntimeKind::Scoped`]). Select with
+//! [`with_runtime`](CompressionEngine::with_runtime) or the `SIDCO_RUNTIME`
+//! environment variable (`scoped`/`pool`); engines with the same
+//! `(runtime, threads)` share one executor. Pool behaviour is observable via
+//! [`pool_stats`](CompressionEngine::pool_stats).
 //!
 //! # Determinism
 //!
 //! The chunk decomposition is fixed by [`chunk_size`](CompressionEngine::chunk_size)
-//! alone — never by the thread count — and per-chunk partials are merged in
-//! chunk order, so **every compressor produces bit-identical
-//! [`SparseGradient`]s regardless of the configured thread count** (see
-//! `sidco_tensor::parallel` for the underlying contract). Changing the chunk
-//! size *may* change low-order floating-point bits of fitted thresholds, which
-//! is why it defaults to a single fixed constant everywhere.
+//! alone — never by the thread count, the runtime kind, or steal order — and
+//! per-chunk partials are merged in chunk order, so **every compressor
+//! produces bit-identical [`SparseGradient`]s regardless of the configured
+//! thread count or runtime** (see `sidco_tensor::parallel` for the underlying
+//! contract). Changing the chunk size *may* change low-order floating-point
+//! bits of fitted thresholds, which is why it defaults to a single fixed
+//! constant everywhere.
 
+use sidco_runtime::Runtime;
+pub use sidco_runtime::{PoolStats, RuntimeKind, RUNTIME_ENV_VAR};
 use sidco_stats::moments::{AbsMoments, SignedMoments};
 use sidco_stats::pot::StageMoments;
-use sidco_tensor::encoding::{raw_encode_chunked, EncodedGradient};
+use sidco_tensor::encoding::{delta_varint_encode_on, raw_encode_on, EncodedGradient};
 use sidco_tensor::parallel::{
-    abs_moments_chunked, count_above_threshold_chunked, exceedance_moments_chunked,
-    select_above_threshold_chunked, signed_moments_chunked, top_k_chunked, top_k_chunked_with,
-    DEFAULT_CHUNK_SIZE,
+    abs_moments_on, count_above_threshold_on, exceedance_moments_on, select_above_threshold_on,
+    signed_moments_on, top_k_on, top_k_on_with, DEFAULT_CHUNK_SIZE,
 };
 use sidco_tensor::threshold::cap_largest;
 use sidco_tensor::topk::TopKAlgorithm;
@@ -41,6 +59,11 @@ use std::sync::OnceLock;
 /// without touching call sites.
 pub const THREADS_ENV_VAR: &str = "SIDCO_THREADS";
 
+/// Number of index/value pairs per encoding shard (32Ki pairs — encoding
+/// operates on the selected survivors, which are far fewer than the dense
+/// elements the [`DEFAULT_CHUNK_SIZE`] is tuned for).
+const ENCODE_PAIRS_PER_CHUNK: usize = 1 << 15;
+
 fn env_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
@@ -52,9 +75,11 @@ fn env_threads() -> usize {
     })
 }
 
-/// A sharded, thread-pool-backed executor for the compression pipeline.
+/// A sharded, runtime-backed front end for the compression pipeline.
 ///
-/// Cheap to copy (two words); compressors store one by value.
+/// Cheap to copy (a few machine words); compressors store one by value. The
+/// threads themselves live in process-wide shared executors (see the module
+/// docs), resolved once at engine construction.
 ///
 /// # Example
 ///
@@ -75,23 +100,49 @@ fn env_threads() -> usize {
 ///     parallel.compress(&grad, 0.01).sparse
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy)]
 pub struct CompressionEngine {
     threads: usize,
     chunk_size: usize,
+    runtime: RuntimeKind,
+    /// The resolved process-wide executor, cached at construction so the hot
+    /// primitives never touch the runtime registry (and its lock).
+    executor: &'static dyn Runtime,
+}
+
+// Identity is the configuration triple; the cached executor is derived state
+// (one shared instance per `(runtime, threads)`), so it never disagrees.
+impl PartialEq for CompressionEngine {
+    fn eq(&self, other: &Self) -> bool {
+        (self.threads, self.chunk_size, self.runtime)
+            == (other.threads, other.chunk_size, other.runtime)
+    }
+}
+
+impl Eq for CompressionEngine {}
+
+impl std::hash::Hash for CompressionEngine {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.threads, self.chunk_size, self.runtime).hash(state);
+    }
 }
 
 impl CompressionEngine {
-    /// An engine running on up to `threads` worker threads.
+    /// An engine running on up to `threads` worker threads, dispatching to the
+    /// runtime selected by the `SIDCO_RUNTIME` environment variable (the
+    /// persistent work-stealing pool unless `scoped` is requested).
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "an engine needs at least one thread");
+        let runtime = RuntimeKind::from_env();
         Self {
             threads,
             chunk_size: DEFAULT_CHUNK_SIZE,
+            runtime,
+            executor: sidco_runtime::handle(runtime, threads),
         }
     }
 
@@ -102,8 +153,8 @@ impl CompressionEngine {
     }
 
     /// The engine configured by the `SIDCO_THREADS` environment variable
-    /// (sequential when unset, unparsable, or zero). The variable is read once
-    /// per process.
+    /// (sequential when unset, unparsable, or zero) on the runtime configured
+    /// by `SIDCO_RUNTIME`. Both variables are read once per process.
     pub fn from_env() -> Self {
         Self::new(env_threads())
     }
@@ -121,6 +172,16 @@ impl CompressionEngine {
         self
     }
 
+    /// Selects the executor this engine dispatches to. The engine stays a
+    /// plain value — executors are process-wide and shared by every engine
+    /// with the same `(runtime, threads)` configuration.
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> Self {
+        self.runtime = runtime;
+        self.executor = sidco_runtime::handle(runtime, self.threads);
+        self
+    }
+
     /// The configured worker-thread budget.
     pub fn threads(&self) -> usize {
         self.threads
@@ -131,31 +192,54 @@ impl CompressionEngine {
         self.chunk_size
     }
 
+    /// Which runtime this engine dispatches to.
+    pub fn runtime_kind(&self) -> RuntimeKind {
+        self.runtime
+    }
+
+    /// The shared executor this engine dispatches to (resolved once at
+    /// construction).
+    fn runtime(&self) -> &'static dyn Runtime {
+        self.executor
+    }
+
+    /// Counters of the shared work-stealing pool behind this engine (`None`
+    /// for scoped or single-threaded engines, which keep no state). The
+    /// pool's `threads_spawned` equals [`threads`](Self::threads) after the
+    /// first parallel call and never grows — repeated `compress` calls reuse
+    /// the same OS workers.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        if self.threads <= 1 {
+            return None;
+        }
+        self.runtime().stats()
+    }
+
     /// Absolute-value moments of `grad` (parallel fitting statistics).
     pub fn abs_moments(&self, grad: &[f32]) -> AbsMoments {
-        abs_moments_chunked(grad, self.chunk_size, self.threads)
+        abs_moments_on(grad, self.chunk_size, self.runtime())
     }
 
     /// Shifted peaks-over-threshold moments of the exceedance set
     /// (`|g| >= threshold`).
     pub fn pot_moments(&self, grad: &[f32], threshold: f64) -> AbsMoments {
-        exceedance_moments_chunked(grad, threshold, self.chunk_size, self.threads)
+        exceedance_moments_on(grad, threshold, self.chunk_size, self.runtime())
     }
 
     /// Signed-value moments of `grad` (the Gaussian-fit input).
     pub fn signed_moments(&self, grad: &[f32]) -> SignedMoments {
-        signed_moments_chunked(grad, self.chunk_size, self.threads)
+        signed_moments_on(grad, self.chunk_size, self.runtime())
     }
 
     /// Counts elements with `|g| >= threshold`.
     pub fn count_above(&self, grad: &[f32], threshold: f64) -> usize {
-        count_above_threshold_chunked(grad, threshold, self.chunk_size, self.threads)
+        count_above_threshold_on(grad, threshold, self.chunk_size, self.runtime())
     }
 
     /// The `C_η` selection operator: all elements with `|g| >= threshold`, with
     /// per-chunk buffers merged in index order (never re-sorted).
     pub fn select_above(&self, grad: &[f32], threshold: f64) -> SparseGradient {
-        select_above_threshold_chunked(grad, threshold, self.chunk_size, self.threads)
+        select_above_threshold_on(grad, threshold, self.chunk_size, self.runtime())
     }
 
     /// Capped `C_η`: at most `max_elements` survivors, largest magnitudes first,
@@ -172,19 +256,26 @@ impl CompressionEngine {
     /// Exact Top-k via chunked partial selection (each shard nominates its own
     /// top candidates; one final selection picks the global winners).
     pub fn top_k(&self, grad: &[f32], k: usize) -> SparseGradient {
-        top_k_chunked(grad, k, self.chunk_size, self.threads)
+        top_k_on(grad, k, self.chunk_size, self.runtime())
     }
 
     /// [`top_k`](Self::top_k) with an explicit per-chunk selection algorithm.
     pub fn top_k_with(&self, grad: &[f32], k: usize, algorithm: TopKAlgorithm) -> SparseGradient {
-        top_k_chunked_with(grad, k, self.chunk_size, self.threads, algorithm)
+        top_k_on_with(grad, k, self.chunk_size, self.runtime(), algorithm)
     }
 
     /// Encodes a sparse gradient into the raw wire format, sharding the pair
     /// stream (in chunks of the engine's configured size) across the engine's
-    /// threads. Byte-identical to [`sidco_tensor::encoding::raw_encode`].
+    /// runtime. Byte-identical to [`sidco_tensor::encoding::raw_encode`].
     pub fn encode(&self, sparse: &SparseGradient) -> EncodedGradient {
-        raw_encode_chunked(sparse, self.chunk_size, self.threads)
+        raw_encode_on(sparse, self.chunk_size, self.runtime())
+    }
+
+    /// Encodes a sparse gradient into the delta-varint wire format, sharding
+    /// the sorted index stream with per-chunk boundary-gap stitching.
+    /// Byte-identical to [`sidco_tensor::encoding::delta_varint_encode`].
+    pub fn encode_varint(&self, sparse: &SparseGradient) -> EncodedGradient {
+        delta_varint_encode_on(sparse, ENCODE_PAIRS_PER_CHUNK, self.runtime())
     }
 }
 
@@ -227,6 +318,65 @@ mod tests {
         // The default engine follows the environment (sequential in tests
         // unless the CI job sets SIDCO_THREADS).
         let _ = CompressionEngine::default();
+        // Runtime selection is part of the engine value.
+        let scoped = engine.with_runtime(RuntimeKind::Scoped);
+        assert_eq!(scoped.runtime_kind(), RuntimeKind::Scoped);
+        assert_eq!(scoped.threads(), 4);
+        assert_eq!(
+            engine.with_runtime(RuntimeKind::Pool).runtime_kind(),
+            RuntimeKind::Pool
+        );
+    }
+
+    #[test]
+    fn primitives_are_bit_identical_across_runtimes() {
+        let grad = random_gradient(150_000, 19);
+        let base = CompressionEngine::new(3).with_chunk_size(1 << 12);
+        let scoped = base.with_runtime(RuntimeKind::Scoped);
+        let pool = base.with_runtime(RuntimeKind::Pool);
+        assert_eq!(scoped.abs_moments(&grad), pool.abs_moments(&grad));
+        assert_eq!(scoped.pot_moments(&grad, 0.5), pool.pot_moments(&grad, 0.5));
+        assert_eq!(scoped.signed_moments(&grad), pool.signed_moments(&grad));
+        assert_eq!(
+            scoped.select_above(&grad, 0.3),
+            pool.select_above(&grad, 0.3)
+        );
+        assert_eq!(scoped.top_k(&grad, 999), pool.top_k(&grad, 999));
+        let sparse = scoped.select_above(&grad, 0.5);
+        assert_eq!(
+            scoped.encode(&sparse).payload(),
+            pool.encode(&sparse).payload()
+        );
+        assert_eq!(
+            scoped.encode_varint(&sparse).payload(),
+            pool.encode_varint(&sparse).payload()
+        );
+    }
+
+    #[test]
+    fn pool_engine_reports_stats_and_scoped_does_not() {
+        let pool = CompressionEngine::new(2).with_runtime(RuntimeKind::Pool);
+        let grad = random_gradient(300_000, 23);
+        let _ = pool.abs_moments(&grad);
+        let stats = pool.pool_stats().expect("pool engines keep stats");
+        assert_eq!(stats.threads_spawned, 2);
+        assert!(stats.chunks_executed > 0);
+        let scoped = CompressionEngine::new(2).with_runtime(RuntimeKind::Scoped);
+        assert!(scoped.pool_stats().is_none());
+        assert!(CompressionEngine::sequential().pool_stats().is_none());
+    }
+
+    #[test]
+    fn engine_varint_encoding_matches_sequential_bytes() {
+        use sidco_tensor::encoding::delta_varint_encode;
+        let grad = random_gradient(400_000, 29);
+        let engine = CompressionEngine::new(4);
+        let sparse = engine.select_above(&grad, 0.7);
+        assert!(sparse.nnz() > (1 << 15), "spans several encoding shards");
+        assert_eq!(
+            engine.encode_varint(&sparse).payload(),
+            delta_varint_encode(&sparse).payload()
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::network::{HierarchicalTopology, NetworkModel};
 /// model how many compression-engine threads each worker runs, so simulated
 /// compression latencies match a multi-threaded
 /// [`CompressionEngine`](sidco_core::engine::CompressionEngine) deployment.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of data-parallel workers.
     pub workers: usize,
@@ -247,7 +247,10 @@ mod tests {
         let flat = ClusterConfig::paper_dedicated();
         let two_tier = ClusterConfig::paper_two_tier();
         assert_eq!(two_tier.workers, flat.workers);
-        let topology = two_tier.topology.expect("two-tier preset has a topology");
+        let topology = two_tier
+            .topology
+            .clone()
+            .expect("two-tier preset has a topology");
         assert_eq!(topology.workers(), two_tier.workers);
         let bytes = 1 << 22;
         assert!(two_tier.allgather_sparse(bytes) < flat.allgather_sparse(bytes));
@@ -261,7 +264,7 @@ mod tests {
         let two_tier = ClusterConfig::paper_two_tier();
         let railed = ClusterConfig::paper_rail_optimized();
         assert_eq!(railed.workers, two_tier.workers);
-        let topology = railed.topology.expect("rail preset has a topology");
+        let topology = railed.topology.clone().expect("rail preset has a topology");
         assert_eq!(topology.nics_per_node, 4);
         let bytes = 1 << 22;
         assert!(

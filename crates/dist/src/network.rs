@@ -123,7 +123,17 @@ impl NetworkModel {
 /// stripe the egress — the rail-optimised fabrics real hierarchical
 /// all-gathers scale on. Makespans are monotonically non-increasing in the
 /// NIC count, a property `tests/scheduler_properties.rs` pins down.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// **Heterogeneous rails.** Real clusters lose rails: a flapping link, a
+/// failed NIC, a straggler machine cabled below spec. Per-node rail counts
+/// ([`with_node_nics`](Self::with_node_nics)) model that: since every ring
+/// phase is gated by its slowest participant, the inter-node stage charges
+/// the **slowest node's NIC complement** — `min` over the per-node counts. A
+/// homogeneous vector `[k; nodes]` therefore collapses **bit-for-bit** to
+/// `nics_per_node == k`, and a single degraded node drags the whole exchange
+/// down to its rail count, which is exactly the straggler behaviour the
+/// ROADMAP item asked for.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HierarchicalTopology {
     /// Number of machines.
     pub nodes: usize,
@@ -134,8 +144,14 @@ pub struct HierarchicalTopology {
     /// Fabric joining the machines (per NIC rail).
     pub inter: NetworkModel,
     /// NIC rails per machine striping the inter-node traffic (≥ 1; 1
-    /// reproduces the classic single-bottleneck charge exactly).
+    /// reproduces the classic single-bottleneck charge exactly). Ignored when
+    /// [`node_nics`](Self::node_nics) is set.
     pub nics_per_node: usize,
+    /// Optional per-node rail counts (one entry per machine, each ≥ 1). When
+    /// set, the inter-node phase charges the slowest node's complement
+    /// (`min`); `None` means every node has
+    /// [`nics_per_node`](Self::nics_per_node) rails.
+    pub node_nics: Option<Vec<u32>>,
 }
 
 impl HierarchicalTopology {
@@ -159,10 +175,12 @@ impl HierarchicalTopology {
             intra,
             inter,
             nics_per_node: 1,
+            node_nics: None,
         }
     }
 
-    /// Sets the number of NIC rails per node.
+    /// Sets the number of NIC rails per node (homogeneous; clears any
+    /// per-node rail vector).
     ///
     /// # Panics
     ///
@@ -171,17 +189,59 @@ impl HierarchicalTopology {
     pub fn with_nics_per_node(mut self, nics_per_node: usize) -> Self {
         assert!(nics_per_node >= 1, "a node needs at least one NIC");
         self.nics_per_node = nics_per_node;
+        self.node_nics = None;
         self
     }
 
-    /// The inter-node fabric as seen through the node's full NIC complement:
-    /// `nics_per_node` rails stripe the bandwidth term while per-hop latency
-    /// is rail-independent. At one rail this *is* [`inter`](Self::inter), so
-    /// every charge below collapses bit-identically to the single-bottleneck
-    /// model.
+    /// Sets heterogeneous per-node rail counts (entry `i` is node `i`'s NIC
+    /// complement). The inter-node phase is gated by its slowest
+    /// participant, so the charge uses the minimum entry; a homogeneous
+    /// vector `[k; nodes]` is bit-for-bit
+    /// [`with_nics_per_node`](Self::with_nics_per_node)`(k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from [`nodes`](Self::nodes) or any
+    /// entry is zero.
+    #[must_use]
+    pub fn with_node_nics(mut self, node_nics: Vec<u32>) -> Self {
+        assert_eq!(
+            node_nics.len(),
+            self.nodes,
+            "need one rail count per node ({} nodes, got {})",
+            self.nodes,
+            node_nics.len()
+        );
+        assert!(
+            node_nics.iter().all(|&n| n >= 1),
+            "every node needs at least one NIC"
+        );
+        self.node_nics = Some(node_nics);
+        self
+    }
+
+    /// The NIC complement the inter-node phase is charged at: the slowest
+    /// node's rail count when heterogeneous, the homogeneous count otherwise.
+    pub fn bottleneck_nics(&self) -> usize {
+        match &self.node_nics {
+            Some(per_node) => per_node
+                .iter()
+                .min()
+                .copied()
+                .expect("with_node_nics rejects empty vectors")
+                as usize,
+            None => self.nics_per_node,
+        }
+    }
+
+    /// The inter-node fabric as seen through the slowest node's NIC
+    /// complement ([`bottleneck_nics`](Self::bottleneck_nics)): the rails
+    /// stripe the bandwidth term while per-hop latency is rail-independent.
+    /// At one rail this *is* [`inter`](Self::inter), so every charge below
+    /// collapses bit-identically to the single-bottleneck model.
     fn inter_effective(&self) -> NetworkModel {
         NetworkModel {
-            bandwidth_gbps: self.inter.bandwidth_gbps * self.nics_per_node as f64,
+            bandwidth_gbps: self.inter.bandwidth_gbps * self.bottleneck_nics() as f64,
             latency: self.inter.latency,
         }
     }
@@ -422,7 +482,7 @@ mod tests {
             NetworkModel::infiniband_100g(),
             NetworkModel::ethernet_25g(),
         );
-        let one_rail = base.with_nics_per_node(1);
+        let one_rail = base.clone().with_nics_per_node(1);
         for bytes in [1usize, 1 << 10, 1 << 22] {
             assert_eq!(
                 base.allgather_sparse(bytes),
@@ -451,7 +511,7 @@ mod tests {
         let bytes = 1 << 20;
         let mut previous = f64::INFINITY;
         for nics in 1usize..=8 {
-            let railed = base.with_nics_per_node(nics);
+            let railed = base.clone().with_nics_per_node(nics);
             let gather = railed.allgather_sparse(bytes);
             assert!(
                 gather <= previous,
@@ -471,7 +531,106 @@ mod tests {
             previous = gather;
         }
         // Rails strictly beat the single bottleneck once there are ≥ 2.
-        assert!(base.with_nics_per_node(4).allgather_sparse(bytes) < base.allgather_sparse(bytes));
+        assert!(
+            base.clone().with_nics_per_node(4).allgather_sparse(bytes)
+                < base.allgather_sparse(bytes)
+        );
+    }
+
+    #[test]
+    fn homogeneous_node_nics_collapse_bit_for_bit() {
+        let base = HierarchicalTopology::new(
+            3,
+            4,
+            NetworkModel::infiniband_100g(),
+            NetworkModel::ethernet_25g(),
+        );
+        for k in [1u32, 2, 4, 7] {
+            let homogeneous = base.clone().with_nics_per_node(k as usize);
+            let vectored = base.clone().with_node_nics(vec![k; 3]);
+            assert_eq!(vectored.bottleneck_nics(), k as usize);
+            for bytes in [1usize, 1 << 10, 1 << 22] {
+                assert_eq!(
+                    vectored.allgather_sparse(bytes),
+                    homogeneous.allgather_sparse(bytes)
+                );
+                assert_eq!(
+                    vectored.allgather_sparse_parts(bytes),
+                    homogeneous.allgather_sparse_parts(bytes)
+                );
+                assert_eq!(
+                    vectored.allreduce_dense(bytes),
+                    homogeneous.allreduce_dense(bytes)
+                );
+            }
+            assert_eq!(
+                vectored.allgather_budget_bytes(0.002),
+                homogeneous.allgather_budget_bytes(0.002)
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_rails_charge_the_slowest_node() {
+        let base = HierarchicalTopology::new(
+            4,
+            4,
+            NetworkModel::infiniband_100g(),
+            NetworkModel::ethernet_25g(),
+        );
+        // Three rail-optimised nodes and one straggler with a single NIC: the
+        // exchange is gated by the straggler, exactly as if every node had one.
+        let straggler = base.clone().with_node_nics(vec![4, 4, 1, 4]);
+        let uniform_slow = base.clone().with_nics_per_node(1);
+        let uniform_fast = base.clone().with_nics_per_node(4);
+        assert_eq!(straggler.bottleneck_nics(), 1);
+        let bytes = 1 << 22;
+        assert_eq!(
+            straggler.allgather_sparse(bytes),
+            uniform_slow.allgather_sparse(bytes)
+        );
+        assert!(
+            straggler.allgather_sparse(bytes) > uniform_fast.allgather_sparse(bytes),
+            "one failed rail must drag the whole exchange"
+        );
+        // Repairing the straggler recovers the rail-optimised charge.
+        let repaired = base.clone().with_node_nics(vec![4, 4, 4, 4]);
+        assert_eq!(
+            repaired.allgather_sparse(bytes),
+            uniform_fast.allgather_sparse(bytes)
+        );
+        // Raising the minimum complement is monotone; extra rails on
+        // non-bottleneck nodes change nothing.
+        assert_eq!(
+            base.clone()
+                .with_node_nics(vec![4, 8, 1, 16])
+                .allgather_sparse(bytes),
+            straggler.allgather_sparse(bytes)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one rail count per node")]
+    fn node_nics_length_must_match_nodes() {
+        let _ = HierarchicalTopology::new(
+            3,
+            2,
+            NetworkModel::ethernet_25g(),
+            NetworkModel::ethernet_25g(),
+        )
+        .with_node_nics(vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every node needs at least one NIC")]
+    fn node_nics_entries_must_be_positive() {
+        let _ = HierarchicalTopology::new(
+            2,
+            2,
+            NetworkModel::ethernet_25g(),
+            NetworkModel::ethernet_25g(),
+        )
+        .with_node_nics(vec![2, 0]);
     }
 
     #[test]

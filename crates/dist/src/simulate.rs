@@ -41,7 +41,7 @@ pub fn build_compressor(kind: CompressorKind, seed: u64) -> Option<Box<dyn Compr
 }
 
 /// Configuration of one simulated benchmark run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
     /// Which Table-1 benchmark to simulate.
     pub benchmark: BenchmarkId,
@@ -221,7 +221,7 @@ pub fn simulate_benchmark(
         "delta must lie in (0,1], got {delta}"
     );
     let spec = config.benchmark.spec();
-    let cluster = config.cluster;
+    let cluster = &config.cluster;
     let profile = cluster.device_profile();
 
     // Split the benchmark's measured iteration into compute and dense

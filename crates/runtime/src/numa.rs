@@ -1,0 +1,302 @@
+//! NUMA topology model: which socket owns which CPUs, and — under the
+//! first-touch page-placement model — which socket owns which chunk of a large
+//! buffer.
+//!
+//! Discovery reads `/sys/devices/system/node` when present (Linux exposes one
+//! `node<N>` directory per NUMA node with a `cpulist` file); on other
+//! platforms, or when the sysfs tree is absent or malformed, a synthetic
+//! single-node topology spanning all hardware threads is used instead. Tests
+//! and simulations can construct arbitrary synthetic topologies with
+//! [`NumaTopology::synthetic`].
+//!
+//! # Placement model
+//!
+//! The executor assumes large gradient buffers are **first-touch distributed**:
+//! pages are owned by the socket whose CPUs initialised them, and a buffer
+//! written by a parallel loop ends up split into contiguous per-socket ranges
+//! proportional to each socket's CPU share. [`NumaTopology::chunk_node`] maps a
+//! chunk index to the socket owning its pages under that model, and
+//! [`NumaTopology::worker_node`] pins pool workers to sockets with the same
+//! proportional split — so a worker's *local* deque receives the chunks whose
+//! pages its socket owns, and only work stealing crosses the interconnect.
+//!
+//! Placement affects **scheduling only**, never results: the chunk
+//! decomposition and the chunk-order merge are fixed upstream (see
+//! `sidco_tensor::parallel`), so outputs are bit-identical whatever socket
+//! executes a chunk.
+
+use std::fs;
+use std::path::Path;
+
+/// One NUMA node (socket) of the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumaNode {
+    /// The kernel's node id (the `N` in `/sys/devices/system/node/nodeN`).
+    pub id: usize,
+    /// Number of CPUs (hardware threads) on this node.
+    pub cpus: usize,
+}
+
+/// The host's NUMA layout: one entry per socket, in kernel node-id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaTopology {
+    nodes: Vec<NumaNode>,
+}
+
+impl NumaTopology {
+    /// The sysfs root scanned by [`detect`](Self::detect).
+    pub const SYSFS_ROOT: &'static str = "/sys/devices/system/node";
+
+    /// Discovers the host topology from sysfs, falling back to a synthetic
+    /// single-node topology spanning [`std::thread::available_parallelism`]
+    /// CPUs when the sysfs tree is absent, unreadable, or empty.
+    pub fn detect() -> Self {
+        Self::from_sysfs(Path::new(Self::SYSFS_ROOT)).unwrap_or_else(|| {
+            Self::synthetic(
+                1,
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            )
+        })
+    }
+
+    /// Parses a sysfs NUMA tree (`node<N>/cpulist` per node). Returns `None`
+    /// unless at least one node with at least one CPU is found.
+    pub fn from_sysfs(root: &Path) -> Option<Self> {
+        let entries = fs::read_dir(root).ok()?;
+        let mut nodes = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            let Some(id) = name
+                .strip_prefix("node")
+                .and_then(|n| n.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let cpulist = fs::read_to_string(entry.path().join("cpulist")).ok()?;
+            let cpus = parse_cpulist(cpulist.trim())?;
+            if cpus > 0 {
+                nodes.push(NumaNode { id, cpus });
+            }
+        }
+        if nodes.is_empty() {
+            return None;
+        }
+        nodes.sort_by_key(|n| n.id);
+        Some(Self { nodes })
+    }
+
+    /// A synthetic topology of `nodes` equal sockets with `cpus_per_node` CPUs
+    /// each — for tests, simulations, and the non-Linux fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `cpus_per_node` is zero.
+    pub fn synthetic(nodes: usize, cpus_per_node: usize) -> Self {
+        assert!(nodes >= 1, "a topology needs at least one node");
+        assert!(cpus_per_node >= 1, "a node needs at least one CPU");
+        Self {
+            nodes: (0..nodes)
+                .map(|id| NumaNode {
+                    id,
+                    cpus: cpus_per_node,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of NUMA nodes (sockets).
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The per-node records, in kernel node-id order.
+    pub fn node_list(&self) -> &[NumaNode] {
+        &self.nodes
+    }
+
+    /// Total CPU count across all nodes.
+    pub fn total_cpus(&self) -> usize {
+        self.nodes.iter().map(|n| n.cpus).sum()
+    }
+
+    /// The socket a pool worker is pinned to, when `total_workers` workers are
+    /// spread across the sockets proportionally to their CPU counts (socket 0
+    /// gets workers `0..w0`, socket 1 gets `w0..w1`, …).
+    pub fn worker_node(&self, worker: usize, total_workers: usize) -> usize {
+        self.proportional_owner(worker, total_workers)
+    }
+
+    /// The socket owning the pages of chunk `chunk` out of `total_chunks`,
+    /// under the first-touch model (contiguous per-socket ranges proportional
+    /// to CPU counts — the split a parallel initialisation pass produces).
+    pub fn chunk_node(&self, chunk: usize, total_chunks: usize) -> usize {
+        self.proportional_owner(chunk, total_chunks)
+    }
+
+    /// The contiguous index range of `0..total` owned by `node` under the
+    /// proportional split used by [`worker_node`](Self::worker_node) and
+    /// [`chunk_node`](Self::chunk_node).
+    pub fn node_range(&self, node: usize, total: usize) -> std::ops::Range<usize> {
+        self.boundary(node, total)..self.boundary(node + 1, total)
+    }
+
+    /// Index of the first item owned by `node` (== `total` past the last node).
+    fn boundary(&self, node: usize, total: usize) -> usize {
+        let node = node.min(self.nodes.len());
+        let cum: usize = self.nodes[..node].iter().map(|n| n.cpus).sum();
+        // Round half-up so boundaries are monotone and the last one is `total`.
+        (total * cum + self.total_cpus() / 2) / self.total_cpus()
+    }
+
+    fn proportional_owner(&self, index: usize, total: usize) -> usize {
+        if total == 0 || self.nodes.len() == 1 {
+            return 0;
+        }
+        let index = index.min(total - 1);
+        // The boundaries are monotone, so a linear scan over the (few) nodes
+        // finds the owning range.
+        for node in 0..self.nodes.len() {
+            if index < self.boundary(node + 1, total) {
+                return node;
+            }
+        }
+        self.nodes.len() - 1
+    }
+}
+
+impl Default for NumaTopology {
+    /// [`NumaTopology::detect`].
+    fn default() -> Self {
+        Self::detect()
+    }
+}
+
+/// Counts the CPUs in a sysfs `cpulist` string (e.g. `"0-3,8-11"` → 8).
+/// Returns `None` on malformed input; an empty string is zero CPUs.
+fn parse_cpulist(list: &str) -> Option<usize> {
+    if list.is_empty() {
+        return Some(0);
+    }
+    let mut count = 0usize;
+    for part in list.split(',') {
+        let part = part.trim();
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo: usize = lo.trim().parse().ok()?;
+                let hi: usize = hi.trim().parse().ok()?;
+                if hi < lo {
+                    return None;
+                }
+                count += hi - lo + 1;
+            }
+            None => {
+                let _: usize = part.parse().ok()?;
+                count += 1;
+            }
+        }
+    }
+    Some(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpulist_parsing() {
+        assert_eq!(parse_cpulist("0"), Some(1));
+        assert_eq!(parse_cpulist("0-3"), Some(4));
+        assert_eq!(parse_cpulist("0-3,8-11"), Some(8));
+        assert_eq!(parse_cpulist("0, 2 , 4-5"), Some(4));
+        assert_eq!(parse_cpulist(""), Some(0));
+        assert_eq!(parse_cpulist("3-1"), None);
+        assert_eq!(parse_cpulist("x"), None);
+    }
+
+    #[test]
+    fn detect_always_yields_a_usable_topology() {
+        let topo = NumaTopology::detect();
+        assert!(topo.nodes() >= 1);
+        assert!(topo.total_cpus() >= 1);
+        assert_eq!(NumaTopology::default(), topo);
+    }
+
+    #[test]
+    fn synthetic_topology_shape() {
+        let topo = NumaTopology::synthetic(2, 8);
+        assert_eq!(topo.nodes(), 2);
+        assert_eq!(topo.total_cpus(), 16);
+        assert_eq!(topo.node_list()[1], NumaNode { id: 1, cpus: 8 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn synthetic_rejects_zero_nodes() {
+        NumaTopology::synthetic(0, 4);
+    }
+
+    #[test]
+    fn proportional_split_covers_everything_contiguously() {
+        let topo = NumaTopology::synthetic(2, 8);
+        for total in [1usize, 2, 3, 7, 64, 1000] {
+            let mut seen = 0usize;
+            let mut previous_owner = 0usize;
+            for node in 0..topo.nodes() {
+                let range = topo.node_range(node, total);
+                assert_eq!(range.start, seen, "ranges must tile 0..{total}");
+                seen = range.end;
+                for i in range {
+                    let owner = topo.chunk_node(i, total);
+                    assert_eq!(owner, node);
+                    assert!(owner >= previous_owner, "owners must be monotone");
+                    previous_owner = owner;
+                    assert_eq!(topo.worker_node(i, total), node);
+                }
+            }
+            assert_eq!(seen, total);
+        }
+    }
+
+    #[test]
+    fn uneven_sockets_get_proportional_shares() {
+        let topo = NumaTopology {
+            nodes: vec![NumaNode { id: 0, cpus: 12 }, NumaNode { id: 1, cpus: 4 }],
+        };
+        // 3:1 CPU ratio → 3:1 chunk split.
+        let range0 = topo.node_range(0, 16);
+        let range1 = topo.node_range(1, 16);
+        assert_eq!(range0, 0..12);
+        assert_eq!(range1, 12..16);
+    }
+
+    #[test]
+    fn single_node_owns_all_chunks() {
+        let topo = NumaTopology::synthetic(1, 4);
+        for i in 0..100 {
+            assert_eq!(topo.chunk_node(i, 100), 0);
+        }
+        assert_eq!(topo.node_range(0, 100), 0..100);
+    }
+
+    #[test]
+    fn sysfs_parser_reads_a_mock_tree() {
+        let dir = std::env::temp_dir().join(format!("sidco-numa-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        for (node, cpus) in [("node0", "0-3\n"), ("node1", "4-7\n")] {
+            let path = dir.join(node);
+            fs::create_dir_all(&path).unwrap();
+            fs::write(path.join("cpulist"), cpus).unwrap();
+        }
+        // Unrelated entries are skipped, like sysfs's `has_cpu`, `online`, …
+        fs::write(dir.join("online"), "0-1\n").unwrap();
+        let topo = NumaTopology::from_sysfs(&dir).expect("mock tree parses");
+        assert_eq!(topo.nodes(), 2);
+        assert_eq!(topo.total_cpus(), 8);
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(
+            NumaTopology::from_sysfs(Path::new("/nonexistent-sidco")),
+            None
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Observable counters of the work-stealing pool, for the bench harness and
+//! the lifecycle tests (spawn-once, steal traffic, park/unpark churn,
+//! per-socket placement).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counter cells. One instance lives inside the pool's shared
+/// state; every counter is monotone and updated with relaxed ordering (the
+/// counters observe the pool, they never synchronise it).
+#[derive(Debug)]
+pub(crate) struct StatCells {
+    pub(crate) threads_spawned: AtomicU64,
+    pub(crate) jobs: AtomicU64,
+    pub(crate) chunks: AtomicU64,
+    pub(crate) local_pops: AtomicU64,
+    pub(crate) injector_pops: AtomicU64,
+    pub(crate) sibling_steals: AtomicU64,
+    pub(crate) remote_steals: AtomicU64,
+    pub(crate) parks: AtomicU64,
+    pub(crate) unparks: AtomicU64,
+    pub(crate) socket_chunks: Vec<AtomicU64>,
+}
+
+impl StatCells {
+    pub(crate) fn new(sockets: usize) -> Self {
+        Self {
+            threads_spawned: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+            local_pops: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+            sibling_steals: AtomicU64::new(0),
+            remote_steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+            socket_chunks: (0..sockets).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            chunks_executed: self.chunks.load(Ordering::Relaxed),
+            local_pops: self.local_pops.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            sibling_steals: self.sibling_steals.load(Ordering::Relaxed),
+            remote_steals: self.remote_steals.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            unparks: self.unparks.load(Ordering::Relaxed),
+            socket_chunks: self
+                .socket_chunks
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a pool's lifetime counters.
+///
+/// All counters are cumulative since the pool was created; diff two snapshots
+/// to measure one workload. `threads_spawned` is the load-bearing lifecycle
+/// counter: it equals the pool's worker count after the first parallel job and
+/// **never grows again** — repeated `compress` calls reuse the same OS
+/// threads, which is the pool's whole reason to exist.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// OS worker threads spawned over the pool's lifetime (equals the worker
+    /// count after lazy initialisation; constant afterwards).
+    pub threads_spawned: u64,
+    /// Parallel jobs submitted via `run_indexed`.
+    pub jobs: u64,
+    /// Chunk tasks executed across all jobs (by workers and helping callers).
+    pub chunks_executed: u64,
+    /// Tasks a worker popped from its own deque (cache-hot LIFO path).
+    pub local_pops: u64,
+    /// Tasks taken from a socket injector by a worker of that same socket
+    /// (NUMA-local submission path).
+    pub injector_pops: u64,
+    /// Tasks stolen from a sibling worker on the same socket (helping
+    /// callers' deque steals are also counted here — a caller has no home
+    /// socket, so its takes are never "remote").
+    pub sibling_steals: u64,
+    /// Tasks a *pinned worker* took across sockets (remote injectors or
+    /// remote workers' deques) — the traffic NUMA-aware placement exists to
+    /// minimise.
+    pub remote_steals: u64,
+    /// Times a worker went to sleep for lack of work.
+    pub parks: u64,
+    /// Times a sleeping worker was woken by new work.
+    pub unparks: u64,
+    /// Chunks *assigned* to each socket at submission time under the
+    /// first-touch placement model (indexed by socket).
+    pub socket_chunks: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total steal traffic (same-socket sibling steals plus cross-socket
+    /// steals).
+    pub fn steals(&self) -> u64 {
+        self.sibling_steals + self.remote_steals
+    }
+
+    /// Total task acquisitions (local pops, injector takes, and steals).
+    /// Each acquisition hands over a *range* task that may cover several
+    /// chunks, so this is the right denominator for traffic ratios.
+    pub fn acquisitions(&self) -> u64 {
+        self.local_pops + self.injector_pops + self.sibling_steals + self.remote_steals
+    }
+
+    /// Fraction of task acquisitions that crossed a socket boundary (0 when
+    /// nothing was acquired).
+    pub fn remote_fraction(&self) -> f64 {
+        if self.acquisitions() == 0 {
+            return 0.0;
+        }
+        self.remote_steals as f64 / self.acquisitions() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_cells() {
+        let cells = StatCells::new(2);
+        StatCells::bump(&cells.jobs);
+        StatCells::bump(&cells.chunks);
+        StatCells::bump(&cells.chunks);
+        StatCells::bump(&cells.sibling_steals);
+        StatCells::bump(&cells.remote_steals);
+        StatCells::bump(&cells.socket_chunks[1]);
+        let stats = cells.snapshot();
+        assert_eq!(stats.jobs, 1);
+        assert_eq!(stats.chunks_executed, 2);
+        assert_eq!(stats.steals(), 2);
+        assert_eq!(stats.socket_chunks, vec![0, 1]);
+        assert!((stats.remote_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(PoolStats::default().remote_fraction(), 0.0);
+    }
+}

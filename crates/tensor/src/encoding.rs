@@ -7,7 +7,9 @@
 //! for them:
 //!
 //! * [`delta_varint_encode`] — sort indices, delta-encode, LEB128-varint the gaps
-//!   (small gaps at high densities cost 1–2 bytes instead of 4);
+//!   (small gaps at high densities cost 1–2 bytes instead of 4); the index
+//!   stream shards across workers with per-chunk boundary-gap stitching
+//!   ([`delta_varint_encode_parallel`]), byte-identical to the serial encoder;
 //! * [`bitmap_encode`] — a `d`-bit presence bitmap plus the packed values, which wins
 //!   whenever the density exceeds ~1/32.
 //!
@@ -127,11 +129,24 @@ pub fn raw_encode_chunked(
     pairs_per_chunk: usize,
     threads: usize,
 ) -> EncodedGradient {
+    raw_encode_on(
+        sparse,
+        pairs_per_chunk,
+        &sidco_runtime::ScopedFallback::new(threads.max(1)),
+    )
+}
+
+/// [`raw_encode_chunked`] on an explicit [`Runtime`](sidco_runtime::Runtime).
+pub fn raw_encode_on(
+    sparse: &SparseGradient,
+    pairs_per_chunk: usize,
+    runtime: &dyn sidco_runtime::Runtime,
+) -> EncodedGradient {
     let values = sparse.values();
-    let parts = crate::parallel::map_chunks(
+    let parts = crate::parallel::map_chunks_on(
         sparse.indices(),
         pairs_per_chunk,
-        threads,
+        runtime,
         |c, idx_chunk| {
             let offset = c * pairs_per_chunk;
             let mut bytes = Vec::with_capacity(idx_chunk.len() * 8);
@@ -169,6 +184,92 @@ pub fn delta_varint_encode(sparse: &SparseGradient) -> EncodedGradient {
     }
     for &(_, v) in &pairs {
         bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    EncodedGradient {
+        kind: EncodingKind::DeltaVarint,
+        bytes,
+        dense_len: sparse.dense_len(),
+        nnz: sparse.nnz(),
+    }
+}
+
+/// Parallel variant of [`delta_varint_encode`]: shards the sorted index
+/// stream into fixed-size chunks encoded concurrently. Uses 32Ki-pair shards;
+/// [`delta_varint_encode_chunked`] exposes the shard size.
+///
+/// The delta encoding looks inherently serial — every gap depends on the
+/// previous index — but once the pair list is sorted the predecessor of a
+/// chunk's first element is simply the last index of the previous chunk, so
+/// each shard **stitches its boundary gap** from a single O(1) lookup into
+/// the shared sorted array and encodes independently. Concatenating the
+/// per-chunk gap streams (in chunk order) and the per-chunk value streams
+/// reproduces the serial byte stream exactly, so the payload is
+/// **byte-identical** to [`delta_varint_encode`] for every thread count and
+/// shard size.
+pub fn delta_varint_encode_parallel(sparse: &SparseGradient, threads: usize) -> EncodedGradient {
+    delta_varint_encode_chunked(sparse, 1 << 15, threads)
+}
+
+/// [`delta_varint_encode_parallel`] with an explicit number of pairs per
+/// shard.
+///
+/// # Panics
+///
+/// Panics if `pairs_per_chunk` is zero.
+pub fn delta_varint_encode_chunked(
+    sparse: &SparseGradient,
+    pairs_per_chunk: usize,
+    threads: usize,
+) -> EncodedGradient {
+    delta_varint_encode_on(
+        sparse,
+        pairs_per_chunk,
+        &sidco_runtime::ScopedFallback::new(threads.max(1)),
+    )
+}
+
+/// [`delta_varint_encode_chunked`] on an explicit
+/// [`Runtime`](sidco_runtime::Runtime).
+pub fn delta_varint_encode_on(
+    sparse: &SparseGradient,
+    pairs_per_chunk: usize,
+    runtime: &dyn sidco_runtime::Runtime,
+) -> EncodedGradient {
+    // Sort exactly like the serial encoder (same comparator, same stable
+    // sort), so gap streams match bit-for-bit.
+    let mut pairs: Vec<(u32, f32)> = sparse.iter().collect();
+    pairs.sort_by_key(|&(i, _)| i);
+
+    // One parallel job produces both sections per shard: chunk c's first gap
+    // is stitched against the last index of chunk c-1 (or 0 for the first
+    // chunk) — the O(1) lookup that makes the parallel stream lossless.
+    let pairs_ref = &pairs;
+    let parts: Vec<(Vec<u8>, Vec<u8>)> =
+        crate::parallel::map_chunks_on(pairs_ref, pairs_per_chunk, runtime, |c, chunk| {
+            let mut prev = if c == 0 {
+                0
+            } else {
+                pairs_ref[c * pairs_per_chunk - 1].0
+            };
+            let mut gaps = Vec::with_capacity(chunk.len() * 2);
+            let mut values = Vec::with_capacity(chunk.len() * 4);
+            for &(i, v) in chunk {
+                push_varint(&mut gaps, i - prev);
+                prev = i;
+                values.extend_from_slice(&v.to_le_bytes());
+            }
+            (gaps, values)
+        });
+
+    // Assemble: header, then every gap shard, then every value shard — both
+    // in chunk (= sorted index) order, byte-identical to the serial stream.
+    let mut bytes = Vec::with_capacity(sparse.nnz() * 5);
+    push_varint(&mut bytes, sparse.nnz() as u32);
+    for (gaps, _) in &parts {
+        bytes.extend_from_slice(gaps);
+    }
+    for (_, values) in &parts {
+        bytes.extend_from_slice(values);
     }
     EncodedGradient {
         kind: EncodingKind::DeltaVarint,
@@ -290,6 +391,65 @@ mod tests {
                 assert_eq!(parallel.nnz(), reference.nnz());
             }
         }
+    }
+
+    #[test]
+    fn parallel_delta_varint_is_byte_identical_to_serial() {
+        for &(d, k) in &[
+            (1_000usize, 10usize),
+            (100_000, 1_000),
+            (2_000_000, 150_000),
+        ] {
+            let sparse = random_sparse(d, k, 21);
+            let reference = delta_varint_encode(&sparse);
+            for threads in [1usize, 2, 7] {
+                // Shard sizes that split mid-stream, including one smaller
+                // than the varint width transitions and one spanning all.
+                for pairs in [7usize, 1 << 10, 1 << 15, usize::MAX >> 1] {
+                    let parallel = delta_varint_encode_chunked(&sparse, pairs, threads);
+                    assert_eq!(
+                        parallel.payload(),
+                        reference.payload(),
+                        "d={d} k={k} threads={threads} pairs={pairs}"
+                    );
+                    assert_eq!(parallel.kind(), EncodingKind::DeltaVarint);
+                    assert_eq!(parallel.nnz(), reference.nnz());
+                    assert_eq!(parallel.dense_len(), reference.dense_len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_delta_varint_runs_on_the_pool_runtime() {
+        use sidco_runtime::{NumaTopology, WorkStealing};
+        let sparse = random_sparse(500_000, 40_000, 22);
+        let reference = delta_varint_encode(&sparse);
+        let pool = WorkStealing::with_topology(3, NumaTopology::synthetic(2, 2));
+        let encoded = delta_varint_encode_on(&sparse, 1 << 10, &pool);
+        assert_eq!(encoded.payload(), reference.payload());
+        // The parallel stream still roundtrips through the serial decoder.
+        let decoded = delta_varint_decode(&encoded).expect("roundtrip");
+        assert_eq!(decoded.to_dense().as_slice(), sparse.to_dense().as_slice());
+    }
+
+    #[test]
+    fn parallel_delta_varint_handles_unsorted_and_empty_inputs() {
+        // from_pairs keeps the given order; the encoder must sort first.
+        let sparse =
+            SparseGradient::from_pairs(vec![(90, 1.0f32), (5, -2.0), (40, 3.0), (6, 0.5)], 100);
+        let reference = delta_varint_encode(&sparse);
+        for threads in [1usize, 3] {
+            assert_eq!(
+                delta_varint_encode_chunked(&sparse, 2, threads).payload(),
+                reference.payload()
+            );
+        }
+        let empty = SparseGradient::empty(64);
+        assert_eq!(
+            delta_varint_encode_parallel(&empty, 4).payload(),
+            delta_varint_encode(&empty).payload()
+        );
     }
 
     #[test]

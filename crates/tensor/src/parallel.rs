@@ -2,26 +2,33 @@
 //!
 //! The ImageNet-scale benchmarks in the paper compress vectors with up to 144M
 //! elements; a single pass is memory-bandwidth bound, so these helpers split the
-//! buffer into contiguous chunks and process them on crossbeam scoped threads.
+//! buffer into contiguous chunks and execute them on a
+//! [`Runtime`](sidco_runtime::Runtime) — either per-call scoped threads
+//! ([`ScopedFallback`](sidco_runtime::ScopedFallback), the `threads`-taking
+//! wrappers below) or the persistent NUMA-aware work-stealing pool
+//! ([`WorkStealing`](sidco_runtime::WorkStealing)) via the `*_on` variants.
 //!
 //! # Determinism contract
 //!
 //! Every function here partitions its input into chunks of a **fixed chunk size**
 //! ([`DEFAULT_CHUNK_SIZE`] unless the caller picks another), *never* a size derived
-//! from the requested thread count. Per-chunk partial results are always merged in
-//! chunk order. The thread count therefore only decides how many workers process
-//! the (identical) chunk list concurrently, so every reduction and selection below
-//! is **bit-identical across thread counts**. The engine in `sidco-core` builds on
-//! this to guarantee that compressors produce the same `SparseGradient` at 1, 2 or
-//! 64 threads. (Across *machines* the guarantee holds up to platform `libm`
-//! rounding: the moment passes call `ln`, whose last bit may differ between libc
+//! from the requested thread count or runtime. Each chunk writes its partial
+//! result into its own slot, and slots are always merged in chunk order. The
+//! runtime therefore only decides *where and when* the (identical) chunk list
+//! executes, so every reduction and selection below is **bit-identical across
+//! runtimes, thread counts, and steal orders**. The engine in `sidco-core`
+//! builds on this to guarantee that compressors produce the same
+//! `SparseGradient` at 1, 2 or 64 threads, on the pool or on scoped threads.
+//! (Across *machines* the guarantee holds up to platform `libm` rounding: the
+//! moment passes call `ln`, whose last bit may differ between libc
 //! implementations, which can move a fitted threshold by one ulp.)
 
 use crate::sparse::SparseGradient;
 use crate::threshold::cap_largest;
 use crate::topk::{top_k, TopKAlgorithm};
-use crossbeam::thread;
+use sidco_runtime::{Runtime, ScopedFallback};
 use sidco_stats::moments::{AbsMoments, SignedMoments};
+use std::sync::Mutex;
 
 /// Default number of elements per chunk (64Ki). Small enough to expose
 /// parallelism on megabyte-scale gradients, large enough that the per-chunk
@@ -29,14 +36,11 @@ use sidco_stats::moments::{AbsMoments, SignedMoments};
 pub const DEFAULT_CHUNK_SIZE: usize = 1 << 16;
 
 /// Applies `f` to every fixed-size chunk of `data`, using up to `threads`
-/// workers, and returns the per-chunk results **in chunk order**.
-///
-/// The chunk decomposition depends only on `chunk_size`, so the result vector is
-/// identical for every `threads` value. Each worker processes a contiguous block
-/// of chunks; results are concatenated in worker (= chunk) order.
-///
-/// `f` receives the chunk index and the chunk slice; the element offset of chunk
-/// `c` is `c * chunk_size`.
+/// per-call scoped workers, and returns the per-chunk results **in chunk
+/// order**. Equivalent to [`map_chunks_on`] with a
+/// [`ScopedFallback`](sidco_runtime::ScopedFallback) runtime. A `threads`
+/// value of 0 is treated as 1 (sequential), matching the pre-runtime
+/// behaviour of this function.
 ///
 /// # Panics
 ///
@@ -47,44 +51,58 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    map_chunks_on(data, chunk_size, &ScopedFallback::new(threads.max(1)), f)
+}
+
+/// Applies `f` to every fixed-size chunk of `data` on an explicit
+/// [`Runtime`], and returns the per-chunk results **in chunk order**.
+///
+/// The chunk decomposition depends only on `chunk_size`, and every chunk
+/// writes its result into its own pre-allocated slot, so the result vector is
+/// identical for every runtime, worker count, and steal order.
+///
+/// `f` receives the chunk index and the chunk slice; the element offset of chunk
+/// `c` is `c * chunk_size`.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn map_chunks_on<T, R, F>(data: &[T], chunk_size: usize, runtime: &dyn Runtime, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
     assert!(chunk_size > 0, "chunk_size must be positive");
     let num_chunks = data.len().div_ceil(chunk_size);
     if num_chunks == 0 {
         return Vec::new();
     }
-    if threads <= 1 || num_chunks == 1 {
+    if runtime.parallelism() <= 1 || num_chunks == 1 {
         return data
             .chunks(chunk_size)
             .enumerate()
             .map(|(c, chunk)| f(c, chunk))
             .collect();
     }
-    let workers = threads.min(num_chunks);
-    let chunks_per_worker = num_chunks.div_ceil(workers);
-    let f = &f;
-    thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let first = w * chunks_per_worker;
-                let last = ((w + 1) * chunks_per_worker).min(num_chunks);
-                s.spawn(move |_| {
-                    (first..last)
-                        .map(|c| {
-                            let start = c * chunk_size;
-                            let end = (start + chunk_size).min(data.len());
-                            f(c, &data[start..end])
-                        })
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        let mut results = Vec::with_capacity(num_chunks);
-        for handle in handles {
-            results.extend(handle.join().expect("chunk worker panicked"));
-        }
-        results
-    })
-    .expect("crossbeam scope failed")
+    // One slot per chunk: the runtime decides where each index runs, the slot
+    // layout (and the in-order drain below) fixes the merge order.
+    let slots: Vec<Mutex<Option<R>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    runtime.run_indexed(num_chunks, &|c| {
+        let start = c * chunk_size;
+        let end = (start + chunk_size).min(data.len());
+        let result = f(c, &data[start..end]);
+        *slots[c].lock().expect("chunk slot poisoned") = Some(result);
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(c, slot)| {
+            slot.into_inner()
+                .expect("chunk slot poisoned")
+                .unwrap_or_else(|| panic!("runtime never executed chunk {c}"))
+        })
+        .collect()
 }
 
 /// Computes [`AbsMoments`] of a gradient using up to `threads` worker threads
@@ -98,7 +116,12 @@ pub fn abs_moments_parallel(grad: &[f32], threads: usize) -> AbsMoments {
 
 /// [`abs_moments_parallel`] with an explicit chunk size.
 pub fn abs_moments_chunked(grad: &[f32], chunk_size: usize, threads: usize) -> AbsMoments {
-    let parts = map_chunks(grad, chunk_size, threads, |_, chunk| {
+    abs_moments_on(grad, chunk_size, &ScopedFallback::new(threads.max(1)))
+}
+
+/// [`abs_moments_chunked`] on an explicit [`Runtime`].
+pub fn abs_moments_on(grad: &[f32], chunk_size: usize, runtime: &dyn Runtime) -> AbsMoments {
+    let parts = map_chunks_on(grad, chunk_size, runtime, |_, chunk| {
         AbsMoments::compute(chunk)
     });
     merge_abs_moments(&parts)
@@ -113,7 +136,22 @@ pub fn exceedance_moments_chunked(
     chunk_size: usize,
     threads: usize,
 ) -> AbsMoments {
-    let parts = map_chunks(grad, chunk_size, threads, |_, chunk| {
+    exceedance_moments_on(
+        grad,
+        threshold,
+        chunk_size,
+        &ScopedFallback::new(threads.max(1)),
+    )
+}
+
+/// [`exceedance_moments_chunked`] on an explicit [`Runtime`].
+pub fn exceedance_moments_on(
+    grad: &[f32],
+    threshold: f64,
+    chunk_size: usize,
+    runtime: &dyn Runtime,
+) -> AbsMoments {
+    let parts = map_chunks_on(grad, chunk_size, runtime, |_, chunk| {
         AbsMoments::compute_exceedances(chunk, threshold)
     });
     merge_abs_moments(&parts)
@@ -122,7 +160,12 @@ pub fn exceedance_moments_chunked(
 /// Computes [`SignedMoments`] in fixed-size chunks using up to `threads` worker
 /// threads (the Gaussian-fit input of the GaussianKSGD baseline).
 pub fn signed_moments_chunked(grad: &[f32], chunk_size: usize, threads: usize) -> SignedMoments {
-    let parts = map_chunks(grad, chunk_size, threads, |_, chunk| {
+    signed_moments_on(grad, chunk_size, &ScopedFallback::new(threads.max(1)))
+}
+
+/// [`signed_moments_chunked`] on an explicit [`Runtime`].
+pub fn signed_moments_on(grad: &[f32], chunk_size: usize, runtime: &dyn Runtime) -> SignedMoments {
+    let parts = map_chunks_on(grad, chunk_size, runtime, |_, chunk| {
         SignedMoments::compute(chunk)
     });
     merge_signed_moments(&parts)
@@ -142,7 +185,22 @@ pub fn count_above_threshold_chunked(
     chunk_size: usize,
     threads: usize,
 ) -> usize {
-    map_chunks(grad, chunk_size, threads, |_, chunk| {
+    count_above_threshold_on(
+        grad,
+        threshold,
+        chunk_size,
+        &ScopedFallback::new(threads.max(1)),
+    )
+}
+
+/// [`count_above_threshold_chunked`] on an explicit [`Runtime`].
+pub fn count_above_threshold_on(
+    grad: &[f32],
+    threshold: f64,
+    chunk_size: usize,
+    runtime: &dyn Runtime,
+) -> usize {
+    map_chunks_on(grad, chunk_size, runtime, |_, chunk| {
         crate::threshold::count_above_threshold(chunk, threshold)
     })
     .into_iter()
@@ -161,8 +219,23 @@ pub fn select_above_threshold_chunked(
     chunk_size: usize,
     threads: usize,
 ) -> SparseGradient {
+    select_above_threshold_on(
+        grad,
+        threshold,
+        chunk_size,
+        &ScopedFallback::new(threads.max(1)),
+    )
+}
+
+/// [`select_above_threshold_chunked`] on an explicit [`Runtime`].
+pub fn select_above_threshold_on(
+    grad: &[f32],
+    threshold: f64,
+    chunk_size: usize,
+    runtime: &dyn Runtime,
+) -> SparseGradient {
     let t = threshold as f32;
-    let parts: Vec<(Vec<u32>, Vec<f32>)> = map_chunks(grad, chunk_size, threads, |c, chunk| {
+    let parts: Vec<(Vec<u32>, Vec<f32>)> = map_chunks_on(grad, chunk_size, runtime, |c, chunk| {
         let offset = (c * chunk_size) as u32;
         let mut indices = Vec::new();
         let mut values = Vec::new();
@@ -203,6 +276,33 @@ pub fn top_k_chunked_with(
     threads: usize,
     algorithm: TopKAlgorithm,
 ) -> SparseGradient {
+    top_k_on_with(
+        grad,
+        k,
+        chunk_size,
+        &ScopedFallback::new(threads.max(1)),
+        algorithm,
+    )
+}
+
+/// [`top_k_chunked`] on an explicit [`Runtime`] (quickselect per chunk).
+pub fn top_k_on(
+    grad: &[f32],
+    k: usize,
+    chunk_size: usize,
+    runtime: &dyn Runtime,
+) -> SparseGradient {
+    top_k_on_with(grad, k, chunk_size, runtime, TopKAlgorithm::QuickSelect)
+}
+
+/// [`top_k_chunked_with`] on an explicit [`Runtime`].
+pub fn top_k_on_with(
+    grad: &[f32],
+    k: usize,
+    chunk_size: usize,
+    runtime: &dyn Runtime,
+    algorithm: TopKAlgorithm,
+) -> SparseGradient {
     let k = k.min(grad.len());
     if k == 0 {
         return SparseGradient::empty(grad.len());
@@ -217,7 +317,7 @@ pub fn top_k_chunked_with(
     // (k, chunk_size) — never of `threads` — so determinism per
     // configuration holds.
     let chunk_size = chunk_size.max(2 * k);
-    let parts: Vec<(Vec<u32>, Vec<f32>)> = map_chunks(grad, chunk_size, threads, |c, chunk| {
+    let parts: Vec<(Vec<u32>, Vec<f32>)> = map_chunks_on(grad, chunk_size, runtime, |c, chunk| {
         let offset = (c * chunk_size) as u32;
         let local = top_k(chunk, k.min(chunk.len()), algorithm);
         let mut pairs: Vec<(u32, f32)> = local.iter().map(|(i, v)| (offset + i, v)).collect();
@@ -427,6 +527,45 @@ mod tests {
             }
         }
         assert!(map_chunks(&[] as &[f32], 64, 4, |_, _| 0).is_empty());
+    }
+
+    #[test]
+    fn pool_and_scoped_runtimes_produce_identical_bits() {
+        use sidco_runtime::{NumaTopology, WorkStealing};
+        let grad = random_gradient(100_000, 77);
+        let scoped = ScopedFallback::new(1);
+        // A multi-socket synthetic topology forces cross-socket placement and
+        // stealing even on single-socket hosts.
+        let pool = WorkStealing::with_topology(4, NumaTopology::synthetic(2, 2));
+        for chunk in [97usize, 1 << 12] {
+            assert_eq!(
+                abs_moments_on(&grad, chunk, &pool),
+                abs_moments_on(&grad, chunk, &scoped)
+            );
+            assert_eq!(
+                signed_moments_on(&grad, chunk, &pool),
+                signed_moments_on(&grad, chunk, &scoped)
+            );
+            assert_eq!(
+                exceedance_moments_on(&grad, 0.4, chunk, &pool),
+                exceedance_moments_on(&grad, 0.4, chunk, &scoped)
+            );
+            assert_eq!(
+                count_above_threshold_on(&grad, 0.4, chunk, &pool),
+                count_above_threshold_on(&grad, 0.4, chunk, &scoped)
+            );
+            assert_eq!(
+                select_above_threshold_on(&grad, 0.4, chunk, &pool),
+                select_above_threshold_on(&grad, 0.4, chunk, &scoped)
+            );
+            assert_eq!(
+                top_k_on(&grad, 1_717, chunk, &pool),
+                top_k_on(&grad, 1_717, chunk, &scoped)
+            );
+        }
+        let stats = pool.stats();
+        assert!(stats.chunks_executed > 0);
+        assert_eq!(stats.threads_spawned, 4);
     }
 
     #[test]

@@ -35,7 +35,8 @@ fn main() {
         "scheme", "final loss", "accuracy", "sim time(s)", "est. quality", "speed-up"
     );
 
-    let mut baseline = ModelTrainer::uncompressed(Arc::clone(&model), cluster, config.clone());
+    let mut baseline =
+        ModelTrainer::uncompressed(Arc::clone(&model), cluster.clone(), config.clone());
     let baseline_report = baseline.run(1.0);
     print_row("none", &baseline_report, &baseline_report);
 
@@ -59,7 +60,7 @@ fn main() {
     for (name, factory) in runs {
         let mut trainer = ModelTrainer::new(
             Arc::clone(&model),
-            cluster,
+            cluster.clone(),
             config.clone(),
             factory.as_ref(),
         );

@@ -42,7 +42,8 @@ fn train_recurrent_model() {
         ..TrainerConfig::default()
     };
 
-    let mut baseline = ModelTrainer::uncompressed(Arc::clone(&model), cluster, config.clone());
+    let mut baseline =
+        ModelTrainer::uncompressed(Arc::clone(&model), cluster.clone(), config.clone());
     let base = baseline.run(1.0);
     let mut compressed = ModelTrainer::new(Arc::clone(&model), cluster, config, || {
         Box::new(SidcoCompressor::new(SidcoConfig::exponential()))

@@ -6,6 +6,8 @@
 //! on a single crate:
 //!
 //! * [`stats`] — sparsity-inducing distributions, estimators, special functions;
+//! * [`runtime`] — the execution substrate: a persistent NUMA-aware
+//!   work-stealing pool (and the scoped fallback) under the compression engine;
 //! * [`tensor`] — dense/sparse gradients, Top-k selection, threshold scans;
 //! * [`core`] — the SIDCo compressor and every baseline (Top-k, DGC, RedSync,
 //!   GaussianKSGD, Random-k) plus error feedback;
@@ -47,6 +49,7 @@
 pub use sidco_core as core;
 pub use sidco_dist as dist;
 pub use sidco_models as models;
+pub use sidco_runtime as runtime;
 pub use sidco_stats as stats;
 pub use sidco_tensor as tensor;
 
@@ -63,6 +66,7 @@ pub mod prelude {
     pub use sidco_models::benchmarks::BenchmarkId;
     pub use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
     pub use sidco_models::DifferentiableModel;
+    pub use sidco_runtime::{Runtime, RuntimeKind};
 }
 
 #[cfg(test)]

@@ -35,13 +35,17 @@ fn compressed_training_matches_baseline_loss_on_convex_problem() {
     let model = regression_model(512, 11);
     let cluster = ClusterConfig::small_test();
 
-    let mut dense = ModelTrainer::uncompressed(Arc::clone(&model), cluster, quick_config(250));
+    let mut dense =
+        ModelTrainer::uncompressed(Arc::clone(&model), cluster.clone(), quick_config(250));
     let dense_report = dense.run(1.0);
     let initial_loss = dense_report.samples()[0].loss;
 
-    let mut mild = ModelTrainer::new(Arc::clone(&model), cluster, quick_config(250), || {
-        Box::new(SidcoCompressor::new(SidcoConfig::exponential()))
-    });
+    let mut mild = ModelTrainer::new(
+        Arc::clone(&model),
+        cluster.clone(),
+        quick_config(250),
+        || Box::new(SidcoCompressor::new(SidcoConfig::exponential())),
+    );
     let mild_report = mild.run(0.1);
     assert!(
         mild_report.final_evaluation() < dense_report.final_evaluation() + 0.05,
@@ -160,11 +164,15 @@ fn sidco_outperforms_topk_and_dgc_end_to_end_on_gpu_cluster() {
 fn trainer_speedup_metric_gates_on_quality() {
     let model = regression_model(256, 19);
     let cluster = ClusterConfig::small_test();
-    let mut dense = ModelTrainer::uncompressed(Arc::clone(&model), cluster, quick_config(100));
+    let mut dense =
+        ModelTrainer::uncompressed(Arc::clone(&model), cluster.clone(), quick_config(100));
     let dense_report = dense.run(1.0);
-    let mut good = ModelTrainer::new(Arc::clone(&model), cluster, quick_config(100), || {
-        Box::new(TopKCompressor::new())
-    });
+    let mut good = ModelTrainer::new(
+        Arc::clone(&model),
+        cluster.clone(),
+        quick_config(100),
+        || Box::new(TopKCompressor::new()),
+    );
     let good_report = good.run(0.1);
     // The compressed run is no slower than the baseline in simulated time and reaches
     // a comparable loss, so the speed-up is positive.

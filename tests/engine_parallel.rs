@@ -1,12 +1,19 @@
-//! Integration tests of the sharded parallel [`CompressionEngine`]:
+//! Integration tests of the sharded parallel [`CompressionEngine`] and the
+//! runtime substrate beneath it:
 //!
 //! * every compressor must produce **bit-identical** `SparseGradient`s at
 //!   `threads = 1, 2, 7` (property-based, multi-chunk decompositions);
+//! * every compressor must be bit-identical between the `ScopedFallback` and
+//!   `WorkStealing` runtimes at every tested worker count;
+//! * the pool must spawn its OS workers exactly once per engine lifetime —
+//!   repeated `compress` calls reuse them (asserted via pool stats);
+//! * the parallel delta-varint encoder must be byte-identical to the serial
+//!   encoder at 1/2/7 workers;
 //! * overlapped (bucketed, pipelined) trainer runs must converge identically
 //!   to serial runs and only differ in simulated time.
 
 use proptest::prelude::*;
-use sidco::core::engine::CompressionEngine;
+use sidco::core::engine::{CompressionEngine, RuntimeKind};
 use sidco::prelude::*;
 use std::sync::Arc;
 
@@ -41,7 +48,19 @@ fn engine_compressors(engine: CompressionEngine) -> Vec<Box<dyn Compressor>> {
 /// Compresses `grad` with every compressor at the given thread count (chunk
 /// size pinned small so even short test gradients span many chunks).
 fn compress_all(threads: usize, grad: &[f32], delta: f64) -> Vec<(String, SparseGradient)> {
-    let engine = CompressionEngine::new(threads).with_chunk_size(64);
+    compress_all_on(
+        CompressionEngine::new(threads).with_chunk_size(64),
+        grad,
+        delta,
+    )
+}
+
+/// Compresses `grad` with every compressor sharing one explicit engine.
+fn compress_all_on(
+    engine: CompressionEngine,
+    grad: &[f32],
+    delta: f64,
+) -> Vec<(String, SparseGradient)> {
     engine_compressors(engine)
         .into_iter()
         .map(|mut c| {
@@ -72,6 +91,45 @@ proptest! {
     }
 
     #[test]
+    fn every_compressor_is_bit_identical_across_runtimes(
+        grad in gradient_strategy(),
+        delta in 0.005f64..0.5,
+    ) {
+        // All 8 engine-routed compressors, engine-on-pool vs engine-on-scoped,
+        // at every tested worker count: the runtime decides only where chunks
+        // execute, never what they contain.
+        for threads in [2usize, 7] {
+            let base = CompressionEngine::new(threads).with_chunk_size(64);
+            let scoped = compress_all_on(base.with_runtime(RuntimeKind::Scoped), &grad, delta);
+            let pool = compress_all_on(base.with_runtime(RuntimeKind::Pool), &grad, delta);
+            for ((name, a), (_, b)) in scoped.iter().zip(&pool) {
+                prop_assert!(
+                    a == b,
+                    "{name} differs between scoped and pool at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_delta_varint_is_byte_identical_at_every_worker_count(
+        grad in gradient_strategy(),
+        threshold in 0.0f64..0.4,
+    ) {
+        use sidco::tensor::encoding::{delta_varint_encode, delta_varint_encode_chunked};
+        let sparse = sidco::tensor::threshold::select_above_threshold(&grad, threshold);
+        let reference = delta_varint_encode(&sparse);
+        for workers in [1usize, 2, 7] {
+            // 17-pair shards split the gap stream mid-run on these inputs.
+            let parallel = delta_varint_encode_chunked(&sparse, 17, workers);
+            prop_assert!(
+                parallel.payload() == reference.payload(),
+                "varint stream differs at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
     fn engine_selection_matches_sequential_operator(
         grad in gradient_strategy(),
         threshold in 0.0f64..0.6,
@@ -85,6 +143,57 @@ proptest! {
             sidco::tensor::threshold::count_above_threshold(&grad, threshold)
         );
     }
+}
+
+/// The pool-lifecycle acceptance test: the engine's pool spawns its OS
+/// workers exactly once (lazily, on the first parallel call) and every later
+/// `compress` call reuses them — the per-call spawn overhead the scoped
+/// runtime pays is gone.
+#[test]
+fn repeated_compress_calls_never_spawn_new_os_threads() {
+    // The 5-thread pool may be shared with other tests in this binary, but
+    // the assertions below are robust to that: `threads_spawned` is exactly
+    // the worker count no matter who triggered the lazy spawn, and the
+    // job/chunk counters only ever grow.
+    let engine = CompressionEngine::new(5).with_runtime(RuntimeKind::Pool);
+    let grad: Vec<f32> = (1..=400_000)
+        .map(|j| if j % 2 == 0 { 1.0 } else { -1.0 } * (j as f32).powf(-0.6))
+        .collect();
+    let mut compressor = SidcoCompressor::new(SidcoConfig::exponential()).with_engine(engine);
+
+    compressor.compress(&grad, 0.01);
+    let after_first = engine.pool_stats().expect("pool engine keeps stats");
+    assert_eq!(
+        after_first.threads_spawned, 5,
+        "the first parallel call spawns the full complement"
+    );
+    assert!(after_first.jobs > 0 && after_first.chunks_executed > 0);
+
+    for _ in 0..8 {
+        compressor.compress(&grad, 0.01);
+    }
+    let after_many = engine.pool_stats().expect("pool engine keeps stats");
+    assert_eq!(
+        after_many.threads_spawned, 5,
+        "repeated compress calls must reuse the same OS threads"
+    );
+    assert!(
+        after_many.jobs > after_first.jobs,
+        "later calls must have dispatched to the same pool"
+    );
+    // The lifecycle counters stay coherent: everything popped or stolen was
+    // executed, and parked workers were woken at least as often as new work
+    // arrived while they slept.
+    assert!(after_many.chunks_executed > after_first.chunks_executed);
+    assert_eq!(
+        after_many.socket_chunks.iter().sum::<u64>(),
+        after_many.chunks_executed,
+        "every chunk is assigned to exactly one socket"
+    );
+    // A second engine value with the same configuration shares the pool
+    // (engines are plain values; executors are process-wide).
+    let alias = CompressionEngine::new(5).with_runtime(RuntimeKind::Pool);
+    assert_eq!(alias.pool_stats().expect("shared pool").threads_spawned, 5);
 }
 
 #[test]
@@ -155,8 +264,10 @@ fn overlapped_trainer_converges_identically_to_serial() {
 }
 
 /// Cross-validation of the engine-aware device cost model
-/// (`DeviceProfile::compression_time_with_workers`) against the *measured*
-/// multi-thread behaviour of the real `CompressionEngine` on this host.
+/// (`DeviceProfile::compression_time_with_workers` and the runtime dispatch
+/// extension `compression_time_with_runtime`) against the *measured*
+/// multi-thread behaviour of the real `CompressionEngine` on this host — run
+/// against **both** runtimes, the persistent pool and the scoped fallback.
 ///
 /// Wall-clock assertions are kept deliberately loose (CI machines vary, and
 /// single-core hosts measure no speed-up at all): the test checks the
@@ -179,10 +290,10 @@ fn modeled_engine_speedup_bounds_the_measured_speedup() {
     let cpu = DeviceProfile::cpu();
     let kind = CompressorKind::Sidco(sidco::stats::fit::SidKind::Exponential);
 
-    let measure = |threads: usize| -> f64 {
+    let measure = |threads: usize, runtime: RuntimeKind| -> f64 {
         let mut compressor = SidcoCompressor::new(SidcoConfig::exponential())
-            .with_engine(CompressionEngine::new(threads));
-        compressor.compress(&grad, DELTA); // warm up (allocation, stages)
+            .with_engine(CompressionEngine::new(threads).with_runtime(runtime));
+        compressor.compress(&grad, DELTA); // warm up (allocation, stages, pool spawn)
         let mut best = f64::INFINITY;
         for _ in 0..3 {
             let start = Instant::now();
@@ -192,25 +303,34 @@ fn modeled_engine_speedup_bounds_the_measured_speedup() {
         best
     };
 
-    let serial = measure(1);
-    for threads in [2usize, 4] {
-        let measured_speedup = serial / measure(threads);
-        let modeled_speedup = cpu.engine_speedup(kind, DIM, DELTA, 2, threads);
-        // The model shards per-element work perfectly, so it is an upper
-        // envelope for the measured ratio (3× slack for timer noise, cache
-        // effects and loaded CI runners).
-        assert!(
-            measured_speedup <= modeled_speedup * 3.0,
-            "measured {measured_speedup:.2}x exceeds even thrice the modeled \
-             ideal {modeled_speedup:.2}x at {threads} threads"
-        );
-        // And no configuration should make compression dramatically slower.
-        assert!(
-            measured_speedup > 0.2,
-            "{threads} threads slowed compression {measured_speedup:.2}x"
-        );
-        // The model itself predicts a real speed-up for this linear-pass
-        // scheme, bounded by the thread count.
-        assert!(modeled_speedup > 1.0 && modeled_speedup <= threads as f64);
+    for runtime in [RuntimeKind::Pool, RuntimeKind::Scoped] {
+        let serial = measure(1, runtime);
+        for threads in [2usize, 4] {
+            let measured_speedup = serial / measure(threads, runtime);
+            let modeled_speedup = cpu.engine_speedup(kind, DIM, DELTA, 2, threads);
+            // The model shards per-element work perfectly, so it is an upper
+            // envelope for the measured ratio (3× slack for timer noise, cache
+            // effects and loaded CI runners).
+            assert!(
+                measured_speedup <= modeled_speedup * 3.0,
+                "[{:?}] measured {measured_speedup:.2}x exceeds even thrice the \
+                 modeled ideal {modeled_speedup:.2}x at {threads} threads",
+                runtime
+            );
+            // And no configuration should make compression dramatically slower.
+            assert!(
+                measured_speedup > 0.2,
+                "[{runtime:?}] {threads} threads slowed compression {measured_speedup:.2}x"
+            );
+            // The model itself predicts a real speed-up for this linear-pass
+            // scheme, bounded by the thread count.
+            assert!(modeled_speedup > 1.0 && modeled_speedup <= threads as f64);
+            // The dispatch-aware model orders the runtimes: the persistent
+            // pool's per-call cost is strictly below the scoped spawn storm.
+            assert!(
+                cpu.compression_time_with_runtime(kind, DIM, DELTA, 2, threads, true)
+                    < cpu.compression_time_with_runtime(kind, DIM, DELTA, 2, threads, false)
+            );
+        }
     }
 }

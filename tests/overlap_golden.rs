@@ -182,11 +182,11 @@ fn modeled_overheads_match_goldens() {
 fn trainer_overlap_accounting_matches_goldens() {
     for ((name, cluster), golden) in clusters().iter().zip(TRAINER_GOLDENS) {
         assert_eq!(*name, golden.0, "golden table out of sync");
-        let (serial, serial_charged) = trainer_overheads(*cluster, false);
+        let (serial, serial_charged) = trainer_overheads(cluster.clone(), false);
         // A serial run charges exactly its serial overhead.
         assert_close(serial_charged, serial, &format!("{name} serial charge"));
         assert_close(serial, golden.1, &format!("{name} trainer serial overhead"));
-        let (overlap_serial, charged) = trainer_overheads(*cluster, true);
+        let (overlap_serial, charged) = trainer_overheads(cluster.clone(), true);
         // Overlap changes the charge, never the serialised reference.
         assert_close(overlap_serial, serial, &format!("{name} overlap reference"));
         assert_close(
@@ -232,7 +232,7 @@ fn arrival_aware_makespans_match_goldens() {
 fn arrival_aware_trainer_accounting_matches_goldens() {
     for ((name, cluster), golden) in clusters().iter().zip(ARRIVAL_TRAINER_GOLDENS) {
         assert_eq!(*name, golden.0, "golden table out of sync");
-        let (pipelined, charged) = arrival_aware_trainer_overheads(*cluster);
+        let (pipelined, charged) = arrival_aware_trainer_overheads(cluster.clone());
         assert_close(
             pipelined,
             golden.1,
@@ -261,7 +261,7 @@ fn dump_goldens() {
     println!("];");
     println!("const TRAINER_GOLDENS: [(&str, f64, f64); 3] = [");
     for (name, cluster) in clusters() {
-        let (serial, _) = trainer_overheads(cluster, false);
+        let (serial, _) = trainer_overheads(cluster.clone(), false);
         let (_, charged) = trainer_overheads(cluster, true);
         println!("    (\"{name}\", {serial:e}, {charged:e}),");
     }

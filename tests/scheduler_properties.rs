@@ -545,13 +545,13 @@ proptest! {
         let inter = NetworkModel { bandwidth_gbps: fabrics.1 .0, latency: fabrics.1 .1 };
         let base = HierarchicalTopology::new(nodes, workers_per_node, intra, inter);
         // Bit-identical collapse at one rail.
-        let one = base.with_nics_per_node(1);
+        let one = base.clone().with_nics_per_node(1);
         prop_assert_eq!(base.allgather_sparse(bytes), one.allgather_sparse(bytes));
         prop_assert_eq!(base.allgather_sparse_parts(bytes), one.allgather_sparse_parts(bytes));
         prop_assert_eq!(base.allreduce_dense(bytes), one.allreduce_dense(bytes));
         let mut previous = f64::INFINITY;
         for nics in 1usize..=8 {
-            let railed = base.with_nics_per_node(nics);
+            let railed = base.clone().with_nics_per_node(nics);
             let gather = railed.allgather_sparse(bytes);
             prop_assert!(
                 gather <= previous,
@@ -566,6 +566,67 @@ proptest! {
             );
             previous = gather;
         }
+    }
+
+    /// Property 8: heterogeneous per-node NIC complements charge the slowest
+    /// node — any rail vector is bit-identical to the homogeneous model at
+    /// its minimum entry (so a homogeneous vector collapses bit-for-bit to
+    /// `with_nics_per_node`), and degrading one node below the complement is
+    /// never free while upgrading a non-bottleneck node is.
+    #[test]
+    fn heterogeneous_node_nics_charge_the_slowest_node(
+        nodes in 2usize..6,
+        workers_per_node in 1usize..5,
+        bytes in 1usize..(1 << 22),
+        rail_seed in 0u32..1000,
+        fabrics in ((1.0f64..100.0, 1e-6f64..1e-4), (1.0f64..100.0, 1e-6f64..1e-4)),
+    ) {
+        let intra = NetworkModel { bandwidth_gbps: fabrics.0 .0, latency: fabrics.0 .1 };
+        let inter = NetworkModel { bandwidth_gbps: fabrics.1 .0, latency: fabrics.1 .1 };
+        let base = HierarchicalTopology::new(nodes, workers_per_node, intra, inter);
+        // A deterministic pseudo-random rail vector in 1..=8 per node.
+        let rails: Vec<u32> = (0..nodes)
+            .map(|i| 1 + (rail_seed.wrapping_mul(2654435761).wrapping_add(i as u32 * 40503) >> 7) % 8)
+            .collect();
+        let min_rails = *rails.iter().min().unwrap() as usize;
+        let vectored = base.clone().with_node_nics(rails.clone());
+        let uniform = base.clone().with_nics_per_node(min_rails);
+        prop_assert_eq!(vectored.bottleneck_nics(), min_rails);
+        prop_assert_eq!(vectored.allgather_sparse(bytes), uniform.allgather_sparse(bytes));
+        prop_assert_eq!(
+            vectored.allgather_sparse_parts(bytes),
+            uniform.allgather_sparse_parts(bytes)
+        );
+        prop_assert_eq!(vectored.allreduce_dense(bytes), uniform.allreduce_dense(bytes));
+        prop_assert_eq!(
+            vectored.allgather_budget_bytes(1e-3),
+            uniform.allgather_budget_bytes(1e-3)
+        );
+        // Degrading node 0 to a single rail gates the exchange at one rail.
+        let mut degraded_rails = rails.clone();
+        degraded_rails[0] = 1;
+        let degraded = base.clone().with_node_nics(degraded_rails);
+        prop_assert!(
+            degraded.allgather_sparse(bytes) >= vectored.allgather_sparse(bytes) - tol(1.0)
+        );
+        prop_assert_eq!(
+            degraded.allgather_sparse(bytes),
+            base.clone().with_nics_per_node(1).allgather_sparse(bytes)
+        );
+        // Upgrading any single node beyond the minimum never changes the
+        // charge: the slowest complement still gates the phase.
+        let bottleneck = rails.iter().position(|&r| r as usize == min_rails).unwrap();
+        let mut upgraded_rails = rails.clone();
+        for (i, rail) in upgraded_rails.iter_mut().enumerate() {
+            if i != bottleneck {
+                *rail += 8;
+            }
+        }
+        let upgraded = base.with_node_nics(upgraded_rails);
+        prop_assert_eq!(
+            upgraded.allgather_sparse(bytes),
+            vectored.allgather_sparse(bytes)
+        );
     }
 }
 

@@ -1,10 +1,14 @@
 //! Offline stand-in for the subset of the [`crossbeam`](https://crates.io/crates/crossbeam)
-//! API used by this workspace: scoped threads.
+//! API used by this workspace: scoped threads and work-stealing deques.
 //!
 //! The registry is unreachable in this build environment, so this vendored crate
 //! maps `crossbeam::thread::scope` onto `std::thread::scope` (stable since Rust
 //! 1.63), preserving crossbeam's call shape — the scope function returns a
-//! `Result`, and spawned closures receive a `&Scope` argument.
+//! `Result`, and spawned closures receive a `&Scope` argument. The [`deque`]
+//! module mirrors `crossbeam-deque`'s Chase–Lev API ([`deque::Worker`] /
+//! [`deque::Stealer`] / [`deque::Injector`] / [`deque::Steal`]) on top of a
+//! mutex-guarded ring buffer: same owner-LIFO / thief-FIFO semantics, without
+//! the lock-free implementation (this stub forbids `unsafe`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,8 +62,178 @@ pub mod thread {
     }
 }
 
+/// Work-stealing double-ended queues with `crossbeam-deque`'s calling
+/// convention.
+///
+/// A [`Worker`](deque::Worker) is the owner's end of a Chase–Lev deque: the
+/// owner pushes and pops at the *bottom* (LIFO, cache-hot), while any number
+/// of [`Stealer`](deque::Stealer) handles take from the *top* (FIFO, the
+/// oldest — and in splitting schedulers the largest — task). An
+/// [`Injector`](deque::Injector) is a shared FIFO queue for submitting work
+/// from outside the pool.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        ///
+        /// The lock-based stub never loses races, so it never returns this
+        /// variant — it exists so callers can be written against the real
+        /// `crossbeam-deque` contract.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if one was stolen.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owner's end of a work-stealing deque.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        shared: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a deque whose owner pops in LIFO order (the Chase–Lev
+        /// discipline: the owner works on the most recently pushed — smallest
+        /// and hottest — task while thieves take the oldest).
+        pub fn new_lifo() -> Self {
+            Self {
+                shared: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the bottom of the deque.
+        pub fn push(&self, task: T) {
+            self.shared.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Pops a task from the bottom of the deque (the most recent push).
+        pub fn pop(&self) -> Option<T> {
+            self.shared.lock().expect("deque poisoned").pop_back()
+        }
+
+        /// Creates a new stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().expect("deque poisoned").len()
+        }
+    }
+
+    /// A thief's handle onto a [`Worker`]'s deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        shared: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals a task from the top of the deque (the oldest push).
+        pub fn steal(&self) -> Steal<T> {
+            match self.shared.lock().expect("deque poisoned").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().expect("deque poisoned").len()
+        }
+    }
+
+    /// A shared FIFO queue for injecting tasks into a pool from outside.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector queue.
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::deque::{Injector, Steal, Worker};
     use super::thread;
 
     #[test]
@@ -74,6 +248,57 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn deque_owner_is_lifo_and_thieves_are_fifo() {
+        let worker: Worker<u32> = Worker::new_lifo();
+        let stealer = worker.stealer();
+        assert!(worker.is_empty() && stealer.is_empty());
+        worker.push(1);
+        worker.push(2);
+        worker.push(3);
+        assert_eq!(worker.len(), 3);
+        assert_eq!(stealer.len(), 3);
+        // The thief takes the oldest task, the owner the newest.
+        assert_eq!(stealer.steal(), Steal::Success(1));
+        assert_eq!(worker.pop(), Some(3));
+        assert_eq!(stealer.clone().steal(), Steal::Success(2));
+        assert_eq!(worker.pop(), None);
+        assert!(stealer.steal().is_empty());
+        assert_eq!(Steal::<u32>::Success(7).success(), Some(7));
+        assert_eq!(Steal::<u32>::Retry.success(), None);
+    }
+
+    #[test]
+    fn injector_is_fifo_across_threads() {
+        let injector: Injector<usize> = Injector::default();
+        for task in 0..64 {
+            injector.push(task);
+        }
+        assert_eq!(injector.len(), 64);
+        let drained: Vec<usize> = thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut taken = Vec::new();
+                        while let Steal::Success(task) = injector.steal() {
+                            taken.push(task);
+                        }
+                        taken
+                    })
+                })
+                .collect();
+            let mut all: Vec<usize> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            all
+        })
+        .unwrap();
+        assert_eq!(drained, (0..64).collect::<Vec<usize>>());
+        assert!(injector.is_empty());
     }
 
     #[test]
