@@ -154,10 +154,15 @@ fn report_pool_stats(_c: &mut Criterion) {
     for threads in [2usize, 4] {
         let engine = CompressionEngine::new(threads).with_runtime(RuntimeKind::Pool);
         if let Some(stats) = engine.pool_stats() {
+            assert_eq!(
+                stats.parks - stats.unparks,
+                stats.currently_parked,
+                "park ledger must balance in lock-consistent snapshots"
+            );
             println!(
                 "pool[threads={threads}]: spawned={} jobs={} chunks={} local_pops={} \
                  injector_pops={} sibling_steals={} remote_steals={} parks={} unparks={} \
-                 socket_chunks={:?}",
+                 currently_parked={} socket_chunks={:?}",
                 stats.threads_spawned,
                 stats.jobs,
                 stats.chunks_executed,
@@ -167,6 +172,7 @@ fn report_pool_stats(_c: &mut Criterion) {
                 stats.remote_steals,
                 stats.parks,
                 stats.unparks,
+                stats.currently_parked,
                 stats.socket_chunks
             );
         }

@@ -9,7 +9,9 @@ use sidco_core::layerwise::LayerLayout;
 use sidco_dist::cluster::ClusterConfig;
 use sidco_dist::collective::{modeled_bucket_costs, BucketCost, CollectiveScheduler};
 use sidco_dist::schedule::auto_bucket_layout;
+use sidco_dist::tenancy::{FleetScheduler, JobSpec, SharePolicy};
 use sidco_dist::PriorityPolicy;
+use sidco_models::benchmarks::BenchmarkId as Bench;
 use sidco_stats::fit::SidKind;
 
 /// 16Mi elements — the ImageNet regime of the paper's large CNNs.
@@ -85,5 +87,53 @@ fn bench_auto_tuner(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedule_construction, bench_auto_tuner);
+/// The 4-job mixed fleet the overlap goldens pin: two ResNet20 tenants, a
+/// VGG16 and an LSTM-PTB, all arriving together on the dedicated testbed.
+fn fleet_jobs() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new("resnet20-a", Bench::ResNet20Cifar10, 0.01)
+            .with_iterations(6)
+            .with_priority_class(2),
+        JobSpec::new("resnet20-b", Bench::ResNet20Cifar10, 0.01)
+            .with_iterations(6)
+            .with_priority_class(0),
+        JobSpec::new("vgg16", Bench::Vgg16Cifar10, 0.02)
+            .with_iterations(4)
+            .with_priority_class(1),
+        JobSpec::new("lstm-ptb", Bench::LstmPtb, 0.005)
+            .with_iterations(3)
+            .with_priority_class(3),
+    ]
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let jobs = fleet_jobs();
+    let mut group = c.benchmark_group("fleet_4job");
+    for policy in SharePolicy::ALL {
+        let scheduler = FleetScheduler::new(ClusterConfig::paper_dedicated(), policy);
+        group.bench_with_input(
+            BenchmarkId::new("simulate", policy.as_str()),
+            &scheduler,
+            |b, scheduler| b.iter(|| scheduler.simulate(std::hint::black_box(&jobs))),
+        );
+        let report = scheduler.simulate(&jobs);
+        println!(
+            "fleet_4job/{}: makespan {:.6} s, fairness {:.9}, p99 {:.6} s, \
+             serialized {:.6} s",
+            policy.as_str(),
+            report.fleet_makespan(),
+            report.fairness_index(),
+            report.p99_latency(),
+            scheduler.serialized_end(&jobs),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_construction,
+    bench_auto_tuner,
+    bench_fleet
+);
 criterion_main!(benches);

@@ -139,6 +139,40 @@ impl RatioController {
     pub fn correction(&self) -> f64 {
         self.correction
     }
+
+    /// The recommendation under an observed shared-wire slowdown.
+    ///
+    /// A tenant whose all-gathers are stretched `slowdown`× by link
+    /// contention effectively has `comm_budget / slowdown` of wire time per
+    /// iteration, so the controller shrinks δ proportionally instead of
+    /// blowing the iteration-time target. `slowdown <= 1` (no contention)
+    /// leaves the budget untouched rather than dividing by a no-op factor,
+    /// making the uncontended path bit-for-bit identical to
+    /// [`recommend_ratio`](Self::recommend_ratio) — the collapse guarantee
+    /// the multi-tenant fleet in [`crate::tenancy`] relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown` is not a positive finite factor.
+    pub fn recommend_ratio_under_contention(&self, slowdown: f64) -> f64 {
+        assert!(
+            slowdown.is_finite() && slowdown > 0.0,
+            "slowdown must be a positive finite factor"
+        );
+        if slowdown <= 1.0 {
+            return self.recommend_ratio();
+        }
+        let squeezed = Self {
+            config: RatioControllerConfig {
+                comm_budget: self.config.comm_budget / slowdown,
+                ..self.config
+            },
+            cluster: self.cluster.clone(),
+            elements: self.elements,
+            correction: self.correction,
+        };
+        squeezed.recommend_ratio()
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +309,29 @@ mod tests {
             time <= 0.002 * 1.001,
             "modelled hierarchical time {time} blows the budget"
         );
+    }
+
+    #[test]
+    fn contention_shrinks_the_recommendation_and_collapses_at_one() {
+        let controller = controller(0.0);
+        let base = controller.recommend_ratio();
+        // No contention (and anything below it) is bit-for-bit the plain
+        // recommendation — the tenancy collapse guarantee.
+        assert_eq!(controller.recommend_ratio_under_contention(1.0), base);
+        assert_eq!(controller.recommend_ratio_under_contention(0.5), base);
+        // A 2x-stretched wire halves the effective budget, so δ shrinks
+        // monotonically with the slowdown.
+        let squeezed = controller.recommend_ratio_under_contention(2.0);
+        assert!(squeezed < base, "{squeezed} should undercut {base}");
+        assert!(controller.recommend_ratio_under_contention(4.0) < squeezed);
+        // ...but never below the configured floor.
+        assert_eq!(controller.recommend_ratio_under_contention(1e9), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite factor")]
+    fn rejects_non_finite_slowdown() {
+        controller(0.0).recommend_ratio_under_contention(f64::NAN);
     }
 
     #[test]

@@ -712,6 +712,15 @@ pub fn with_ready_times(mut costs: Vec<BucketCost>, ready: &[f64]) -> Vec<Bucket
     costs
 }
 
+/// Total transfer (bandwidth-serialised) seconds of a cost set — the wire
+/// work one iteration presents to the link. Latency terms are excluded: they
+/// overlap with other streams inside a job's own schedule, but the transfer
+/// component is what a *shared* link arbiter (see [`crate::tenancy`]) must
+/// actually serialise across tenants.
+pub fn total_wire_seconds(costs: &[BucketCost]) -> f64 {
+    costs.iter().map(|cost| cost.transfer).sum()
+}
+
 /// Modelled iteration overhead of communicating `layout` under `scheduler` —
 /// the makespan of [`modeled_bucket_costs`] (compare schedulers on the same
 /// cluster to see what streams and priorities buy).

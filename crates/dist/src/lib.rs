@@ -38,7 +38,12 @@
 //! * [`metrics`] — training reports and the time-to-quality speed-up metric;
 //! * [`schedule`] / [`optimizer`] — learning-rate schedules, the bucket
 //!   sizing policy (layer-aligned, α–β-auto-tuned), and the Table-1 local
-//!   optimizers.
+//!   optimizers;
+//! * [`tenancy`] — the multi-tenant compression service
+//!   ([`FleetScheduler`](tenancy::FleetScheduler)): concurrent jobs
+//!   arbitrating one shared wire and one shared engine pool under pluggable
+//!   [`SharePolicy`](tenancy::SharePolicy) link arbitration, with per-tenant
+//!   admission control and contention-adaptive δ.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +58,7 @@ pub mod optimizer;
 pub mod overlap;
 pub mod schedule;
 pub mod simulate;
+pub mod tenancy;
 pub mod trainer;
 
 pub use collective::{BucketCost, CollectiveScheduler, PriorityPolicy, ScheduleTimeline};
@@ -60,6 +66,7 @@ pub use metrics::TrainingReport;
 pub use network::{HierarchicalTopology, NetworkModel};
 pub use optimizer::Optimizer;
 pub use schedule::{BucketPolicy, LrSchedule};
+pub use tenancy::{FleetReport, FleetScheduler, JobOutcome, JobSpec, SharePolicy, TenancyConfig};
 
 /// Bytes on the wire per sparse element (u32 index + f32 value), matching
 /// [`sidco_tensor::SparseGradient::wire_bytes`]. Used wherever a payload size

@@ -157,6 +157,47 @@ pub fn normalized_speedup(
     }
 }
 
+/// Jain's fairness index of a set of non-negative allocations:
+/// `(Σx)² / (n · Σx²)`. Equal allocations score 1; one tenant hogging
+/// everything scores `1/n`. Empty or all-zero inputs score 1 (nothing was
+/// allocated unfairly). Used by the multi-tenant fleet report
+/// ([`crate::tenancy`]) over per-job normalised progress rates.
+pub fn jain_fairness_index(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (allocations.len() as f64 * sum_sq)
+}
+
+/// The `q`-quantile (`0.0..=1.0`) of `samples` by linear interpolation
+/// between the sorted order statistics (the "exclusive-free" definition:
+/// `q = 0` is the minimum, `q = 1` the maximum). `NaN` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any sample is `NaN`.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile"));
+    let position = q * (sorted.len() - 1) as f64;
+    let low = position.floor() as usize;
+    let high = position.ceil() as usize;
+    if low == high {
+        sorted[low]
+    } else {
+        sorted[low] + (position - low as f64) * (sorted[high] - sorted[low])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +253,35 @@ mod tests {
         let base = report(&[4.0, 2.0, 1.0], 1.0, 1.0, 1.0);
         let bad = report(&[4.0, 4.0, 4.0], 0.1, 0.01, 0.01);
         assert_eq!(normalized_speedup(&bad, &base, 0.1), 0.0);
+    }
+
+    #[test]
+    fn jain_index_scores_equality_and_hogging() {
+        assert_eq!(jain_fairness_index(&[]), 1.0);
+        assert_eq!(jain_fairness_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_fairness_index(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One tenant gets everything: index collapses to 1/n.
+        assert!((jain_fairness_index(&[5.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Mild skew lands strictly between the extremes.
+        let skew = jain_fairness_index(&[1.0, 2.0]);
+        assert!(skew > 0.5 && skew < 1.0, "got {skew}");
+    }
+
+    #[test]
+    fn percentile_interpolates_order_statistics() {
+        let samples = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 1.0), 4.0);
+        assert!((percentile(&samples, 0.5) - 2.5).abs() < 1e-12);
+        assert!((percentile(&samples, 0.99) - 3.97).abs() < 1e-12);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn percentile_rejects_out_of_range_quantiles() {
+        percentile(&[1.0], 1.5);
     }
 
     #[test]

@@ -41,7 +41,11 @@ use sidco_tensor::{GradientVector, SparseGradient};
 use std::sync::Arc;
 
 /// Seconds of simulated compute per example·parameter (forward + backward).
-const COMPUTE_COST_PER_EXAMPLE_ELEMENT: f64 = 2.0e-9;
+///
+/// Public so the multi-tenant fleet simulator ([`crate::tenancy`]) prices a
+/// job's compute phase with the *same* constant the trainer charges — the
+/// single-job fleet must collapse bit-for-bit onto the trainer's clock.
+pub const COMPUTE_COST_PER_EXAMPLE_ELEMENT: f64 = 2.0e-9;
 
 /// Hyper-parameters of one training run.
 #[derive(Debug, Clone)]

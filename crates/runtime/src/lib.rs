@@ -172,23 +172,85 @@ pub enum RuntimeKind {
     Pool,
 }
 
+/// An explicit once-per-process cache of an environment-derived
+/// configuration value.
+///
+/// `from_env`-style lookups are *deliberately* cached for the life of the
+/// process: the executors they select are process-wide, so a mid-run
+/// environment change silently forking the configuration would be worse than
+/// ignoring it. This type makes that memoisation explicit (instead of a
+/// `OnceLock` buried in a function body) and gives tests a
+/// [`reset`](EnvCache::reset) escape hatch so cache semantics themselves are
+/// testable without mutating the process environment.
+#[derive(Debug, Default)]
+pub struct EnvCache<T> {
+    slot: Mutex<Option<T>>,
+}
+
+impl<T: Copy> EnvCache<T> {
+    /// An empty cache; the first [`get_or_init`](EnvCache::get_or_init)
+    /// fills it.
+    pub const fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Returns the cached value, computing and storing it on first use.
+    pub fn get_or_init(&self, init: impl FnOnce() -> T) -> T {
+        *self
+            .slot
+            .lock()
+            .expect("env cache poisoned")
+            .get_or_insert_with(init)
+    }
+
+    /// Clears the cache so the next read re-runs its initialiser.
+    ///
+    /// Test-only: production code relies on the once-per-process read.
+    #[doc(hidden)]
+    pub fn reset(&self) {
+        *self.slot.lock().expect("env cache poisoned") = None;
+    }
+}
+
+/// The process-wide cache behind [`RuntimeKind::from_env`].
+static ENV_RUNTIME_KIND: EnvCache<RuntimeKind> = EnvCache::new();
+
 impl RuntimeKind {
     /// The runtime selected by the `SIDCO_RUNTIME` environment variable:
     /// `scoped` or `pool` (case-insensitive). Unset or unrecognised values
-    /// fall back to [`RuntimeKind::Pool`]. Read once per process.
+    /// fall back to [`RuntimeKind::Pool`]. Read **once per process** (through
+    /// an explicit [`EnvCache`]) — later environment changes are ignored, so
+    /// the process-wide executors can never disagree with the configuration
+    /// that spawned them. Tests that need a different runtime pass one
+    /// explicitly (constructor injection) instead of mutating the
+    /// environment.
     pub fn from_env() -> Self {
-        static KIND: OnceLock<RuntimeKind> = OnceLock::new();
-        *KIND.get_or_init(|| {
-            match std::env::var(RUNTIME_ENV_VAR)
-                .unwrap_or_default()
-                .trim()
-                .to_ascii_lowercase()
-                .as_str()
-            {
-                "scoped" => RuntimeKind::Scoped,
-                _ => RuntimeKind::Pool,
-            }
-        })
+        ENV_RUNTIME_KIND.get_or_init(|| Self::parse(std::env::var(RUNTIME_ENV_VAR).ok().as_deref()))
+    }
+
+    /// Parses a `SIDCO_RUNTIME` value: `scoped` or `pool`
+    /// (case-insensitive); `None` and unrecognised values select the default
+    /// [`RuntimeKind::Pool`]. Pure — the cache-free core of
+    /// [`from_env`](RuntimeKind::from_env).
+    pub fn parse(value: Option<&str>) -> Self {
+        match value
+            .unwrap_or_default()
+            .trim()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "scoped" => RuntimeKind::Scoped,
+            _ => RuntimeKind::Pool,
+        }
+    }
+
+    /// Clears the `SIDCO_RUNTIME` cache so the next
+    /// [`from_env`](RuntimeKind::from_env) re-reads the environment.
+    #[doc(hidden)]
+    pub fn reset_env_cache_for_tests() {
+        ENV_RUNTIME_KIND.reset();
     }
 
     /// The short name `handle(kind, …).name()` will report.
@@ -275,6 +337,26 @@ mod tests {
         assert_eq!(RuntimeKind::Scoped.as_str(), "scoped");
         assert_eq!(RuntimeKind::Pool.as_str(), "pool");
         assert_eq!(RuntimeKind::default(), RuntimeKind::Pool);
+    }
+
+    #[test]
+    fn kind_parsing_covers_every_spelling() {
+        assert_eq!(RuntimeKind::parse(None), RuntimeKind::Pool);
+        assert_eq!(RuntimeKind::parse(Some("")), RuntimeKind::Pool);
+        assert_eq!(RuntimeKind::parse(Some("pool")), RuntimeKind::Pool);
+        assert_eq!(RuntimeKind::parse(Some("scoped")), RuntimeKind::Scoped);
+        assert_eq!(RuntimeKind::parse(Some(" SCOPED ")), RuntimeKind::Scoped);
+        assert_eq!(RuntimeKind::parse(Some("threads")), RuntimeKind::Pool);
+    }
+
+    #[test]
+    fn env_cache_memoises_until_reset() {
+        let cache: EnvCache<u32> = EnvCache::new();
+        assert_eq!(cache.get_or_init(|| 7), 7);
+        // The second initialiser must not run: the first read is sticky.
+        assert_eq!(cache.get_or_init(|| unreachable!("cache hit expected")), 7);
+        cache.reset();
+        assert_eq!(cache.get_or_init(|| 9), 9);
     }
 
     #[test]

@@ -153,9 +153,17 @@ impl WorkStealing {
 
     /// A snapshot of the pool's lifetime counters (all zero before the lazy
     /// spawn).
+    ///
+    /// The snapshot is taken under the sleep lock — the same lock every
+    /// park/unpark transition holds — so it is internally consistent:
+    /// `parks - unparks == currently_parked` holds in every snapshot, even
+    /// while workers are going to sleep or waking up concurrently.
     pub fn stats(&self) -> PoolStats {
         match self.shared.get() {
-            Some(shared) => shared.stats.snapshot(),
+            Some(shared) => {
+                let _guard = shared.sleep.lock().expect("sleep lock poisoned");
+                shared.stats.snapshot()
+            }
             None => PoolStats {
                 socket_chunks: vec![0; self.topology.nodes()],
                 ..PoolStats::default()
@@ -326,9 +334,21 @@ fn worker_loop(shared: &Arc<PoolShared>, id: usize, deque: &Worker<Task>) {
                     shared.sleepers.fetch_sub(1, Ordering::SeqCst);
                     continue;
                 }
+                // Park accounting transitions under the sleep lock (held
+                // here and re-acquired by the condvar wait), paired with the
+                // `currently_parked` gauge so lock-consistent snapshots
+                // always balance: parks - unparks == currently_parked.
                 StatCells::bump(&shared.stats.parks);
+                shared
+                    .stats
+                    .currently_parked
+                    .fetch_add(1, Ordering::Relaxed);
                 shutdown = shared.wake.wait(shutdown).expect("sleep lock poisoned");
                 shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                shared
+                    .stats
+                    .currently_parked
+                    .fetch_sub(1, Ordering::Relaxed);
                 StatCells::bump(&shared.stats.unparks);
                 if *shutdown {
                     return;
@@ -553,6 +573,30 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn park_accounting_balances_in_every_snapshot() {
+        let pool = WorkStealing::with_topology(4, NumaTopology::synthetic(2, 2));
+        for _ in 0..20 {
+            pool.run_indexed(64, &|_| {});
+            let stats = pool.stats();
+            assert_eq!(
+                stats.parks - stats.unparks,
+                stats.currently_parked,
+                "lock-consistent snapshots must balance parks against wakes"
+            );
+        }
+        // Let the workers drain and park; the balance must keep holding as
+        // they transition to sleep.
+        for _ in 0..50 {
+            let stats = pool.stats();
+            assert_eq!(stats.parks - stats.unparks, stats.currently_parked);
+            if stats.currently_parked == 4 {
+                break;
+            }
+            std::thread::yield_now();
+        }
     }
 
     #[test]

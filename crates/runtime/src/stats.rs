@@ -18,6 +18,11 @@ pub(crate) struct StatCells {
     pub(crate) remote_steals: AtomicU64,
     pub(crate) parks: AtomicU64,
     pub(crate) unparks: AtomicU64,
+    /// Gauge (not monotone): workers currently blocked in the condvar wait.
+    /// Every transition happens under the pool's sleep lock, paired with the
+    /// matching `parks`/`unparks` bump, so a snapshot taken under that lock
+    /// satisfies `parks - unparks == currently_parked` exactly.
+    pub(crate) currently_parked: AtomicU64,
     pub(crate) socket_chunks: Vec<AtomicU64>,
 }
 
@@ -33,6 +38,7 @@ impl StatCells {
             remote_steals: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
+            currently_parked: AtomicU64::new(0),
             socket_chunks: (0..sockets).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -52,6 +58,7 @@ impl StatCells {
             remote_steals: self.remote_steals.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             unparks: self.unparks.load(Ordering::Relaxed),
+            currently_parked: self.currently_parked.load(Ordering::Relaxed),
             socket_chunks: self
                 .socket_chunks
                 .iter()
@@ -94,6 +101,13 @@ pub struct PoolStats {
     pub parks: u64,
     /// Times a sleeping worker was woken by new work.
     pub unparks: u64,
+    /// Workers blocked in the condvar wait at snapshot time — the gauge that
+    /// balances the two monotone counters: every snapshot satisfies
+    /// `parks - unparks == currently_parked` exactly, because park/unpark
+    /// transitions and the snapshot itself all happen under the pool's sleep
+    /// lock. (Historical snapshots read the counters without the lock and
+    /// reported an unexplained "drift" of exactly the sleeping workers.)
+    pub currently_parked: u64,
     /// Chunks *assigned* to each socket at submission time under the
     /// first-touch placement model (indexed by socket).
     pub socket_chunks: Vec<u64>,
@@ -136,7 +150,10 @@ mod tests {
         StatCells::bump(&cells.sibling_steals);
         StatCells::bump(&cells.remote_steals);
         StatCells::bump(&cells.socket_chunks[1]);
+        StatCells::bump(&cells.parks);
+        StatCells::bump(&cells.currently_parked);
         let stats = cells.snapshot();
+        assert_eq!(stats.parks - stats.unparks, stats.currently_parked);
         assert_eq!(stats.jobs, 1);
         assert_eq!(stats.chunks_executed, 2);
         assert_eq!(stats.steals(), 2);

@@ -193,9 +193,46 @@ pub fn delta_varint_encode(sparse: &SparseGradient) -> EncodedGradient {
     }
 }
 
+/// Minimum index/value pairs **per engaged worker** before sharding the
+/// varint encoder pays off. Below this the shard bookkeeping (per-shard
+/// allocations, dispatch, and the concatenating copy) costs more than the
+/// encoding it parallelises: the committed `runtime_pool` bench measured the
+/// sharded encoder 2–3× *slower* than serial on 2.3M pairs whenever the
+/// engaged workers outnumbered the hardware threads, and the serial encoder
+/// already moves >100M pairs/s — so a worker needs a six-figure pair count
+/// to amortise its share of the overhead.
+pub const MIN_ENCODE_PAIRS_PER_WORKER: usize = 1 << 17;
+
+/// How many workers are worth engaging to shard-encode `nnz` pairs on a host
+/// with `host_threads` hardware threads: never more than the hardware can run
+/// concurrently (oversubscribed shards only add contention), and never so
+/// many that a worker's share drops below
+/// [`MIN_ENCODE_PAIRS_PER_WORKER`]. Returns 1 — the serial crossover
+/// fallback — for small payloads and single-core hosts.
+fn encode_worker_budget_with(host_threads: usize, requested: usize, nnz: usize) -> usize {
+    requested
+        .min(host_threads)
+        .min(nnz / MIN_ENCODE_PAIRS_PER_WORKER)
+        .max(1)
+}
+
+/// [`encode_worker_budget_with`] on the actual host parallelism — the
+/// crossover heuristic shared by [`delta_varint_encode_parallel`] and the
+/// engine's varint entry point.
+pub fn encode_worker_budget(requested: usize, nnz: usize) -> usize {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    encode_worker_budget_with(host, requested, nnz)
+}
+
 /// Parallel variant of [`delta_varint_encode`]: shards the sorted index
-/// stream into fixed-size chunks encoded concurrently. Uses 32Ki-pair shards;
-/// [`delta_varint_encode_chunked`] exposes the shard size.
+/// stream into chunks encoded concurrently — but only when the workload
+/// clears the sharding crossover. [`encode_worker_budget`] caps the engaged
+/// workers at the host's hardware threads and at one worker per
+/// [`MIN_ENCODE_PAIRS_PER_WORKER`] pairs; below the crossover this falls
+/// back to the serial encoder outright, whose output the sharded path
+/// reproduces byte-for-byte anyway, so the adaptive choice is invisible on
+/// the wire. [`delta_varint_encode_chunked`] is the raw always-sharded
+/// primitive with an explicit shard size.
 ///
 /// The delta encoding looks inherently serial — every gap depends on the
 /// previous index — but once the pair list is sorted the predecessor of a
@@ -207,7 +244,15 @@ pub fn delta_varint_encode(sparse: &SparseGradient) -> EncodedGradient {
 /// **byte-identical** to [`delta_varint_encode`] for every thread count and
 /// shard size.
 pub fn delta_varint_encode_parallel(sparse: &SparseGradient, threads: usize) -> EncodedGradient {
-    delta_varint_encode_chunked(sparse, 1 << 15, threads)
+    let workers = encode_worker_budget(threads, sparse.nnz());
+    if workers <= 1 {
+        return delta_varint_encode(sparse);
+    }
+    // One shard per engaged worker (never below the default 32Ki grain):
+    // equal-cost shards need no finer split, and fewer shards mean fewer
+    // allocations on the assembly path.
+    let pairs_per_chunk = sparse.nnz().div_ceil(workers).max(1 << 15);
+    delta_varint_encode_chunked(sparse, pairs_per_chunk, workers)
 }
 
 /// [`delta_varint_encode_parallel`] with an explicit number of pairs per
@@ -450,6 +495,46 @@ mod tests {
             delta_varint_encode_parallel(&empty, 4).payload(),
             delta_varint_encode(&empty).payload()
         );
+    }
+
+    #[test]
+    fn encode_worker_budget_respects_the_crossover() {
+        const MIN: usize = MIN_ENCODE_PAIRS_PER_WORKER;
+        // Small payloads always fall back to serial, at any thread count.
+        assert_eq!(encode_worker_budget_with(8, 4, 0), 1);
+        assert_eq!(encode_worker_budget_with(8, 4, MIN - 1), 1);
+        // The budget grows one worker per MIN pairs...
+        assert_eq!(encode_worker_budget_with(8, 4, MIN), 1);
+        assert_eq!(encode_worker_budget_with(8, 4, 2 * MIN), 2);
+        assert_eq!(encode_worker_budget_with(8, 4, 3 * MIN), 3);
+        // ...capped by the request and by the hardware.
+        assert_eq!(encode_worker_budget_with(8, 4, 100 * MIN), 4);
+        assert_eq!(encode_worker_budget_with(2, 4, 100 * MIN), 2);
+        assert_eq!(encode_worker_budget_with(1, 4, 100 * MIN), 1);
+        // A serial request never shards, whatever the payload.
+        assert_eq!(encode_worker_budget_with(8, 1, 100 * MIN), 1);
+    }
+
+    #[test]
+    fn adaptive_parallel_entry_is_byte_identical_on_both_sides_of_the_crossover() {
+        // Below the crossover (serial fallback) and above it (sharded on
+        // hosts with the cores; still byte-identical by the stitching
+        // property), the public entry point must agree with the serial
+        // encoder bit-for-bit.
+        for &(d, k) in &[
+            (10_000usize, 500usize),
+            (4_000_000, 2 * MIN_ENCODE_PAIRS_PER_WORKER + 123),
+        ] {
+            let sparse = random_sparse(d, k, 33);
+            let reference = delta_varint_encode(&sparse);
+            for threads in [1usize, 2, 4] {
+                assert_eq!(
+                    delta_varint_encode_parallel(&sparse, threads).payload(),
+                    reference.payload(),
+                    "d={d} k={k} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,15 @@
 //!   encoder at 1/2/7 workers;
 //! * overlapped (bucketed, pipelined) trainer runs must converge identically
 //!   to serial runs and only differ in simulated time.
+//!
+//! Env-cache audit: `SIDCO_THREADS`/`SIDCO_RUNTIME` are read once per process
+//! (explicit `EnvCache`s behind `CompressionEngine::from_env` /
+//! `RuntimeKind::from_env`), so a test mutating them after first touch would
+//! silently test the wrong configuration. No test in this binary mutates the
+//! environment — every test that cares about a thread count or runtime
+//! injects it through `CompressionEngine::new(..)` / `.with_runtime(..)`
+//! (constructor injection), which keeps the suite order-independent; the CI
+//! matrix sets both variables before the process starts.
 
 use proptest::prelude::*;
 use sidco::core::engine::{CompressionEngine, RuntimeKind};
@@ -183,8 +192,20 @@ fn repeated_compress_calls_never_spawn_new_os_threads() {
     );
     // The lifecycle counters stay coherent: everything popped or stolen was
     // executed, and parked workers were woken at least as often as new work
-    // arrived while they slept.
+    // arrived while they slept. Snapshots are taken under the pool's sleep
+    // lock, so the park/unpark ledger balances exactly against the gauge of
+    // workers asleep at snapshot time — no drift.
     assert!(after_many.chunks_executed > after_first.chunks_executed);
+    for stats in [&after_first, &after_many] {
+        assert_eq!(
+            stats.parks - stats.unparks,
+            stats.currently_parked,
+            "park ledger must balance: {} parks, {} unparks, {} asleep",
+            stats.parks,
+            stats.unparks,
+            stats.currently_parked
+        );
+    }
     assert_eq!(
         after_many.socket_chunks.iter().sum::<u64>(),
         after_many.chunks_executed,

@@ -17,6 +17,7 @@ use sidco::prelude::*;
 use sidco_dist::collective::{modeled_bucket_costs, with_ready_times};
 use sidco_dist::overlap::{pipelined_overhead, serial_overhead};
 use sidco_dist::schedule::{bucket_ready_times, pack_layers};
+use sidco_dist::tenancy::{FleetScheduler, JobSpec, SharePolicy};
 use sidco_models::dataset::{ClassificationDataset, RegressionDataset};
 use sidco_models::mlp::Mlp;
 use sidco_models::regression::LinearRegression;
@@ -126,6 +127,40 @@ fn arrival_aware_trainer_overheads(cluster: ClusterConfig) -> (f64, f64) {
     (acc.pipelined_overhead(), acc.charged_overhead())
 }
 
+/// The multi-tenant fleets the goldens pin: mixed Table-1 workloads, all
+/// arriving at `t = 0` so their first wire requests collide and the three
+/// [`SharePolicy`] arbiters genuinely disagree about who waits. The first
+/// `count` jobs form the fleet (2-job and 4-job variants below).
+fn fleet_jobs(count: usize) -> Vec<JobSpec> {
+    let all = [
+        JobSpec::new("resnet20-a", BenchmarkId::ResNet20Cifar10, 0.01)
+            .with_iterations(6)
+            .with_priority_class(2),
+        JobSpec::new("resnet20-b", BenchmarkId::ResNet20Cifar10, 0.01)
+            .with_iterations(6)
+            .with_priority_class(0),
+        JobSpec::new("vgg16", BenchmarkId::Vgg16Cifar10, 0.02)
+            .with_iterations(4)
+            .with_priority_class(1),
+        JobSpec::new("lstm-ptb", BenchmarkId::LstmPtb, 0.005)
+            .with_iterations(3)
+            .with_priority_class(3),
+    ];
+    all[..count].to_vec()
+}
+
+/// Per-policy fleet metrics on the dedicated-GPU testbed:
+/// `(fleet makespan, Jain fairness, p99 charged iteration latency)`.
+fn fleet_metrics(policy: SharePolicy, count: usize) -> (f64, f64, f64) {
+    let report =
+        FleetScheduler::new(ClusterConfig::paper_dedicated(), policy).simulate(&fleet_jobs(count));
+    (
+        report.fleet_makespan(),
+        report.fairness_index(),
+        report.p99_latency(),
+    )
+}
+
 /// Golden (cluster, serial, pipelined) triples for [`modeled_overheads`].
 const MODELED_GOLDENS: [(&str, f64, f64); 3] = [
     ("dedicated-gpu", 5.4220752875000005e-3, 4.8511897175e-3),
@@ -163,6 +198,56 @@ const ARRIVAL_TRAINER_GOLDENS: [(&str, f64, f64); 3] = [
         "shared-multi-gpu",
         3.007880723982614e-1,
         3.007880723982614e-1,
+    ),
+];
+
+/// Golden (policy, jobs, makespan, fairness, p99) rows for [`fleet_metrics`]:
+/// 2-job and 4-job fleets under each [`SharePolicy`] on the dedicated-GPU
+/// testbed. These pin the multi-tenant arbiter — the shared-link DES, the
+/// admission-control grants and the per-tenant δ adaptation — the same way
+/// the tables above pin the single-job cost model.
+const FLEET_GOLDENS: [(&str, usize, f64, f64, f64); 6] = [
+    (
+        "fair-share",
+        2,
+        1.6606046754500001e0,
+        1e0,
+        2.768096325750001e-1,
+    ),
+    (
+        "fair-share",
+        4,
+        6.139309802018251e1,
+        9.999983924919142e-1,
+        1.5348387761145752e1,
+    ),
+    (
+        "priority-class",
+        2,
+        1.6606115432900002e0,
+        9.99999999828018e-1,
+        2.768048415734e-1,
+    ),
+    (
+        "priority-class",
+        4,
+        6.139309802018251e1,
+        9.999984037139045e-1,
+        1.5348387761145752e1,
+    ),
+    (
+        "fifo",
+        2,
+        1.6606115432900002e0,
+        9.99999999828018e-1,
+        2.768048415734e-1,
+    ),
+    (
+        "fifo",
+        4,
+        6.139309802018251e1,
+        9.999984037139045e-1,
+        1.5348387761145752e1,
     ),
 ];
 
@@ -249,6 +334,50 @@ fn arrival_aware_trainer_accounting_matches_goldens() {
     }
 }
 
+#[test]
+fn fleet_reports_match_goldens() {
+    let mut golden = FLEET_GOLDENS.iter();
+    for policy in SharePolicy::ALL {
+        for count in [2usize, 4] {
+            let &(name, jobs, makespan, fairness, p99) =
+                golden.next().expect("golden table out of sync");
+            assert_eq!(name, policy.as_str(), "golden table out of sync");
+            assert_eq!(jobs, count, "golden table out of sync");
+            let label = format!("{policy} {count}-job fleet");
+            let report = FleetScheduler::new(ClusterConfig::paper_dedicated(), policy)
+                .simulate(&fleet_jobs(count));
+            assert_close(
+                report.fleet_makespan(),
+                makespan,
+                &format!("{label} makespan"),
+            );
+            assert_close(
+                report.fairness_index(),
+                fairness,
+                &format!("{label} fairness"),
+            );
+            assert_close(report.p99_latency(), p99, &format!("{label} p99 latency"));
+            // Structural sanity alongside the pinned values: the shared link
+            // is work-conserving, and Jain's index lands in (0, 1].
+            assert_close(
+                report.link_busy_seconds,
+                report.total_wire_seconds,
+                &format!("{label} link work conservation"),
+            );
+            let jain = report.fairness_index();
+            assert!(
+                jain > 0.0 && jain <= 1.0 + 1e-12,
+                "{label} Jain index {jain}"
+            );
+        }
+    }
+    // Fair-sharing the wire never loses to running the fleet one job at a
+    // time on a dedicated cluster.
+    let scheduler = FleetScheduler::new(ClusterConfig::paper_dedicated(), SharePolicy::FairShare);
+    let jobs = fleet_jobs(4);
+    assert!(scheduler.simulate(&jobs).fleet_end() <= scheduler.serialized_end(&jobs));
+}
+
 /// Regenerates the golden constants above (run with `--ignored --nocapture`).
 #[test]
 #[ignore = "golden generator, not a regression test"]
@@ -279,6 +408,17 @@ fn dump_goldens() {
     for (name, cluster) in clusters() {
         let (pipelined, charged) = arrival_aware_trainer_overheads(cluster);
         println!("    (\"{name}\", {pipelined:e}, {charged:e}),");
+    }
+    println!("];");
+    println!("const FLEET_GOLDENS: [(&str, usize, f64, f64, f64); 6] = [");
+    for policy in SharePolicy::ALL {
+        for count in [2usize, 4] {
+            let (makespan, fairness, p99) = fleet_metrics(policy, count);
+            println!(
+                "    (\"{}\", {count}, {makespan:e}, {fairness:e}, {p99:e}),",
+                policy.as_str()
+            );
+        }
     }
     println!("];");
 }

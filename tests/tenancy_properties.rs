@@ -1,0 +1,165 @@
+//! Property-test harness for the multi-tenant fleet simulator
+//! (`sidco_dist::tenancy`), over randomised clusters and job mixes (case
+//! count set by `PROPTEST_CASES`, default 256).
+//!
+//! The pinned invariants:
+//!
+//! 1. **Work conservation** — under every [`SharePolicy`] the shared link's
+//!    busy time equals the total wire demand the fleet presented: the
+//!    arbiter reorders work, it never loses or invents any.
+//! 2. **No starvation under fair share** — processor sharing serves every
+//!    pending request at rate ≥ `1/N`, so no job's makespan exceeds its
+//!    local work plus `N ×` its wire work.
+//! 3. **Single-job collapse** — a fleet of one is charged bit-for-bit what
+//!    the dedicated [`CollectiveScheduler::best_schedule`] path charges,
+//!    under every policy: tenancy is free until a second tenant shows up.
+//! 4. **Fair share beats serialization** — the fleet's last completion never
+//!    lands after running the same jobs one at a time, end to end, each with
+//!    the cluster to itself.
+
+use proptest::prelude::*;
+use sidco::prelude::*;
+use sidco_dist::collective::modeled_bucket_costs;
+use sidco_dist::schedule::pack_layers;
+use sidco_dist::tenancy::{FleetScheduler, JobSpec, SharePolicy};
+use sidco_dist::trainer::COMPUTE_COST_PER_EXAMPLE_ELEMENT;
+
+const BENCHMARKS: [BenchmarkId; 3] = [
+    BenchmarkId::ResNet20Cifar10,
+    BenchmarkId::Vgg16Cifar10,
+    BenchmarkId::LstmPtb,
+];
+
+fn cluster_strategy() -> impl Strategy<Value = ClusterConfig> {
+    (0..3usize, 1..5usize).prop_map(|(testbed, engine_workers)| {
+        let base = match testbed {
+            0 => ClusterConfig::paper_dedicated(),
+            1 => ClusterConfig::paper_two_tier(),
+            _ => ClusterConfig::paper_shared_multi_gpu(),
+        };
+        base.with_engine_workers(engine_workers)
+    })
+}
+
+fn job_strategy() -> impl Strategy<Value = JobSpec> {
+    // The vendored proptest implements `Strategy` for tuples up to arity 4,
+    // so the seven knobs nest as (workload, schedule) pairs.
+    (
+        (
+            0..BENCHMARKS.len(),
+            prop_oneof![3 => 0.0f64..0.25, 1 => Just(0.0f64)],
+            1e-3f64..0.05,
+            1..5usize,
+        ),
+        (1..4usize, 0..4usize, 4..10usize),
+    )
+        .prop_map(
+            |((bench, arrival, delta, iterations), (streams, class, buckets))| {
+                JobSpec::new(format!("job-{bench}"), BENCHMARKS[bench], delta)
+                    .with_arrival(arrival)
+                    .with_iterations(iterations)
+                    .with_streams(streams)
+                    .with_priority_class(class)
+                    .with_buckets(buckets)
+            },
+        )
+}
+
+fn fleet_strategy() -> impl Strategy<Value = (ClusterConfig, Vec<JobSpec>)> {
+    (
+        cluster_strategy(),
+        prop::collection::vec(job_strategy(), 1..4),
+    )
+}
+
+proptest! {
+    /// Invariant 1: the link is work-conserving under every policy.
+    #[test]
+    fn every_policy_conserves_link_work(fleet in fleet_strategy()) {
+        let (cluster, jobs) = fleet;
+        for policy in SharePolicy::ALL {
+            let report = FleetScheduler::new(cluster.clone(), policy).simulate(&jobs);
+            let tol = 1e-9 * report.total_wire_seconds.abs().max(1e-30);
+            prop_assert!(
+                (report.link_busy_seconds - report.total_wire_seconds).abs() <= tol,
+                "{policy}: link busy {} != total wire demand {}",
+                report.link_busy_seconds,
+                report.total_wire_seconds
+            );
+        }
+    }
+
+    /// Invariant 2: fair share never starves a tenant — every job finishes
+    /// within its local work plus `N ×` its wire work.
+    #[test]
+    fn fairshare_never_starves(fleet in fleet_strategy()) {
+        let (cluster, jobs) = fleet;
+        let report = FleetScheduler::new(cluster, SharePolicy::FairShare).simulate(&jobs);
+        let n = jobs.len() as f64;
+        for outcome in &report.jobs {
+            let bound = outcome.local_seconds + n * outcome.wire_seconds;
+            prop_assert!(
+                outcome.makespan() <= bound * (1.0 + 1e-9),
+                "{}: makespan {} exceeds the no-starvation bound {bound}",
+                outcome.name,
+                outcome.makespan()
+            );
+        }
+    }
+
+    /// Invariant 3: a fleet of one is charged bit-for-bit what the dedicated
+    /// `best_schedule` path charges, under every policy.
+    #[test]
+    fn single_job_fleet_charges_bitwise_like_best_schedule(
+        solo in (cluster_strategy(), job_strategy())
+    ) {
+        let (cluster, job) = solo;
+        // Independent reconstruction of the dedicated charge, straight from
+        // the single-job machinery (stages = 2, the SIDCo estimation
+        // pipeline the fleet prices with).
+        let bench = job.benchmark.spec();
+        let layout = pack_layers(
+            &bench.representative_layer_sizes(),
+            bench.parameters.div_ceil(job.buckets),
+        );
+        let costs = modeled_bucket_costs(&cluster, job.compressor, job.delta, 2, &layout);
+        let makespan = CollectiveScheduler::new(job.streams, job.policy)
+            .best_schedule(&costs)
+            .makespan();
+        let compute = COMPUTE_COST_PER_EXAMPLE_ELEMENT
+            * bench.per_worker_batch as f64
+            * bench.parameters as f64;
+        let dedicated = compute + makespan;
+
+        for policy in SharePolicy::ALL {
+            let report =
+                FleetScheduler::new(cluster.clone(), policy).simulate(std::slice::from_ref(&job));
+            let outcome = &report.jobs[0];
+            prop_assert_eq!(outcome.charges.len(), job.iterations);
+            for &charge in &outcome.charges {
+                prop_assert!(
+                    charge.to_bits() == dedicated.to_bits(),
+                    "{policy}: solo charge {charge} must be bit-for-bit the dedicated {dedicated}"
+                );
+            }
+            for &delta in &outcome.deltas {
+                prop_assert_eq!(delta.to_bits(), job.delta.to_bits());
+            }
+        }
+    }
+
+    /// Invariant 4: fair-sharing the cluster never loses to serializing the
+    /// jobs end-to-end on a dedicated cluster.
+    #[test]
+    fn fairshare_never_loses_to_serializing(fleet in fleet_strategy()) {
+        let (cluster, jobs) = fleet;
+        let scheduler = FleetScheduler::new(cluster, SharePolicy::FairShare);
+        let report = scheduler.simulate(&jobs);
+        let serialized = scheduler.serialized_end(&jobs);
+        prop_assert!(
+            report.fleet_end() <= serialized * (1.0 + 1e-9),
+            "fleet end {} after serialized end {serialized}",
+            report.fleet_end()
+        );
+    }
+}
