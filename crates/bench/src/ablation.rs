@@ -70,6 +70,8 @@ pub fn delta1(scale: Scale) -> String {
     );
     for &d1 in &[0.05, 0.1, 0.25, 0.5, 0.75] {
         let est = multi_stage_threshold(&grad, SidKind::Exponential, delta, d1, 2)
+            // INVARIANT: synthetic gradients are dense and non-constant, so
+            // threshold estimation cannot degenerate.
             .expect("non-degenerate gradient");
         table.row(&[
             d1.to_string(),
@@ -188,6 +190,8 @@ pub fn pot_refit(scale: Scale) -> String {
         let grad = gradient(profile, dim, 47);
         let single = exponential_threshold(&grad, delta);
         let multi = multi_stage_threshold(&grad, SidKind::Exponential, delta, 0.25, 3)
+            // INVARIANT: synthetic gradients are dense and non-constant, so
+            // threshold estimation cannot degenerate.
             .expect("non-degenerate gradient");
         table.row(&[
             profile.to_string(),
@@ -225,6 +229,8 @@ pub fn describe_stages(delta: f64) -> String {
     }
     let est = compressor
         .estimate_threshold(&grad, delta)
+        // INVARIANT: synthetic gradients are dense and non-constant, so
+        // threshold estimation cannot degenerate.
         .expect("non-degenerate gradient");
     let mut table = Table::new(
         format!("SIDCo-E stage thresholds at δ = {delta}"),

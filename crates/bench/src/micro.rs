@@ -92,6 +92,8 @@ pub fn fig1(scale: Scale) -> String {
     for kind in FIG1_SCHEMES.iter().skip(1) {
         let mut cells = vec![kind.label().to_string()];
         for &delta in &RATIOS {
+            // INVARIANT: the `.skip(1)` above drops CompressorKind::None, the
+            // only kind build_compressor rejects.
             let mut compressor = build_compressor(*kind, 0).expect("compressed scheme");
             let mut achieved = 0.0;
             let reps = scale.pick(6, 12);
@@ -213,6 +215,8 @@ pub fn fig16_17(scale: Scale) -> String {
                 CompressorKind::GaussianKSgd,
                 CompressorKind::Sidco(SidKind::Exponential),
             ] {
+                // INVARIANT: the list above never contains
+                // CompressorKind::None, the only kind build_compressor rejects.
                 let mut compressor = build_compressor(kind, 0).expect("compressed scheme");
                 compressor.compress(grad.as_slice(), delta);
                 let start = Instant::now();

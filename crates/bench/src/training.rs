@@ -73,6 +73,8 @@ fn train(
             ModelTrainer::uncompressed(Arc::clone(model), cluster, config).run(1.0)
         }
         _ => ModelTrainer::new(Arc::clone(model), cluster, config, || {
+            // INVARIANT: the None arm was matched above, and None is the only
+            // kind build_compressor rejects.
             build_compressor(kind, 3).expect("compressed scheme")
         })
         .run(delta),

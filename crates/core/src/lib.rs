@@ -41,9 +41,6 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-// Threshold guards are written `!(x > 0.0)` on purpose: unlike `x <= 0.0`, the
-// negated form also routes NaN (degenerate estimates) to the fallback path.
-#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod auto_sid;
 pub mod compressor;

@@ -521,6 +521,8 @@ impl CollectiveScheduler {
                 }
             }
             if link_done {
+                // INVARIANT: link_done is only set while a transfer occupies
+                // the link, so `current` is necessarily populated here.
                 let cur = current.expect("link completion without an active transfer");
                 if let Some(segment) = entries[cur].segments.last_mut() {
                     segment.end = t;

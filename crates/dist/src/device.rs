@@ -153,7 +153,7 @@ impl DeviceProfile {
             // hierarchically re-select the survivors (~2·k of them).
             CompressorKind::Dgc => {
                 let sample = (dim / 100).max(256).min(dim);
-                let survivors = ((2.0 * delta * d) as usize).max(1);
+                let survivors = projected_survivors(2.0 * delta, dim);
                 self.select_with(sample, w)
                     + self.select_with(survivors, w)
                     + 2.0 * self.pass_with(dim, w)
@@ -167,6 +167,8 @@ impl DeviceProfile {
             CompressorKind::Sidco(_) => {
                 let stages = stages.max(1);
                 // First-stage ratio δ₁ = 0.25 bounds every refit's input.
+                // INVARIANT: `s < stages` and stage counts are tiny (≤ 64 by
+                // construction), so the usize→i32 exponent cast cannot wrap.
                 let refit_elements: f64 = (1..stages).map(|s| d * 0.25f64.powi(s as i32)).sum();
                 self.pass_with(dim, w)
                     + self.pass_cost * refit_elements / w as f64
@@ -256,6 +258,24 @@ impl DeviceProfile {
         }
         self.compression_time(CompressorKind::TopK, dim, delta, 1) / own
     }
+}
+
+/// Number of elements a selection stage at ratio `ratio` keeps out of `dim`,
+/// at least one. Guarded in the `projected_payload_bytes` style: a NaN or
+/// negative ratio panics instead of the bare `as` cast silently saturating it
+/// to a zero-element (free) stage.
+///
+/// # Panics
+///
+/// Panics if `ratio` is NaN or negative.
+fn projected_survivors(ratio: f64, dim: usize) -> usize {
+    assert!(
+        !ratio.is_nan() && ratio >= 0.0,
+        "selection ratio must be non-negative, got {ratio}"
+    );
+    // INVARIANT: the product is finite and non-negative here, and `dim`
+    // bounds it, so the cast cannot saturate.
+    ((ratio * dim as f64) as usize).clamp(1, dim.max(1))
 }
 
 #[cfg(test)]

@@ -187,8 +187,12 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted = samples.to_vec();
+    // INVARIANT: NaN samples are a caller bug — the documented panic above —
+    // so the comparison itself is total on what remains.
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile"));
     let position = q * (sorted.len() - 1) as f64;
+    // INVARIANT: q ∈ [0, 1] (asserted above), so 0 ≤ position ≤ len-1 and
+    // both bounds fit usize exactly.
     let low = position.floor() as usize;
     let high = position.ceil() as usize;
     if low == high {

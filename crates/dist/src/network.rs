@@ -228,6 +228,8 @@ impl HierarchicalTopology {
                 .iter()
                 .min()
                 .copied()
+                // INVARIANT: with_node_nics rejects empty NIC vectors at
+                // construction, so a minimum always exists.
                 .expect("with_node_nics rejects empty vectors")
                 as usize,
             None => self.nics_per_node,
@@ -282,6 +284,8 @@ impl HierarchicalTopology {
             0.0
         };
         // Each worker all-reduces its 1/g shard across the nodes.
+        // INVARIANT: g ≥ 1 and bytes is a usize, so the quotient is finite,
+        // non-negative, and no larger than `bytes` — the cast cannot saturate.
         let shard = (bytes as f64 / g).ceil() as usize;
         intra_phases + self.inter_effective().allreduce_dense(shard, self.nodes)
     }

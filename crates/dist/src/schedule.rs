@@ -198,6 +198,8 @@ pub fn auto_bucket_layout(
             best = Some((makespan, layout));
         }
     }
+    // INVARIANT: the candidate loop always runs at least once (bucket counts
+    // start at 1), so a best layout exists.
     best.expect("at least one candidate layout").1
 }
 

@@ -543,6 +543,8 @@ impl FleetScheduler {
                 continue;
             }
 
+            // INVARIANT: the loop only reaches here when no compute event
+            // fired, and jobs still pending guarantee an in-flight transfer.
             let (wire_t, idx) = wire_candidate.expect("progress requires a wire completion");
             debug_assert!(wire_t <= now);
             let done = pending.remove(idx);
@@ -585,6 +587,7 @@ impl FleetScheduler {
         order.sort_by(|&a, &b| {
             jobs[a]
                 .arrival
+                // INVARIANT: arrivals are validated finite at job admission.
                 .partial_cmp(&jobs[b].arrival)
                 .expect("NaN arrival")
                 .then(a.cmp(&b))
@@ -772,6 +775,8 @@ impl FleetScheduler {
             SharePolicy::Fifo => (0..pending.len()).min_by(|&a, &b| {
                 pending[a]
                     .ready_at
+                    // INVARIANT: ready times are sums of finite arrivals and
+                    // finite service times, never NaN.
                     .partial_cmp(&pending[b].ready_at)
                     .expect("NaN ready time")
                     .then(pending[a].job.cmp(&pending[b].job))
@@ -792,14 +797,18 @@ impl FleetScheduler {
                     .min_by(|&a, &b| {
                         pending[a]
                             .remaining
+                            // INVARIANT: remainders start from finite payload
+                            // sizes and only shrink by finite steps.
                             .partial_cmp(&pending[b].remaining)
                             .expect("NaN remaining")
                             .then(pending[a].job.cmp(&pending[b].job))
                     })
+                    // INVARIANT: pending was checked non-empty above.
                     .expect("non-empty");
                 Some((now + pending[idx].remaining * n, idx))
             }
             SharePolicy::PriorityClass | SharePolicy::Fifo => {
+                // INVARIANT: pending was checked non-empty above.
                 let idx = self.served_index(pending).expect("non-empty");
                 Some((now + pending[idx].remaining, idx))
             }
@@ -822,6 +831,7 @@ impl FleetScheduler {
                 }
             }
             SharePolicy::PriorityClass | SharePolicy::Fifo => {
+                // INVARIANT: pending was checked non-empty above.
                 let idx = self.served_index(pending).expect("non-empty");
                 pending[idx].remaining -= dt;
             }

@@ -1,0 +1,688 @@
+//! `sidco-lint`: the workspace's own source lint pass.
+//!
+//! Five rules encode conventions this codebase has converged on and that
+//! rustc/clippy cannot enforce (run as `cargo run -p sidco-lint`; CI gates on
+//! a clean pass):
+//!
+//! 1. **`unwrap-invariant`** — no `.unwrap()` / `.expect(…)` in non-test
+//!    code without justification. An `.expect` whose message mentions
+//!    `poisoned` is the documented lock-poisoning convention and passes;
+//!    anything else needs an `// INVARIANT: …` comment on the line or just
+//!    above it stating why the failure is impossible.
+//! 2. **`dist-cast-guard`** — float→integer `as` casts in `crates/dist`
+//!    (the simulator computes byte counts and chunk sizes from float rates)
+//!    must go through a guarded helper or carry an `// INVARIANT:` comment
+//!    bounding the value — `as` silently saturates NaN to 0 and truncates,
+//!    which turned real modelling bugs into silent zeros before
+//!    `projected_payload_bytes` established the guarded pattern.
+//! 3. **`sim-wallclock`** — no `Instant::now` / `SystemTime` in
+//!    `crates/dist`: simulated time is the only clock there, and wall-clock
+//!    reads make runs nondeterministic.
+//! 4. **`ordering-justification`** — every explicit atomic
+//!    `Ordering::…` choice carries a nearby comment justifying it
+//!    (mentioning the ordering, the fence/lock pairing, or that the value is
+//!    a pure observation).
+//! 5. **`safety-comment`** — every `unsafe` block or function has a
+//!    `// SAFETY: …` comment just above it.
+//!
+//! The scanner is deliberately *textual*, not syntactic: it strips string
+//! literals and comments with a small state machine (so rule patterns inside
+//! strings or docs don't fire), tracks `#[cfg(test)]` regions by brace
+//! depth, and classifies whole files as test code by path (`tests/`,
+//! `benches/`, `examples/`). That keeps it dependency-free and fast — the
+//! cost is that it lints the written convention, not the AST; the few
+//! heuristics are documented on [`strip`].
+
+use std::path::{Path, PathBuf};
+
+/// One line of source split into the three channels the rules care about.
+#[derive(Debug, Default, Clone)]
+pub struct StrippedLine {
+    /// Code with string-literal contents and comments removed.
+    pub code: String,
+    /// Contents of comments on this line (line, block, and doc comments).
+    pub comment: String,
+    /// Contents of string literals on this line.
+    pub strings: String,
+}
+
+#[derive(Clone, Copy)]
+enum State {
+    Code,
+    /// Nested block-comment depth (Rust block comments nest).
+    Block(u32),
+    Line,
+    Str,
+    /// Raw string, with the number of `#`s that close it.
+    RawStr(u32),
+    Char,
+}
+
+/// Splits `source` into per-line code/comment/string channels.
+///
+/// Heuristics (documented limitations of the textual approach):
+/// * A `'` starts a char literal only when followed by an escape or by
+///   `X'` — otherwise it is treated as a lifetime.
+/// * Raw strings support any number of `#`s; raw identifiers (`r#match`) are
+///   recognised by the missing quote.
+pub fn strip(source: &str) -> Vec<StrippedLine> {
+    let mut lines = Vec::new();
+    let mut current = StrippedLine::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::Line) {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut current));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::Line;
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::Block(1);
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        current.code.push('"');
+                        state = State::Str;
+                    }
+                    'r' | 'b' => {
+                        // Possible raw/byte string start: r", br", r#", …
+                        let mut j = i + 1;
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let prev_ident =
+                            i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+                        if !prev_ident && chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1) {
+                            for &cc in &chars[i..=j] {
+                                current.code.push(cc);
+                            }
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                        current.code.push(c);
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime.
+                        let is_char = matches!(
+                            (next, chars.get(i + 2).copied()),
+                            (Some('\\'), _) | (Some(_), Some('\''))
+                        );
+                        current.code.push('\'');
+                        if is_char {
+                            state = State::Char;
+                        }
+                    }
+                    _ => current.code.push(c),
+                }
+            }
+            State::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                current.comment.push(c);
+            }
+            State::Line => current.comment.push(c),
+            State::Str => match c {
+                '\\' => {
+                    if let Some(&esc) = chars.get(i + 1) {
+                        if esc != '\n' {
+                            current.strings.push(esc);
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    current.code.push('"');
+                    state = State::Code;
+                }
+                _ => current.strings.push(c),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closes = (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closes {
+                        current.code.push('"');
+                        for _ in 0..hashes {
+                            current.code.push('#');
+                        }
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                current.strings.push(c);
+            }
+            State::Char => {
+                if c == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    current.code.push('\'');
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    lines.push(current);
+    lines
+}
+
+/// Marks the lines covered by `#[cfg(test)]` items (the attribute line
+/// through the close of the item's brace block, or through the `;` of a
+/// braceless item).
+pub fn test_region_mask(lines: &[StrippedLine]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut region: Option<i64> = None; // brace depth once inside a region
+    let mut armed = false; // attribute seen, item body not yet entered
+    for (idx, line) in lines.iter().enumerate() {
+        if region.is_none() && !armed && line.code.contains("#[cfg(test)") {
+            armed = true;
+        }
+        if armed || region.is_some() {
+            mask[idx] = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        armed = false;
+                        region = Some(1);
+                    } else if let Some(depth) = region.as_mut() {
+                        *depth += 1;
+                    }
+                }
+                '}' => {
+                    if let Some(depth) = region.as_mut() {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            region = None;
+                        }
+                    }
+                }
+                ';' if armed => {
+                    // `#[cfg(test)] use …;` — a braceless item.
+                    armed = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+/// What the rules need to know about the file being scanned.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path, used in diagnostics.
+    pub path: String,
+    /// Whole file is test/bench/example code (by path) — rules 1 and 4 are
+    /// about production code and skip such files entirely.
+    pub is_test_file: bool,
+    /// File belongs to `crates/dist` (the simulator) — enables rules 2 and 3.
+    pub is_dist: bool,
+}
+
+impl FileContext {
+    /// Classifies a workspace-relative path.
+    pub fn classify(path: &str) -> Self {
+        let is_test_file = Path::new(path).components().any(|c| {
+            matches!(
+                c.as_os_str().to_str(),
+                Some("tests" | "benches" | "examples")
+            )
+        });
+        Self {
+            path: path.to_string(),
+            is_test_file,
+            is_dist: path.contains("crates/dist/"),
+        }
+    }
+}
+
+/// One finding: file, 1-based line, rule id, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (e.g. `unwrap-invariant`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the expected fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Does any comment in `lines[lo..=hi]` contain `needle`?
+fn comment_window(lines: &[StrippedLine], hi: usize, span: usize, needle: &str) -> bool {
+    let lo = hi.saturating_sub(span);
+    lines[lo..=hi].iter().any(|l| l.comment.contains(needle))
+}
+
+/// Case-insensitive keyword search over the comment window.
+fn comment_window_any(lines: &[StrippedLine], hi: usize, span: usize, keys: &[&str]) -> bool {
+    let lo = hi.saturating_sub(span);
+    lines[lo..=hi].iter().any(|l| {
+        let lower = l.comment.to_lowercase();
+        keys.iter().any(|k| lower.contains(k))
+    })
+}
+
+/// `needle` present in `code` at a word boundary on both sides.
+fn word_in(code: &str, needle: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let left_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let right_ok =
+            end == code.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+const INVARIANT_TAG: &str = "INVARIANT:";
+const SAFETY_TAG: &str = "SAFETY:";
+/// How far above a flagged line a justification comment may sit.
+const INVARIANT_SPAN: usize = 3;
+const SAFETY_SPAN: usize = 6;
+const ORDERING_SPAN: usize = 6;
+
+/// Words any of which justify an explicit atomic `Ordering` choice when they
+/// appear in a nearby comment (case-insensitive). Deliberately generous: the
+/// rule exists to force *a* stated reason, not to grade it.
+const ORDERING_KEYS: &[&str] = &[
+    "order", "relax", "seqcst", "acquire", "release", "acqrel", "fence", "atomic", "synchron",
+    "lock", "observ", "race", "monoton",
+];
+
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+const FLOAT_MARKERS: &[&str] = &["f64", "f32", ".ceil()", ".floor()", ".round()", ".trunc()"];
+
+/// Does the code contain a float literal (`digit . digit`)? Tuple indexing
+/// (`x.0`) and ranges (`0..n`) don't match — the dot must sit between two
+/// digits.
+fn has_float_literal(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    bytes
+        .windows(3)
+        .any(|w| w[1] == b'.' && w[0].is_ascii_digit() && w[2].is_ascii_digit())
+}
+const INT_CASTS: &[&str] = &[
+    "as usize", "as u64", "as u32", "as u16", "as u8", "as isize", "as i64", "as i32",
+];
+
+/// Runs every rule over one file and returns its violations in line order.
+pub fn scan_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
+    let lines = strip(source);
+    let mask = test_region_mask(&lines);
+    let mut out = Vec::new();
+    let mut violation = |line: usize, rule: &'static str, message: String| {
+        out.push(Violation {
+            file: ctx.path.clone(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    };
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let in_test = ctx.is_test_file || mask[i];
+
+        // Rule 1: unwrap/expect in production code.
+        if !in_test {
+            let has_invariant = comment_window(&lines, i, INVARIANT_SPAN, INVARIANT_TAG);
+            if code.contains(".unwrap()") && !has_invariant {
+                violation(
+                    i,
+                    "unwrap-invariant",
+                    "`.unwrap()` in non-test code — use `.expect(\"… poisoned\")` for lock \
+                     poisoning, or add an `// INVARIANT:` comment stating why this cannot fail"
+                        .to_string(),
+                );
+            }
+            if code.contains(".expect(") && !has_invariant {
+                // The message may sit on this line or wrap onto the next.
+                let text: String = lines[i..(i + 3).min(lines.len())]
+                    .iter()
+                    .map(|l| l.strings.as_str())
+                    .collect();
+                if !text.contains("poisoned") {
+                    violation(
+                        i,
+                        "unwrap-invariant",
+                        "`.expect(…)` in non-test code without the lock-poisoning convention — \
+                         mention `poisoned` in the message or add an `// INVARIANT:` comment"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        // Rule 2: float→int casts in the simulator.
+        if ctx.is_dist
+            && !in_test
+            && INT_CASTS.iter().any(|c| code.contains(c))
+            && (FLOAT_MARKERS.iter().any(|m| code.contains(m)) || has_float_literal(code))
+            && !comment_window(&lines, i, INVARIANT_SPAN, INVARIANT_TAG)
+        {
+            violation(
+                i,
+                "dist-cast-guard",
+                "float→integer `as` cast in crates/dist — route through a guarded helper \
+                 (see `projected_payload_bytes`) or add an `// INVARIANT:` comment bounding \
+                 the value (`as` saturates NaN to 0 and truncates silently)"
+                    .to_string(),
+            );
+        }
+
+        // Rule 3: wall-clock reads in the simulator.
+        if ctx.is_dist && !in_test && (code.contains("Instant::now") || word_in(code, "SystemTime"))
+        {
+            violation(
+                i,
+                "sim-wallclock",
+                "wall-clock read in crates/dist — the simulator's virtual clock is the only \
+                 time source; wall-clock reads make runs nondeterministic"
+                    .to_string(),
+            );
+        }
+
+        // Rule 4: atomic ordering choices must be justified.
+        if !in_test
+            && ATOMIC_ORDERINGS.iter().any(|o| code.contains(o))
+            && !comment_window_any(&lines, i, ORDERING_SPAN, ORDERING_KEYS)
+        {
+            violation(
+                i,
+                "ordering-justification",
+                "explicit atomic `Ordering` without a nearby justification comment — state \
+                 what the ordering pairs with (fence, lock, release/acquire edge) or that \
+                 the value is a pure observation"
+                    .to_string(),
+            );
+        }
+
+        // Rule 5: unsafe needs a SAFETY comment (test code included — an
+        // unsound test is still unsound).
+        if word_in(code, "unsafe") && !comment_window(&lines, i, SAFETY_SPAN, SAFETY_TAG) {
+            violation(
+                i,
+                "safety-comment",
+                "`unsafe` without a `// SAFETY:` comment just above it".to_string(),
+            );
+        }
+    }
+    out
+}
+
+/// Recursively collects the `.rs` files under `root`, skipping build output
+/// and VCS metadata, in sorted order (stable diagnostics).
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scans every `.rs` file under `root` and returns all violations, sorted by
+/// file then line.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        let ctx = FileContext::classify(&rel);
+        all.extend(scan_file(&ctx, &source));
+    }
+    all.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prod(path: &str) -> FileContext {
+        FileContext::classify(path)
+    }
+
+    fn rules(path: &str, src: &str) -> Vec<&'static str> {
+        scan_file(&prod(path), src)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn stripper_separates_code_comments_and_strings() {
+        let src = "let x = \"a // not comment\"; // real: .unwrap()\nlet y = 'a';";
+        let lines = strip(src);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].code.contains("let x = \"\";"));
+        assert!(lines[0].comment.contains("real: .unwrap()"));
+        assert!(lines[0].strings.contains("a // not comment"));
+        assert!(lines[1].code.contains("let y = '';"));
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings_block_comments_and_lifetimes() {
+        let src = "let r = r#\"as usize .unwrap()\"#; /* outer /* nested */ still */ fn f<'a>(x: &'a str) {}";
+        let lines = strip(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].strings.contains("as usize .unwrap()"));
+        assert!(lines[0].comment.contains("nested"));
+        assert!(lines[0].comment.contains("still"));
+        assert!(lines[0].code.contains("fn f<'a>(x: &'a str) {}"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_masked_by_brace_depth() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}";
+        let lines = strip(src);
+        let mask = test_region_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn unwrap_rule_fires_and_is_suppressed() {
+        let bad = "fn f() { x.unwrap(); }";
+        assert_eq!(rules("crates/x/src/a.rs", bad), vec!["unwrap-invariant"]);
+        let invariant = "// INVARIANT: x was just inserted above\nfn f() { x.unwrap(); }";
+        assert!(rules("crates/x/src/a.rs", invariant).is_empty());
+        let poisoned = "fn f() { m.lock().expect(\"state poisoned\"); }";
+        assert!(rules("crates/x/src/a.rs", poisoned).is_empty());
+        let bare_expect = "fn f() { x.expect(\"always works\"); }";
+        assert_eq!(
+            rules("crates/x/src/a.rs", bare_expect),
+            vec!["unwrap-invariant"]
+        );
+        // Test code by path or region is exempt.
+        assert!(rules("crates/x/tests/a.rs", bad).is_empty());
+        let in_test_mod = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}";
+        assert!(rules("crates/x/src/a.rs", in_test_mod).is_empty());
+        // unwrap_or_else is not unwrap.
+        assert!(rules("crates/x/src/a.rs", "fn f() { x.unwrap_or_else(g); }").is_empty());
+    }
+
+    #[test]
+    fn expect_message_may_wrap_to_the_next_line() {
+        let wrapped = "fn f() {\n m.lock().expect(\n  \"sleep lock poisoned\",\n ); }";
+        assert!(rules("crates/x/src/a.rs", wrapped).is_empty());
+    }
+
+    #[test]
+    fn dist_cast_rule_is_scoped_to_dist_and_float_sources() {
+        let bad = "let n = (bytes as f64 / rate).ceil() as usize;";
+        assert_eq!(rules("crates/dist/src/a.rs", bad), vec!["dist-cast-guard"]);
+        // Same code outside crates/dist: not this rule's business.
+        assert!(rules("crates/core/src/a.rs", bad).is_empty());
+        // Integer-to-integer casts in dist are fine.
+        assert!(rules("crates/dist/src/a.rs", "let n = k as usize;").is_empty());
+        // Bare float literals count as float sources too.
+        assert_eq!(
+            rules(
+                "crates/dist/src/a.rs",
+                "let n = (2.0 * delta * d) as usize;"
+            ),
+            vec!["dist-cast-guard"]
+        );
+        // …but tuple indexing and ranges are not float literals.
+        assert!(rules("crates/dist/src/a.rs", "let n = pair.0 as usize;").is_empty());
+        let guarded = "// INVARIANT: rate >= 1.0, so the quotient fits usize\nlet n = (bytes as f64 / rate).ceil() as usize;";
+        assert!(rules("crates/dist/src/a.rs", guarded).is_empty());
+    }
+
+    #[test]
+    fn wallclock_rule_fires_only_in_dist() {
+        let bad = "let t = std::time::Instant::now();";
+        assert_eq!(rules("crates/dist/src/a.rs", bad), vec!["sim-wallclock"]);
+        assert!(rules("crates/bench/src/a.rs", bad).is_empty());
+        assert_eq!(
+            rules("crates/dist/src/a.rs", "let t = SystemTime::now();"),
+            vec!["sim-wallclock"]
+        );
+        // Word boundary: `SystemTimeLike` is not `SystemTime`.
+        assert!(rules("crates/dist/src/a.rs", "struct SystemTimeLike;").is_empty());
+    }
+
+    #[test]
+    fn ordering_rule_wants_a_nearby_justification() {
+        let bad = "fn f() { c.fetch_add(1, Ordering::Relaxed); }";
+        assert_eq!(
+            rules("crates/x/src/a.rs", bad),
+            vec!["ordering-justification"]
+        );
+        let good = "// Relaxed: pure observation, nothing is inferred from the value\nfn f() { c.fetch_add(1, Ordering::Relaxed); }";
+        assert!(rules("crates/x/src/a.rs", good).is_empty());
+        // Plain `Ordering` imports and `cmp::Ordering` uses don't fire.
+        assert!(rules("crates/x/src/a.rs", "use std::sync::atomic::Ordering;").is_empty());
+        assert!(rules(
+            "crates/x/src/a.rs",
+            "fn f() -> Ordering { Ordering::Equal }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn safety_rule_requires_a_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }";
+        assert_eq!(rules("crates/x/src/a.rs", bad), vec!["safety-comment"]);
+        let good = "// SAFETY: g has no preconditions on this platform\nfn f() { unsafe { g() } }";
+        assert!(rules("crates/x/src/a.rs", good).is_empty());
+        // `unsafe_code` (the lint name) is not the keyword `unsafe`.
+        assert!(rules("crates/x/src/a.rs", "#![forbid(unsafe_code)]").is_empty());
+        // Unsafe in tests still needs a SAFETY comment.
+        assert_eq!(rules("crates/x/tests/a.rs", bad), vec!["safety-comment"]);
+    }
+
+    #[test]
+    fn violations_format_as_file_line_rule() {
+        let v = scan_file(&prod("crates/x/src/a.rs"), "fn f() { x.unwrap(); }");
+        assert_eq!(v.len(), 1);
+        let shown = v[0].to_string();
+        assert!(
+            shown.starts_with("crates/x/src/a.rs:1: [unwrap-invariant]"),
+            "got: {shown}"
+        );
+    }
+
+    #[test]
+    fn the_whole_workspace_is_clean() {
+        // The gate CI enforces, in unit-test form: every rule passes on every
+        // workspace source file (the binary does the same walk).
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root exists");
+        let violations = scan_workspace(root).expect("workspace scan reads all sources");
+        assert!(
+            violations.is_empty(),
+            "sidco-lint found {} violation(s):\n{}",
+            violations.len(),
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

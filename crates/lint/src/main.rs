@@ -1,0 +1,27 @@
+//! `cargo run -p sidco-lint [root]` — scan the workspace sources and exit
+//! nonzero if any rule fires. See the library docs for the rule list.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root_arg = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let root = Path::new(&root_arg);
+    let violations = match sidco_lint::scan_workspace(root) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("sidco-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for violation in &violations {
+        println!("{violation}");
+    }
+    if violations.is_empty() {
+        println!("sidco-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("sidco-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -227,12 +227,15 @@ impl BenchmarkSpec {
         // tiny hand-built specs) from the largest tensors, never below 1.
         let assigned: usize = sizes.iter().sum();
         if assigned <= self.parameters {
+            // INVARIANT: every benchmark spec declares at least one tensor.
             *sizes.last_mut().expect("at least one tensor") += self.parameters - assigned;
         } else {
             let mut excess = assigned - self.parameters;
             while excess > 0 {
                 let largest = (0..sizes.len())
                     .max_by_key(|&i| sizes[i])
+                    // INVARIANT: every benchmark spec declares at least one
+                    // tensor.
                     .expect("at least one tensor");
                 let take = excess.min(sizes[largest] - 1);
                 debug_assert!(take > 0, "tensor count exceeds the parameter total");

@@ -75,6 +75,8 @@ impl SoftmaxClassifier {
         logits
             .iter()
             .enumerate()
+            // INVARIANT: logits are dot products of finite weights and
+            // finite features, never NaN.
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
             .map(|(c, _)| c)
             .unwrap_or(0)

@@ -111,6 +111,8 @@ impl Mlp {
         probs
             .iter()
             .enumerate()
+            // INVARIANT: softmax outputs are finite by construction
+            // (inputs are shifted by the max logit), never NaN.
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
             .map(|(c, _)| c)
             .unwrap_or(0)

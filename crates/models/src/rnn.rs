@@ -99,6 +99,7 @@ impl ElmanRnn {
             }
             states.push(next);
         }
+        // INVARIANT: states starts seeded with the initial hidden state.
         let last = states.last().expect("at least the initial state");
         let prediction = w_o
             .iter()

@@ -137,6 +137,7 @@ impl SyntheticGradientGenerator {
         let scale = self.scale_at(iteration);
         let data: Vec<f32> = match self.profile {
             GradientProfile::LaplaceLike => {
+                // INVARIANT: scale_at returns strictly positive scales.
                 let d = Laplace::new(0.0, scale).expect("valid scale");
                 (0..self.dim)
                     .map(|_| d.sample(&mut self.rng) as f32)
@@ -144,18 +145,21 @@ impl SyntheticGradientGenerator {
             }
             GradientProfile::SparseGamma => {
                 let shape = self.shape_at(iteration);
+                // INVARIANT: shape_at and scale_at are strictly positive.
                 let d = DoubleGamma::new(shape, scale / shape).expect("valid parameters");
                 (0..self.dim)
                     .map(|_| d.sample(&mut self.rng) as f32)
                     .collect()
             }
             GradientProfile::HeavyTail => {
+                // INVARIANT: scale_at returns strictly positive scales.
                 let d = DoubleGeneralizedPareto::new(0.25, scale).expect("valid parameters");
                 (0..self.dim)
                     .map(|_| d.sample(&mut self.rng) as f32)
                     .collect()
             }
             GradientProfile::Gaussian => {
+                // INVARIANT: scale_at returns strictly positive scales.
                 let d = Normal::new(0.0, scale).expect("valid scale");
                 (0..self.dim)
                     .map(|_| d.sample(&mut self.rng) as f32)

@@ -32,6 +32,7 @@
 pub mod numa;
 pub mod pool;
 pub mod stats;
+pub(crate) mod sync;
 
 pub use numa::{NumaNode, NumaTopology};
 pub use pool::WorkStealing;

@@ -215,6 +215,49 @@ mod tests {
     }
 
     #[test]
+    fn cpulist_rejects_malformed_ranges() {
+        // Dangling or doubled separators are not silently truncated.
+        assert_eq!(parse_cpulist("1-"), None);
+        assert_eq!(parse_cpulist("-3"), None);
+        assert_eq!(parse_cpulist("0--3"), None);
+        assert_eq!(parse_cpulist("1-2-3"), None);
+        assert_eq!(parse_cpulist(" "), None);
+        assert_eq!(parse_cpulist(","), None);
+        assert_eq!(parse_cpulist("0,,1"), None);
+        // A degenerate range is one CPU, not zero.
+        assert_eq!(parse_cpulist("5-5"), Some(1));
+    }
+
+    #[test]
+    fn sysfs_parser_rejects_malformed_and_empty_trees() {
+        let dir = std::env::temp_dir().join(format!("sidco-numa-bad-{}", std::process::id()));
+
+        // A malformed cpulist poisons the whole detection, falling back to
+        // the synthetic topology rather than mis-counting CPUs.
+        let _ = fs::remove_dir_all(&dir);
+        let node = dir.join("node0");
+        fs::create_dir_all(&node).unwrap();
+        fs::write(node.join("cpulist"), "0-\n").unwrap();
+        assert_eq!(NumaTopology::from_sysfs(&dir), None);
+
+        // A node directory without a cpulist file is equally malformed.
+        fs::remove_file(node.join("cpulist")).unwrap();
+        assert_eq!(NumaTopology::from_sysfs(&dir), None);
+
+        // Nodes whose cpulist is empty hold zero CPUs; a tree with only
+        // such nodes has nothing to schedule on.
+        fs::write(node.join("cpulist"), "\n").unwrap();
+        assert_eq!(NumaTopology::from_sysfs(&dir), None);
+
+        // A directory with no node entries at all is not a NUMA tree.
+        fs::remove_dir_all(&node).unwrap();
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(NumaTopology::from_sysfs(&dir), None);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn detect_always_yields_a_usable_topology() {
         let topo = NumaTopology::detect();
         assert!(topo.nodes() >= 1);

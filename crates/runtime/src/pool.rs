@@ -31,11 +31,12 @@
 
 use crate::numa::NumaTopology;
 use crate::stats::{PoolStats, StatCells};
+use crate::sync::atomic::{fence, AtomicUsize, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex};
 use crate::Runtime;
 use crossbeam::deque::{Injector, Stealer, Worker};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::OnceLock;
 
 /// A unit of pool work: a contiguous range of chunk indices of one job.
 struct Task {
@@ -193,9 +194,11 @@ impl WorkStealing {
             for (id, deque) in deques.into_iter().enumerate() {
                 let shared = Arc::clone(&shared);
                 StatCells::bump(&shared.stats.threads_spawned);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("sidco-pool-{id}"))
                     .spawn(move || worker_loop(&shared, id, &deque))
+                    // INVARIANT: spawn only fails on OS resource exhaustion;
+                    // a pool that cannot start its workers cannot run at all.
                     .expect("failed to spawn pool worker");
             }
             shared
@@ -255,6 +258,8 @@ impl Runtime for WorkStealing {
             if range.is_empty() {
                 continue;
             }
+            // Relaxed: pure observation counter; readers take the sleep
+            // lock for cross-counter consistency (see `StatCells::snapshot`).
             shared.stats.socket_chunks[socket].fetch_add(range.len() as u64, Ordering::Relaxed);
             let pinned = shared
                 .worker_socket
@@ -329,7 +334,7 @@ fn worker_loop(shared: &Arc<PoolShared>, id: usize, deque: &Worker<Task>) {
                 // so we see the work here. Reading >0 makes it take the
                 // sleep lock and notify, which covers the waiting branch.
                 shared.sleepers.fetch_add(1, Ordering::SeqCst);
-                std::sync::atomic::fence(Ordering::SeqCst);
+                fence(Ordering::SeqCst);
                 if has_work(shared) {
                     shared.sleepers.fetch_sub(1, Ordering::SeqCst);
                     continue;
@@ -344,7 +349,11 @@ fn worker_loop(shared: &Arc<PoolShared>, id: usize, deque: &Worker<Task>) {
                     .currently_parked
                     .fetch_add(1, Ordering::Relaxed);
                 shutdown = shared.wake.wait(shutdown).expect("sleep lock poisoned");
+                // SeqCst: pairs with the SeqCst fence + sleepers load on the
+                // submit side, closing the park/submit race (eventcount).
                 shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                // Relaxed: gauge updated under the sleep lock; readers also
+                // hold it (see `WorkStealing::stats`).
                 shared
                     .stats
                     .currently_parked
@@ -444,6 +453,8 @@ fn execute(shared: &PoolShared, who: &Executor<'_>, task: Task) {
             *slot = Some(payload);
         }
     }
+    // AcqRel: the release publishes this task's writes to whoever takes the
+    // completion edge; the acquire makes the last decrementer see them all.
     if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
         *job.done.lock().expect("job lock poisoned") = true;
         job.done_cv.notify_all();
@@ -468,7 +479,7 @@ fn expose(shared: &PoolShared, who: &Executor<'_>, task: Task) {
     // SeqCst fence pair orders after our push. Only when a sleeper might be
     // waiting do we take the (pool-global) sleep lock to notify; this keeps
     // the per-split hot path lock-free while the pool is busy.
-    std::sync::atomic::fence(Ordering::SeqCst);
+    fence(Ordering::SeqCst);
     if shared.sleepers.load(Ordering::SeqCst) > 0 {
         let _guard = shared.sleep.lock().expect("sleep lock poisoned");
         shared.wake.notify_one();
@@ -527,10 +538,13 @@ mod tests {
         let pool = WorkStealing::new(2);
         let slots: Vec<Mutex<Option<u64>>> = (0..200).map(|_| Mutex::new(None)).collect();
         pool.run_indexed(200, &|i| {
-            *slots[i].lock().unwrap() = Some((i as u64) * 3);
+            *slots[i].lock().expect("slot lock poisoned") = Some((i as u64) * 3);
         });
         for (i, slot) in slots.iter().enumerate() {
-            assert_eq!(slot.lock().unwrap().unwrap(), (i as u64) * 3);
+            assert_eq!(
+                slot.lock().expect("slot lock poisoned").unwrap(),
+                (i as u64) * 3
+            );
         }
     }
 

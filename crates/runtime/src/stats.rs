@@ -2,7 +2,7 @@
 //! the lifecycle tests (spawn-once, steal traffic, park/unpark churn,
 //! per-socket placement).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Internal atomic counter cells. One instance lives inside the pool's shared
 /// state; every counter is monotone and updated with relaxed ordering (the
@@ -44,26 +44,28 @@ impl StatCells {
     }
 
     pub(crate) fn bump(counter: &AtomicU64) {
+        // Relaxed: pure observation — no reader infers anything about *other*
+        // memory from a counter value, so no ordering is needed.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> PoolStats {
+        // Relaxed: cross-counter consistency comes from the pool's sleep
+        // lock (held by the caller, see `WorkStealing::stats`), not from the
+        // loads themselves.
+        let read = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
         PoolStats {
-            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
-            jobs: self.jobs.load(Ordering::Relaxed),
-            chunks_executed: self.chunks.load(Ordering::Relaxed),
-            local_pops: self.local_pops.load(Ordering::Relaxed),
-            injector_pops: self.injector_pops.load(Ordering::Relaxed),
-            sibling_steals: self.sibling_steals.load(Ordering::Relaxed),
-            remote_steals: self.remote_steals.load(Ordering::Relaxed),
-            parks: self.parks.load(Ordering::Relaxed),
-            unparks: self.unparks.load(Ordering::Relaxed),
-            currently_parked: self.currently_parked.load(Ordering::Relaxed),
-            socket_chunks: self
-                .socket_chunks
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
+            threads_spawned: read(&self.threads_spawned),
+            jobs: read(&self.jobs),
+            chunks_executed: read(&self.chunks),
+            local_pops: read(&self.local_pops),
+            injector_pops: read(&self.injector_pops),
+            sibling_steals: read(&self.sibling_steals),
+            remote_steals: read(&self.remote_steals),
+            parks: read(&self.parks),
+            unparks: read(&self.unparks),
+            currently_parked: read(&self.currently_parked),
+            socket_chunks: self.socket_chunks.iter().map(read).collect(),
         }
     }
 }

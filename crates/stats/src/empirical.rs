@@ -27,6 +27,8 @@ impl EmpiricalCdf {
     /// Builds an empirical CDF from a sample; non-finite values are dropped.
     pub fn new(sample: &[f64]) -> Self {
         let mut sorted: Vec<f64> = sample.iter().copied().filter(|x| x.is_finite()).collect();
+        // INVARIANT: non-finite values were filtered out on the line
+        // above, so every comparison is total.
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
         Self { sorted }
     }

@@ -83,7 +83,8 @@ impl Laplace {
 
     /// The distribution of `|X - μ|`, an [`Exponential`] with the same scale.
     pub fn abs_distribution(&self) -> Exponential {
-        // `scale` was validated at construction, so this cannot fail.
+        // INVARIANT: `scale` was validated at construction, so this
+        // cannot fail.
         Exponential::new(self.scale).expect("validated scale")
     }
 }

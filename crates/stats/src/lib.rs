@@ -38,9 +38,6 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-// Estimator guards are written `!(x > 0.0)` on purpose: unlike `x <= 0.0`, the
-// negated form also routes NaN (degenerate moments) to the early-return path.
-#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod distribution;
 pub mod empirical;

@@ -61,6 +61,8 @@ pub fn stage_schedule(delta: f64, delta1: f64, stages: usize) -> Vec<f64> {
     }
     // Fix up rounding so the product is exactly delta.
     let product: f64 = schedule.iter().product();
+    // INVARIANT: stages >= 1 is asserted on entry, so the schedule has at
+    // least one entry.
     let last = schedule.last_mut().expect("non-empty schedule");
     *last *= delta / product;
     schedule
@@ -165,6 +167,7 @@ pub struct MultiStageEstimate {
 impl MultiStageEstimate {
     /// The final threshold to apply to the full gradient.
     pub fn final_threshold(&self) -> f64 {
+        // INVARIANT: estimation always records at least one stage.
         *self.thresholds.last().expect("at least one stage")
     }
 }

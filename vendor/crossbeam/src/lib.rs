@@ -13,6 +13,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Synchronisation facade: `std` normally, the vendored `loom` model-checker
+/// shims under `--cfg sidco_loom` — so the deque stub's lock acquisitions
+/// become schedule points the checker can interleave (exercised by
+/// `sidco-runtime`'s loom suite). Scoped threads stay on `std` either way:
+/// the loom suite drives the deques directly with simulated threads and never
+/// goes through `thread::scope`.
+mod sync {
+    #[cfg(not(sidco_loom))]
+    pub(crate) use std::sync::Mutex;
+
+    #[cfg(sidco_loom)]
+    pub(crate) use loom::sync::Mutex;
+}
+
 /// Scoped threads with crossbeam's calling convention.
 pub mod thread {
     use std::any::Any;
@@ -72,8 +86,9 @@ pub mod thread {
 /// [`Injector`](deque::Injector) is a shared FIFO queue for submitting work
 /// from outside the pool.
 pub mod deque {
+    use crate::sync::Mutex;
     use std::collections::VecDeque;
-    use std::sync::{Arc, Mutex};
+    use std::sync::Arc;
 
     /// The result of a steal attempt.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,498 @@
+//! Offline stand-in for the [`loom`](https://crates.io/crates/loom)
+//! concurrency model checker, in the same spirit as the other `vendor/`
+//! stubs (no registry access in this build environment): the subset of the
+//! API this workspace needs — [`sync::Mutex`], [`sync::Condvar`],
+//! [`sync::Arc`], [`sync::atomic`], [`thread`] and [`model`] — driven by a
+//! deterministic scheduler instead of loom's permutation engine.
+//!
+//! # How checking works
+//!
+//! [`model`] runs a closure many times. Each run ("execution") spawns the
+//! closure's threads as real OS threads but serialises them: exactly one
+//! simulated thread is awake at a time, and control changes hands only at
+//! *schedule points* — mutex acquires, condvar waits/notifies, non-`Relaxed`
+//! atomic operations, fences, spawns, joins and yields. An execution is
+//! therefore deterministic given the sequence of scheduling choices, and the
+//! driver enumerates those sequences:
+//!
+//! * **Bounded exhaustive DFS** — the first execution always lets the running
+//!   thread continue; every point where more than one thread could have run
+//!   is recorded as a branch, and the driver backtracks through the recorded
+//!   branches depth-first until the space is exhausted. Switching away from a
+//!   thread that could have continued counts against a **preemption bound**
+//!   ([`Builder::preemption_bound`], default 2) — the classic reduction:
+//!   almost all real concurrency bugs manifest within two preemptions, and
+//!   the bound turns an exponential schedule space into a polynomial one.
+//! * **Seeded random-walk fallback** — if the DFS has not finished within
+//!   [`Builder::max_branches`] executions (deep states), the driver runs
+//!   [`Builder::random_walks`] further executions picking uniformly among the
+//!   enabled threads with a seeded LCG, then reports
+//!   [`Report::complete`]` == false`.
+//!
+//! A *failure* is any of: a simulated thread panicking (assertion in the test
+//! closure or the code under test), a **deadlock** (no thread runnable while
+//! some are blocked — this is how lost wakeups surface: the parked thread
+//! waits on a condvar no one will ever signal), or an execution exceeding
+//! [`Builder::max_steps`] schedule points (livelock). On failure [`model`]
+//! panics with the thread states and the branch trace of the failing
+//! schedule.
+//!
+//! # Scope and soundness
+//!
+//! The exploration is **sequentially consistent**: weak-memory reorderings
+//! are not modelled, so the checker is exhaustive only for protocols that
+//! synchronise through locks, condvars and `SeqCst`/`AcqRel` atomics — which
+//! is what `sidco-runtime`'s pool uses. `Relaxed` operations are not
+//! schedule points by default (they must not carry synchronisation);
+//! [`Builder::relaxed_schedule_points`] turns them into points when a test
+//! wants to interleave through them. Condvars wake FIFO and never spuriously.
+//!
+//! Outside a [`model`] run every primitive falls back to plain `std`
+//! behaviour, so a `--cfg sidco_loom` build can still run its ordinary unit
+//! tests.
+
+#![warn(missing_docs)]
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// Environment variable capping the number of DFS executions per
+/// [`model`]/[`Builder::from_env`] run (the "branches" budget).
+pub const MAX_BRANCHES_ENV: &str = "SIDCO_LOOM_MAX_BRANCHES";
+/// Environment variable overriding the preemption bound.
+pub const PREEMPTION_BOUND_ENV: &str = "SIDCO_LOOM_PREEMPTIONS";
+/// Environment variable overriding the per-execution schedule-point cap.
+pub const MAX_STEPS_ENV: &str = "SIDCO_LOOM_MAX_STEPS";
+/// Environment variable overriding the random-walk count of the fallback.
+pub const RANDOM_WALKS_ENV: &str = "SIDCO_LOOM_RANDOM_WALKS";
+/// Environment variable overriding the random-walk seed.
+pub const SEED_ENV: &str = "SIDCO_LOOM_SEED";
+
+/// Exploration limits and strategy knobs. `Default` gives the documented
+/// baseline; [`Builder::from_env`] layers the `SIDCO_LOOM_*` environment
+/// variables on top (that is what [`model`] uses, so CI can cap a suite
+/// without touching test code).
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches per execution
+    /// (switches away from a thread that could have continued). Forced
+    /// switches — the running thread blocked or finished — are free.
+    pub preemption_bound: usize,
+    /// DFS execution budget; past it the driver switches to random walks and
+    /// the report comes back incomplete.
+    pub max_branches: u64,
+    /// Schedule-point cap per execution; exceeding it fails the model
+    /// (livelock / unbounded spin).
+    pub max_steps: u64,
+    /// Number of seeded random-walk executions run when the DFS budget is
+    /// exhausted before the space is.
+    pub random_walks: u64,
+    /// Seed of the random-walk LCG.
+    pub seed: u64,
+    /// Whether `Ordering::Relaxed` atomic operations are schedule points
+    /// (default: no — relaxed operations must not carry synchronisation).
+    pub relaxed_schedule_points: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_branches: 20_000,
+            max_steps: 100_000,
+            random_walks: 128,
+            seed: 0x5eed_c0de,
+            relaxed_schedule_points: false,
+        }
+    }
+}
+
+/// What an exploration did: how many executions ran and whether the bounded
+/// DFS exhausted the schedule space (within the preemption bound) or gave up
+/// at the budget and fell back to random walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Total executions run (DFS plus any random walks).
+    pub executions: u64,
+    /// `true` when the DFS visited every schedule within the preemption
+    /// bound — the "exhaustively verified" claim. `false` means the budget
+    /// ran out and coverage is partial.
+    pub complete: bool,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl Builder {
+    /// The default limits with any `SIDCO_LOOM_*` environment overrides
+    /// applied. Read at call time (not cached) so test harnesses can vary
+    /// the budget per invocation.
+    pub fn from_env() -> Self {
+        let base = Self::default();
+        Self {
+            preemption_bound: env_u64(PREEMPTION_BOUND_ENV, base.preemption_bound as u64) as usize,
+            max_branches: env_u64(MAX_BRANCHES_ENV, base.max_branches).max(1),
+            max_steps: env_u64(MAX_STEPS_ENV, base.max_steps).max(100),
+            random_walks: env_u64(RANDOM_WALKS_ENV, base.random_walks),
+            seed: env_u64(SEED_ENV, base.seed),
+            relaxed_schedule_points: base.relaxed_schedule_points,
+        }
+    }
+
+    /// Sets [`Builder::relaxed_schedule_points`] (builder-style).
+    pub fn relaxed_schedule_points(mut self, on: bool) -> Self {
+        self.relaxed_schedule_points = on;
+        self
+    }
+
+    /// Sets [`Builder::preemption_bound`] (builder-style).
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Sets [`Builder::max_branches`] (builder-style).
+    pub fn max_branches(mut self, budget: u64) -> Self {
+        self.max_branches = budget.max(1);
+        self
+    }
+
+    fn config(&self) -> rt::Config {
+        rt::Config {
+            preemption_bound: self.preemption_bound,
+            max_steps: self.max_steps,
+            relaxed_schedule_points: self.relaxed_schedule_points,
+        }
+    }
+
+    fn run_once(
+        &self,
+        f: &Arc<dyn Fn() + Send + Sync>,
+        prefix: Vec<usize>,
+        random_mode: bool,
+        seed: u64,
+    ) -> (Vec<rt::BranchRecord>, Option<rt::Failure>, u64) {
+        let exec = Arc::new(rt::Execution::new(self.config(), prefix, random_mode, seed));
+        exec.register_root();
+        let carrier_exec = Arc::clone(&exec);
+        let body = Arc::clone(f);
+        let handle = std::thread::Builder::new()
+            .name("loom-sim-main".to_string())
+            .spawn(move || rt::sim_main(&carrier_exec, 0, move || body()))
+            // INVARIANT: spawn only fails on OS resource exhaustion; the
+            // checker cannot proceed without its carrier.
+            .expect("failed to spawn checker carrier thread");
+        exec.push_os_handle(handle);
+        exec.drive_to_end()
+    }
+
+    fn report_failure(
+        &self,
+        failure: rt::Failure,
+        trace: &[rt::BranchRecord],
+        executions: u64,
+    ) -> ! {
+        let schedule: Vec<String> = trace
+            .iter()
+            .take(256)
+            .map(|b| format!("{}/{}", b.chosen, b.enabled))
+            .collect();
+        panic!(
+            "loom model failed on execution {executions}: {}\n  schedule \
+             (chosen/enabled per branch point): [{}]{}",
+            failure.message,
+            schedule.join(" "),
+            if trace.len() > 256 { " …" } else { "" },
+        );
+    }
+
+    /// Explores `f` and panics on the first failing schedule; returns the
+    /// exploration [`Report`] otherwise. The closure runs once per execution
+    /// and must be deterministic apart from scheduling.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut executions: u64 = 0;
+        let mut complete = false;
+        loop {
+            let (trace, failure, _steps) = self.run_once(&f, std::mem::take(&mut prefix), false, 0);
+            executions += 1;
+            if let Some(failure) = failure {
+                self.report_failure(failure, &trace, executions);
+            }
+            // Backtrack: rewind to the deepest branch point with an
+            // untried alternative and replay with that prefix.
+            let mut rewound = trace;
+            loop {
+                match rewound.pop() {
+                    None => {
+                        complete = true;
+                        break;
+                    }
+                    Some(branch) if branch.chosen + 1 < branch.enabled => {
+                        prefix = rewound.iter().map(|b| b.chosen).collect();
+                        prefix.push(branch.chosen + 1);
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if complete || executions >= self.max_branches {
+                break;
+            }
+        }
+        if !complete {
+            let mut seed = self.seed;
+            for _ in 0..self.random_walks {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let (trace, failure, _steps) = self.run_once(&f, Vec::new(), true, seed);
+                executions += 1;
+                if let Some(failure) = failure {
+                    self.report_failure(failure, &trace, executions);
+                }
+            }
+        }
+        Report {
+            executions,
+            complete,
+        }
+    }
+}
+
+/// Checks `f` under every schedule the bounded exploration reaches, using
+/// [`Builder::from_env`] limits. Panics on the first failing schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::from_env().check(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn failure_message(f: impl Fn() + Send + Sync + 'static + std::panic::UnwindSafe) -> String {
+        let result = catch_unwind(AssertUnwindSafe(|| Builder::default().check(f)));
+        match result {
+            Ok(report) => panic!("model unexpectedly passed: {report:?}"),
+            Err(payload) => {
+                if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else {
+                    "<non-string>".to_string()
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_increments_always_sum() {
+        let report = Builder::default().check(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        v.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker joins");
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.complete, "tiny model must be exhausted: {report:?}");
+        assert!(report.executions > 1, "there is more than one schedule");
+    }
+
+    #[test]
+    fn checker_finds_the_lost_update() {
+        // Non-atomic read-modify-write: some interleaving loses one
+        // increment, and the exhaustive DFS must find it.
+        let message = failure_message(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        let read = v.load(Ordering::SeqCst);
+                        v.store(read + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker joins");
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 2, "lost update");
+        });
+        assert!(message.contains("lost update"), "got: {message}");
+    }
+
+    #[test]
+    fn preemption_bound_zero_hides_the_lost_update() {
+        // With no preemptions each thread's read-modify-write runs
+        // atomically, so the same buggy code passes — demonstrating what the
+        // bound prunes (and why the default is 2, not 0).
+        let report = Builder::default().preemption_bound(0).check(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        let read = v.load(Ordering::SeqCst);
+                        v.store(read + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker joins");
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn checker_finds_the_abba_deadlock() {
+        let message = failure_message(|| {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().expect("a");
+                let _gb = b2.lock().expect("b");
+            });
+            {
+                let _gb = b.lock().expect("b");
+                let _ga = a.lock().expect("a");
+            }
+            t.join().expect("t joins");
+        });
+        assert!(message.contains("deadlock"), "got: {message}");
+    }
+
+    #[test]
+    fn condvar_handshake_completes_in_every_schedule() {
+        let report = Builder::default().check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let waiter_state = Arc::clone(&state);
+            let waiter = thread::spawn(move || {
+                let (flag, cv) = &*waiter_state;
+                let mut ready = flag.lock().expect("flag");
+                while !*ready {
+                    ready = cv.wait(ready).expect("flag");
+                }
+            });
+            {
+                let (flag, cv) = &*state;
+                *flag.lock().expect("flag") = true;
+                cv.notify_one();
+            }
+            waiter.join().expect("waiter joins");
+        });
+        assert!(report.complete, "handshake model must be exhausted");
+    }
+
+    #[test]
+    fn checker_catches_a_dropped_notify_as_deadlock() {
+        // The signaller sets the flag but never notifies: every schedule in
+        // which the waiter got to its `wait` first now deadlocks, and the
+        // checker must surface the parked thread.
+        let message = failure_message(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let waiter_state = Arc::clone(&state);
+            let waiter = thread::spawn(move || {
+                let (flag, cv) = &*waiter_state;
+                let mut ready = flag.lock().expect("flag");
+                while !*ready {
+                    ready = cv.wait(ready).expect("flag");
+                }
+            });
+            {
+                let (flag, _cv) = &*state;
+                *flag.lock().expect("flag") = true;
+                // BUG under test: cv.notify_one() belongs here.
+            }
+            waiter.join().expect("waiter joins");
+        });
+        assert!(message.contains("deadlock"), "got: {message}");
+        assert!(message.contains("condvar wait"), "got: {message}");
+    }
+
+    #[test]
+    fn dfs_budget_falls_back_to_random_walks() {
+        let report = Builder::default().max_branches(2).check(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        v.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker joins");
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 3);
+        });
+        assert!(!report.complete, "budget of 2 cannot exhaust 3 threads");
+        assert!(
+            report.executions > 2,
+            "random walks must run after the DFS budget: {report:?}"
+        );
+    }
+
+    #[test]
+    fn primitives_fall_back_to_std_outside_a_model() {
+        // No model() wrapper: these must behave like plain std types.
+        let v = AtomicUsize::new(40);
+        assert_eq!(v.fetch_add(2, Ordering::SeqCst), 40);
+        assert_eq!(v.load(Ordering::Relaxed), 42);
+        let m = Mutex::new(7u32);
+        *m.lock().expect("lock") += 1;
+        assert_eq!(*m.lock().expect("lock"), 8);
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let state2 = Arc::clone(&state);
+        let waiter = thread::spawn(move || {
+            let (flag, cv) = &*state2;
+            let mut ready = flag.lock().expect("flag");
+            while !*ready {
+                ready = cv.wait(ready).expect("flag");
+            }
+            13u32
+        });
+        {
+            let (flag, cv) = &*state;
+            *flag.lock().expect("flag") = true;
+            cv.notify_all();
+        }
+        assert_eq!(waiter.join().expect("waiter joins"), 13);
+    }
+
+    #[test]
+    fn env_budget_parses_with_fallbacks() {
+        assert_eq!(env_u64("SIDCO_LOOM_NOT_SET_EVER", 17), 17);
+        let b = Builder::default().max_branches(0);
+        assert_eq!(b.max_branches, 1, "budget is clamped to at least one");
+    }
+}

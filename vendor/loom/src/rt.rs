@@ -1,0 +1,477 @@
+//! The execution core: a baton-passing scheduler that serialises simulated
+//! threads (real OS threads, exactly one awake at a time) and hands control
+//! between them only at *schedule points* — mutex acquires, condvar
+//! operations, non-`Relaxed` atomics, fences, spawns, joins and yields.
+//!
+//! Because only one simulated thread ever executes between two schedule
+//! points, every execution is deterministic given the sequence of scheduling
+//! choices, and the code running between points is effectively atomic. The
+//! driver in [`crate::Builder`] replays executions with different choice
+//! prefixes to enumerate interleavings (see `lib.rs` for the exploration
+//! strategy); this module only knows how to run *one* execution and record
+//! the branch points it passed through.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Panic payload used to unwind simulated threads when an execution is torn
+/// down (deadlock found, step budget exhausted, or another thread failed).
+/// Never reported as a user failure.
+pub(crate) struct AbortPanic;
+
+/// Per-execution scheduling limits, copied from the [`crate::Builder`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Config {
+    pub(crate) preemption_bound: usize,
+    pub(crate) max_steps: u64,
+    /// Whether `Ordering::Relaxed` atomic operations are schedule points.
+    /// Off by default: the protocols under test never synchronise through
+    /// relaxed operations, and skipping them shrinks the schedule space.
+    pub(crate) relaxed_schedule_points: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+struct ThreadState {
+    run: Run,
+    /// Human-readable reason while `Blocked` — surfaced in deadlock reports.
+    blocked_on: String,
+    name: Option<String>,
+    /// Threads blocked in `join` on this one.
+    joiners: Vec<usize>,
+}
+
+/// One scheduling decision with more than one option: which ordinal of the
+/// enabled choice set was taken, and how many options there were (for
+/// backtracking).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BranchRecord {
+    pub(crate) chosen: usize,
+    pub(crate) enabled: usize,
+}
+
+/// Why an execution ended unsuccessfully. Panic payloads are flattened into
+/// the message (the driver re-panics with its own formatted report, so the
+/// original payload is never re-raised).
+pub(crate) struct Failure {
+    pub(crate) message: String,
+}
+
+struct SchedState {
+    threads: Vec<ThreadState>,
+    /// The one simulated thread allowed to run right now.
+    active: usize,
+    /// Prescribed choice ordinals for the first decision points (DFS replay).
+    prefix: Vec<usize>,
+    /// Every decision point passed so far in this execution.
+    trace: Vec<BranchRecord>,
+    /// Number of decision points consumed (== trace.len(), kept explicit).
+    decision: usize,
+    preemptions: usize,
+    steps: u64,
+    completed: bool,
+    aborting: bool,
+    failure: Option<Failure>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    rng: u64,
+    random_mode: bool,
+}
+
+/// Shared state of one execution: the meta-level lock and condvar the baton
+/// protocol runs on. Simulated threads hold `Arc<Execution>` in a
+/// thread-local so the sync shims can find their scheduler.
+pub(crate) struct Execution {
+    pub(crate) config: Config,
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution context of the calling thread, if it is a simulated thread
+/// of an active model run. `None` means the caller is a plain OS thread and
+/// the sync shims fall back to real `std` behaviour.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// A schedule point for the calling thread, if it is simulated.
+/// `relaxed` marks `Ordering::Relaxed` atomic operations, which are only
+/// points when the execution opted in (see [`Config`]).
+pub(crate) fn schedule_point(relaxed: bool) {
+    if let Some((exec, me)) = current() {
+        if !relaxed || exec.config.relaxed_schedule_points {
+            exec.schedule(me);
+        }
+    }
+}
+
+fn lcg(state: u64) -> u64 {
+    state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+impl Execution {
+    pub(crate) fn new(config: Config, prefix: Vec<usize>, random_mode: bool, seed: u64) -> Self {
+        Self {
+            config,
+            state: StdMutex::new(SchedState {
+                threads: Vec::new(),
+                active: 0,
+                prefix,
+                trace: Vec::new(),
+                decision: 0,
+                preemptions: 0,
+                steps: 0,
+                completed: false,
+                aborting: false,
+                failure: None,
+                os_handles: Vec::new(),
+                rng: seed,
+                random_mode,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, SchedState> {
+        self.state.lock().expect("checker meta state poisoned")
+    }
+
+    /// Registers the root simulated thread (id 0) before any OS thread runs.
+    pub(crate) fn register_root(&self) {
+        let mut s = self.lock_state();
+        assert!(s.threads.is_empty(), "root registered twice");
+        s.threads.push(ThreadState {
+            run: Run::Runnable,
+            blocked_on: String::new(),
+            name: Some("main".to_string()),
+            joiners: Vec::new(),
+        });
+        s.active = 0;
+    }
+
+    pub(crate) fn push_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock_state().os_handles.push(handle);
+    }
+
+    /// Blocks the *driver* until the execution completes or fails, then joins
+    /// every OS thread and returns the outcome.
+    pub(crate) fn drive_to_end(&self) -> (Vec<BranchRecord>, Option<Failure>, u64) {
+        let mut s = self.lock_state();
+        while !s.completed && !s.aborting {
+            s = self.cv.wait(s).expect("checker meta state poisoned");
+        }
+        let handles = std::mem::take(&mut s.os_handles);
+        drop(s);
+        for handle in handles {
+            // INVARIANT: simulated threads never panic at the OS level —
+            // their bodies are wrapped in catch_unwind and teardown unwinds
+            // are swallowed.
+            handle.join().expect("simulated thread escaped its harness");
+        }
+        let mut s = self.lock_state();
+        (std::mem::take(&mut s.trace), s.failure.take(), s.steps)
+    }
+
+    /// Records the failure (first one wins), wakes everyone for teardown.
+    /// Does not panic — callers on a simulated thread follow up with
+    /// `panic!(AbortPanic)` themselves when they need to unwind.
+    fn fail_locked(&self, s: &mut SchedState, message: String) {
+        if s.failure.is_none() {
+            s.failure = Some(Failure { message });
+        }
+        s.aborting = true;
+        self.cv.notify_all();
+    }
+
+    fn raise_if_aborting(&self, s: &SchedState) {
+        if s.aborting {
+            std::panic::panic_any(AbortPanic);
+        }
+    }
+
+    fn describe_blocked(s: &SchedState) -> String {
+        s.threads
+            .iter()
+            .enumerate()
+            .map(|(id, t)| {
+                let name = t.name.as_deref().unwrap_or("?");
+                match t.run {
+                    Run::Runnable => format!("[{id} {name}: runnable]"),
+                    Run::Finished => format!("[{id} {name}: finished]"),
+                    Run::Blocked => format!("[{id} {name}: blocked on {}]", t.blocked_on),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    fn bump_steps(&self, s: &mut SchedState) {
+        s.steps += 1;
+        if s.steps > self.config.max_steps {
+            self.fail_locked(
+                s,
+                format!(
+                    "execution exceeded {} schedule points — livelock or an \
+                     unbounded spin loop",
+                    self.config.max_steps
+                ),
+            );
+            std::panic::panic_any(AbortPanic);
+        }
+    }
+
+    /// Picks the next thread to run from `choices` (must be non-empty),
+    /// recording a branch point when there is a real choice.
+    fn pick(&self, s: &mut SchedState, choices: &[usize]) -> usize {
+        if choices.len() == 1 {
+            return choices[0];
+        }
+        let ordinal = if s.random_mode {
+            s.rng = lcg(s.rng);
+            ((s.rng >> 33) as usize) % choices.len()
+        } else if s.decision < s.prefix.len() {
+            let o = s.prefix[s.decision];
+            assert!(
+                o < choices.len(),
+                "schedule replay diverged: prefix ordinal {o} of {} choices — \
+                 the model closure is nondeterministic",
+                choices.len()
+            );
+            o
+        } else {
+            0
+        };
+        s.trace.push(BranchRecord {
+            chosen: ordinal,
+            enabled: choices.len(),
+        });
+        s.decision += 1;
+        choices[ordinal]
+    }
+
+    fn runnable_ids(s: &SchedState) -> Vec<usize> {
+        s.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Runnable)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn wait_until_scheduled(&self, mut s: StdMutexGuard<'_, SchedState>, me: usize) {
+        loop {
+            if s.aborting {
+                drop(s);
+                std::panic::panic_any(AbortPanic);
+            }
+            if s.active == me && s.threads[me].run == Run::Runnable {
+                return;
+            }
+            s = self.cv.wait(s).expect("checker meta state poisoned");
+        }
+    }
+
+    /// A voluntary schedule point: the running thread offers to hand the
+    /// baton to any other runnable thread (bounded by the preemption budget).
+    pub(crate) fn schedule(self: &Arc<Self>, me: usize) {
+        let mut s = self.lock_state();
+        self.raise_if_aborting(&s);
+        self.bump_steps(&mut s);
+        debug_assert_eq!(s.active, me, "schedule() from a thread without the baton");
+        let mut choices = vec![me];
+        if s.preemptions < self.config.preemption_bound {
+            choices.extend(Self::runnable_ids(&s).into_iter().filter(|&t| t != me));
+        }
+        let chosen = self.pick(&mut s, &choices);
+        if chosen != me {
+            s.preemptions += 1;
+            s.active = chosen;
+            self.cv.notify_all();
+            self.wait_until_scheduled(s, me);
+        }
+    }
+
+    /// Marks the calling thread blocked (`reason` shows up in deadlock
+    /// reports), hands the baton to another runnable thread, and returns once
+    /// some other thread unblocked *and* scheduled this one. Detects deadlock
+    /// when no thread remains runnable.
+    pub(crate) fn block(self: &Arc<Self>, me: usize, reason: &str) {
+        let mut s = self.lock_state();
+        self.raise_if_aborting(&s);
+        self.bump_steps(&mut s);
+        s.threads[me].run = Run::Blocked;
+        s.threads[me].blocked_on = reason.to_string();
+        let runnable = Self::runnable_ids(&s);
+        if runnable.is_empty() {
+            let report = Self::describe_blocked(&s);
+            self.fail_locked(
+                &mut s,
+                format!("deadlock: every live thread is blocked — {report}"),
+            );
+            drop(s);
+            std::panic::panic_any(AbortPanic);
+        }
+        // A forced hand-off is not a preemption (the bound only limits
+        // switching away from a thread that could have continued), but which
+        // runnable thread receives the baton is still a real branch point.
+        let chosen = self.pick(&mut s, &runnable);
+        s.active = chosen;
+        self.cv.notify_all();
+        self.wait_until_scheduled(s, me);
+    }
+
+    /// Makes a blocked thread runnable again (does not transfer the baton —
+    /// the target runs when some schedule point picks it).
+    pub(crate) fn unblock(&self, id: usize) {
+        let mut s = self.lock_state();
+        if s.threads[id].run == Run::Blocked {
+            s.threads[id].run = Run::Runnable;
+            s.threads[id].blocked_on.clear();
+        }
+    }
+
+    /// Registers a new simulated thread and spawns its OS carrier. Returns
+    /// the simulated thread id. The spawn itself is a schedule point, so the
+    /// checker explores both "child runs first" and "parent continues".
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        me: usize,
+        name: Option<String>,
+        body: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        let id = {
+            let mut s = self.lock_state();
+            self.raise_if_aborting(&s);
+            s.threads.push(ThreadState {
+                run: Run::Runnable,
+                blocked_on: String::new(),
+                name: name.clone(),
+                joiners: Vec::new(),
+            });
+            s.threads.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(name.unwrap_or_else(|| format!("loom-sim-{id}")))
+            .spawn(move || sim_main(&exec, id, body))
+            // INVARIANT: spawn only fails on OS resource exhaustion; the
+            // model cannot continue without its carrier.
+            .expect("failed to spawn checker carrier thread");
+        self.push_os_handle(handle);
+        self.schedule(me);
+        id
+    }
+
+    /// Blocks until `target` finishes. Panic payloads of simulated threads
+    /// are reported as model failures before any joiner resumes, so a
+    /// successful return means the target completed normally.
+    pub(crate) fn join_thread(self: &Arc<Self>, me: usize, target: usize) {
+        self.schedule(me);
+        loop {
+            {
+                let mut s = self.lock_state();
+                self.raise_if_aborting(&s);
+                if s.threads[target].run == Run::Finished {
+                    return;
+                }
+                s.threads[target].joiners.push(me);
+            }
+            self.block(me, &format!("join(thread {target})"));
+        }
+    }
+
+    /// Thread-finished bookkeeping: wake joiners, hand the baton on, declare
+    /// completion when every thread is done, or deadlock when the remaining
+    /// threads are all blocked.
+    fn finish_thread(self: &Arc<Self>, me: usize) {
+        let mut s = self.lock_state();
+        if s.aborting {
+            return;
+        }
+        s.threads[me].run = Run::Finished;
+        let joiners = std::mem::take(&mut s.threads[me].joiners);
+        for j in joiners {
+            if s.threads[j].run == Run::Blocked {
+                s.threads[j].run = Run::Runnable;
+                s.threads[j].blocked_on.clear();
+            }
+        }
+        let runnable = Self::runnable_ids(&s);
+        if runnable.is_empty() {
+            if s.threads.iter().all(|t| t.run == Run::Finished) {
+                s.completed = true;
+                self.cv.notify_all();
+            } else {
+                let report = Self::describe_blocked(&s);
+                self.fail_locked(
+                    &mut s,
+                    format!(
+                        "deadlock: thread {me} finished but the remaining \
+                         threads are all blocked — {report}"
+                    ),
+                );
+            }
+        } else {
+            let chosen = self.pick(&mut s, &runnable);
+            s.active = chosen;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The OS-level body of every simulated thread: install the thread-local
+/// context, wait for the first activation, run the user closure under
+/// `catch_unwind`, then do finish bookkeeping.
+pub(crate) fn sim_main(exec: &Arc<Execution>, id: usize, body: impl FnOnce() + Send) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(exec), id)));
+    {
+        let s = exec.lock_state();
+        if s.aborting {
+            return;
+        }
+        exec.wait_until_scheduled(s, id);
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(body));
+    match outcome {
+        Ok(()) => exec.finish_thread(id),
+        Err(payload) if payload.is::<AbortPanic>() => {
+            // Teardown unwind of a failed execution: nothing to record.
+        }
+        Err(payload) => {
+            let mut s = exec.lock_state();
+            if !s.aborting {
+                let name = s.threads[id]
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("thread {id}"));
+                // `&*payload`, not `&payload`: the latter coerces the Box
+                // itself into `dyn Any` and every downcast misses.
+                let message = format!("{name} panicked: {}", payload_message(&*payload));
+                exec.fail_locked(&mut s, message);
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

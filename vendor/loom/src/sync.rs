@@ -1,0 +1,400 @@
+//! Model-aware drop-ins for `std::sync`: [`Mutex`], [`Condvar`], the
+//! [`atomic`] module, and a re-exported [`Arc`].
+//!
+//! Inside a [`crate::model`] run every operation is a schedule point routed
+//! through the checker; outside one (`rt::current()` is `None`) the same
+//! objects degrade to plain `std` behaviour, so code compiled against these
+//! types keeps working in ordinary unit tests of a `--cfg sidco_loom` build.
+//!
+//! Model-mode locks never report poisoning (a simulated thread that panics
+//! fails the whole execution first), so `lock().expect(…)` call sites behave
+//! identically under both resolutions.
+
+use crate::rt;
+use std::sync::{LockResult, Mutex as StdMutex, TryLockError};
+
+pub use std::sync::Arc;
+
+/// A mutual-exclusion lock whose acquire is a schedule point under the
+/// checker. Lock *state* (owner + waiting threads) is tracked at the model
+/// level; the user data sits in an uncontended `std` mutex underneath.
+pub struct Mutex<T> {
+    logical: StdMutex<Logical>,
+    data: StdMutex<T>,
+}
+
+#[derive(Default)]
+struct Logical {
+    owner: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+/// Guard returned by [`Mutex::lock`]. Releasing it wakes every model-level
+/// waiter (they re-race for the lock at their next schedule).
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<rt::Execution>, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            logical: StdMutex::new(Logical::default()),
+            data: StdMutex::new(value),
+        }
+    }
+
+    fn bookkeeping(&self) -> std::sync::MutexGuard<'_, Logical> {
+        self.logical
+            .lock()
+            .expect("loom mutex bookkeeping poisoned")
+    }
+
+    /// Acquires the underlying data lock, which is uncontended by
+    /// construction in model mode (only the logical owner reaches it). A
+    /// poisoned data lock can only be left behind by a failing execution that
+    /// is already being torn down, so ignoring the poison is safe.
+    fn acquire_data(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.data.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model serialization violated: data mutex contended")
+            }
+        }
+    }
+
+    /// Acquires the mutex, blocking (at the model level or for real) until it
+    /// is free. In model mode the result is always `Ok`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            None => match self.data.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: None,
+                }),
+                Err(poisoned) => Err(std::sync::PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    model: None,
+                })),
+            },
+            Some((exec, me)) => {
+                exec.schedule(me);
+                loop {
+                    {
+                        let mut l = self.bookkeeping();
+                        match l.owner {
+                            None => {
+                                l.owner = Some(me);
+                                break;
+                            }
+                            Some(owner) => {
+                                assert!(
+                                    owner != me,
+                                    "simulated thread {me} re-locked a mutex it already holds"
+                                );
+                                l.waiters.push(me);
+                            }
+                        }
+                    }
+                    exec.block(me, "mutex lock");
+                }
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(self.acquire_data()),
+                    model: Some((exec, me)),
+                })
+            }
+        }
+    }
+
+    /// Releases model-level ownership and wakes the waiters. Shared by guard
+    /// drop and `Condvar::wait` (which must release without consuming the
+    /// guard's drop path twice).
+    fn release_model(&self, exec: &Arc<rt::Execution>) {
+        let waiters = {
+            let mut l = self.bookkeeping();
+            l.owner = None;
+            std::mem::take(&mut l.waiters)
+        };
+        for w in waiters {
+            exec.unblock(w);
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.data.try_lock() {
+            Ok(guard) => f.debug_struct("Mutex").field("data", &*guard).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // INVARIANT: `inner` is only taken by Condvar::wait, which consumes
+        // the guard; a live guard always holds it.
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // INVARIANT: `inner` is only taken by Condvar::wait, which consumes
+        // the guard; a live guard always holds it.
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, _)) = self.model.take() {
+            self.lock.release_model(&exec);
+        }
+    }
+}
+
+/// A condition variable whose wait/notify are schedule points under the
+/// checker. Model-mode notifications wake waiters in FIFO order, and a
+/// notify with no waiters is lost — exactly the semantics lost-wakeup bugs
+/// depend on. Spurious wakeups are not modelled.
+pub struct Condvar {
+    std_cv: std::sync::Condvar,
+    waiters: StdMutex<Vec<usize>>,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Creates a condition variable with no waiters.
+    pub fn new() -> Self {
+        Self {
+            std_cv: std::sync::Condvar::new(),
+            waiters: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn waiter_list(&self) -> std::sync::MutexGuard<'_, Vec<usize>> {
+        self.waiters
+            .lock()
+            .expect("loom condvar bookkeeping poisoned")
+    }
+
+    /// Atomically releases `guard`'s mutex and waits for a notification,
+    /// reacquiring the mutex before returning — the registration and the
+    /// release happen in one scheduler transition, so a notify posted after
+    /// the release can never be missed (matching POSIX condvars).
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.take() {
+            None => {
+                let lock = guard.lock;
+                // INVARIANT: only this method takes `inner`, and it consumes
+                // the guard doing so; the caller's guard still holds it.
+                let inner = guard.inner.take().expect("guard already released");
+                drop(guard); // inert: no inner, no model
+                match self.std_cv.wait(inner) {
+                    Ok(inner) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: None,
+                    }),
+                    Err(poisoned) => Err(std::sync::PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(poisoned.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some((exec, me)) => {
+                exec.schedule(me);
+                let lock = guard.lock;
+                // Register, then release the mutex — no schedule point in
+                // between, so the pair is atomic at the model level.
+                self.waiter_list().push(me);
+                drop(guard.inner.take());
+                lock.release_model(&exec);
+                drop(guard);
+                exec.block(me, "condvar wait");
+                lock.lock()
+            }
+        }
+    }
+
+    /// Wakes the longest-waiting waiter, if any (a notify with no waiters is
+    /// dropped, as on a real condvar).
+    pub fn notify_one(&self) {
+        match rt::current() {
+            None => self.std_cv.notify_one(),
+            Some((exec, me)) => {
+                exec.schedule(me);
+                let woken = {
+                    let mut w = self.waiter_list();
+                    if w.is_empty() {
+                        None
+                    } else {
+                        Some(w.remove(0))
+                    }
+                };
+                if let Some(w) = woken {
+                    exec.unblock(w);
+                }
+            }
+        }
+    }
+
+    /// Wakes every current waiter.
+    pub fn notify_all(&self) {
+        match rt::current() {
+            None => self.std_cv.notify_all(),
+            Some((exec, me)) => {
+                exec.schedule(me);
+                let woken = std::mem::take(&mut *self.waiter_list());
+                for w in woken {
+                    exec.unblock(w);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+/// Model-aware atomic integers and fences. Every non-`Relaxed` operation is
+/// a schedule point (relaxed operations opt in via
+/// [`crate::Builder::relaxed_schedule_points`]); the value itself lives in a
+/// real `std` atomic, which is trivially coherent because only one simulated
+/// thread runs at a time. The exploration is sequentially consistent — weak
+/// memory reorderings are *not* modelled, which is sound for protocols that
+/// synchronise through locks and `SeqCst`/`AcqRel` operations, the only kind
+/// this workspace's runtime uses.
+pub mod atomic {
+    use crate::rt;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// An `Ordering`-aware schedule point for the memory fence.
+    pub fn fence(order: Ordering) {
+        rt::schedule_point(false);
+        std::sync::atomic::fence(order);
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ident, $int:ty) => {
+            /// Model-aware drop-in for the `std` atomic of the same name.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(value: $int) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                /// Atomic load (schedule point unless `Relaxed`).
+                pub fn load(&self, order: Ordering) -> $int {
+                    rt::schedule_point(matches!(order, Ordering::Relaxed));
+                    self.inner.load(order)
+                }
+
+                /// Atomic store (schedule point unless `Relaxed`).
+                pub fn store(&self, value: $int, order: Ordering) {
+                    rt::schedule_point(matches!(order, Ordering::Relaxed));
+                    self.inner.store(value, order)
+                }
+
+                /// Atomic add returning the previous value.
+                pub fn fetch_add(&self, value: $int, order: Ordering) -> $int {
+                    rt::schedule_point(matches!(order, Ordering::Relaxed));
+                    self.inner.fetch_add(value, order)
+                }
+
+                /// Atomic subtract returning the previous value.
+                pub fn fetch_sub(&self, value: $int, order: Ordering) -> $int {
+                    rt::schedule_point(matches!(order, Ordering::Relaxed));
+                    self.inner.fetch_sub(value, order)
+                }
+
+                /// Atomic swap returning the previous value.
+                pub fn swap(&self, value: $int, order: Ordering) -> $int {
+                    rt::schedule_point(matches!(order, Ordering::Relaxed));
+                    self.inner.swap(value, order)
+                }
+
+                /// Atomic compare-and-exchange with `std` semantics.
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    // Relaxed/Relaxed is the only pairing that skips a
+                    // schedule point — the checker explores interleavings at
+                    // every ordering that implies synchronization.
+                    rt::schedule_point(matches!(
+                        (success, failure),
+                        (Ordering::Relaxed, Ordering::Relaxed)
+                    ));
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicUsize, AtomicUsize, usize);
+    model_atomic!(AtomicU64, AtomicU64, u64);
+    model_atomic!(AtomicU32, AtomicU32, u32);
+
+    /// Model-aware drop-in for `std::sync::atomic::AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic flag with the given initial value.
+        pub const fn new(value: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        /// Atomic load (schedule point unless `Relaxed`).
+        pub fn load(&self, order: Ordering) -> bool {
+            rt::schedule_point(matches!(order, Ordering::Relaxed));
+            self.inner.load(order)
+        }
+
+        /// Atomic store (schedule point unless `Relaxed`).
+        pub fn store(&self, value: bool, order: Ordering) {
+            rt::schedule_point(matches!(order, Ordering::Relaxed));
+            self.inner.store(value, order)
+        }
+
+        /// Atomic swap returning the previous value.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            rt::schedule_point(matches!(order, Ordering::Relaxed));
+            self.inner.swap(value, order)
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Model-aware drop-ins for `std::thread`: [`spawn`], [`Builder`],
+//! [`JoinHandle`] and [`yield_now`]. Inside a model run threads become
+//! simulated threads of the checker; outside one they are real OS threads.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+
+/// Spawns a thread (simulated under the checker, real otherwise).
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a carrier thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    // INVARIANT: spawn only fails on OS resource exhaustion (std mode) or
+    // never (model mode); matches std::thread::spawn's own behaviour.
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// A schedule point with no effect on state — lets the checker interleave
+/// other threads here (no-op outside a model run).
+pub fn yield_now() {
+    rt::schedule_point(false);
+}
+
+/// Thread factory mirroring `std::thread::Builder` (only `name` is
+/// supported — that is all this workspace uses).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Creates a builder with no name set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names the thread (shows up in checker deadlock reports).
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread. In model mode the closure runs as a simulated
+    /// thread and the spawn itself is a schedule point.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::current() {
+            None => {
+                let mut builder = std::thread::Builder::new();
+                if let Some(name) = self.name {
+                    builder = builder.name(name);
+                }
+                builder.spawn(f).map(|handle| JoinHandle {
+                    real: Some(handle),
+                    model: None,
+                })
+            }
+            Some((exec, me)) => {
+                let slot = Arc::new(Mutex::new(None));
+                let result = Arc::clone(&slot);
+                let id = exec.spawn_thread(me, self.name, move || {
+                    let value = f();
+                    *result.lock().expect("join slot poisoned") = Some(value);
+                });
+                Ok(JoinHandle {
+                    real: None,
+                    model: Some(ModelHandle { exec, id, slot }),
+                })
+            }
+        }
+    }
+}
+
+struct ModelHandle<T> {
+    exec: Arc<rt::Execution>,
+    id: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+/// Handle to a spawned thread. Dropping it detaches the thread (the checker
+/// still requires every simulated thread to finish before an execution can
+/// complete).
+pub struct JoinHandle<T> {
+    real: Option<std::thread::JoinHandle<T>>,
+    model: Option<ModelHandle<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. In model mode
+    /// a simulated thread that panics fails the whole execution before any
+    /// joiner resumes, so the model-mode result is always `Ok`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match (self.real, self.model) {
+            (Some(handle), _) => handle.join(),
+            (None, Some(model)) => {
+                // INVARIANT: a model-handle join can only be reached from
+                // code spawned inside the model, where `current()` is Some.
+                let (_, me) = rt::current().expect("join from outside the model run");
+                model.exec.join_thread(me, model.id);
+                Ok(model
+                    .slot
+                    .lock()
+                    .expect("join slot poisoned")
+                    .take()
+                    // INVARIANT: join_thread returned, so the target ran to
+                    // completion and sim_main stored its value in the slot.
+                    .expect("joined thread left no value"))
+            }
+            (None, None) => unreachable!("join handle with no target"),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle")
+    }
+}
