@@ -18,7 +18,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sidco_core::engine::{CompressionEngine, RuntimeKind};
 use sidco_core::prelude::*;
+use sidco_dist::cluster::ClusterConfig;
+use sidco_dist::schedule::BucketPolicy;
+use sidco_dist::trainer::{ModelTrainer, TrainerConfig};
+use sidco_models::dataset::ClassificationDataset;
+use sidco_models::mlp::Mlp;
 use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
+use sidco_models::DifferentiableModel;
+use std::sync::Arc;
 
 /// Many-small-layer regime: layer count × per-layer elements = 16Mi total.
 const LAYERS: usize = 256;
@@ -150,6 +157,52 @@ fn bench_single_large(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_trainer_overlap(c: &mut Criterion) {
+    // The trainer-level win: per-(worker, bucket) compression jobs dispatched
+    // on the shared executor instead of running serially inside `step`. A
+    // wide-ish MLP with per-layer buckets gives each iteration
+    // `workers × buckets` independent jobs of real compression work; the
+    // numerics are bit-identical across rows (property-tested), so the rows
+    // differ only in wall-clock.
+    let model: Arc<dyn DifferentiableModel> = Arc::new(Mlp::new(
+        ClassificationDataset::gaussian_blobs(512, 64, 4, 3.0, 11),
+        96,
+    ));
+    let mut group = c.benchmark_group("trainer_overlap_mlp_perlayer");
+    group.throughput(Throughput::Elements(model.num_parameters() as u64));
+    group.sample_size(3);
+
+    for (runtime, threads) in configurations() {
+        group.bench_with_input(
+            BenchmarkId::new(
+                "topk",
+                format!("runtime={},threads={threads}", runtime.as_str()),
+            ),
+            &(runtime, threads),
+            |b, &(runtime, threads)| {
+                let config = TrainerConfig {
+                    iterations: 4,
+                    batch_per_worker: 16,
+                    bucket_policy: BucketPolicy::PerLayer,
+                    overlap: true,
+                    ..TrainerConfig::default()
+                };
+                let mut trainer = ModelTrainer::new(
+                    Arc::clone(&model),
+                    ClusterConfig::small_test(),
+                    config,
+                    || Box::new(TopKCompressor::new()),
+                )
+                .with_runtime(runtime, threads);
+                // Warm up: parameter init caches, lazy pool spawn.
+                trainer.run(DELTA);
+                b.iter(|| std::hint::black_box(trainer.run(DELTA)));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn report_pool_stats(_c: &mut Criterion) {
     for threads in [2usize, 4] {
         let engine = CompressionEngine::new(threads).with_runtime(RuntimeKind::Pool);
@@ -183,6 +236,7 @@ criterion_group!(
     benches,
     bench_many_small_layers,
     bench_single_large,
+    bench_trainer_overlap,
     report_pool_stats
 );
 criterion_main!(benches);

@@ -63,6 +63,15 @@ pub trait Compressor: Send {
     /// The default implementation does nothing, which is correct for the stateless
     /// baselines.
     fn reset(&mut self) {}
+
+    /// The [`CompressorKind`] this implementation realises, so cost models can
+    /// charge the right scheme without being told out-of-band. `None` for
+    /// compressors outside the paper's evaluated taxonomy (composites such as
+    /// the layerwise wrapper, the auto-selector, or a fixed-threshold probe) —
+    /// callers needing a kind for those must require one explicitly.
+    fn kind(&self) -> Option<CompressorKind> {
+        None
+    }
 }
 
 /// Enumeration of every compression scheme evaluated in the paper, used by the

@@ -6,7 +6,7 @@
 //! selection overshoots the target — runs a second exact Top-k over the selected
 //! subset (the "hierarchical" step described in the paper's footnote 2).
 
-use crate::compressor::{CompressionResult, Compressor};
+use crate::compressor::{CompressionResult, Compressor, CompressorKind};
 use crate::engine::CompressionEngine;
 use crate::topk::target_k;
 use rand::rngs::SmallRng;
@@ -176,6 +176,10 @@ impl Compressor for DgcCompressor {
 
     fn name(&self) -> &'static str {
         "dgc"
+    }
+
+    fn kind(&self) -> Option<CompressorKind> {
+        Some(CompressorKind::Dgc)
     }
 
     fn reset(&mut self) {

@@ -233,6 +233,14 @@ impl CompressionEngine {
         self.executor
     }
 
+    /// The process-wide executor behind this engine, for callers that
+    /// dispatch their *own* jobs onto the same threads the engine uses (the
+    /// trainer fans per-worker bucket compressions out this way, so trainer
+    /// jobs and engine chunks share one pool instead of fighting over cores).
+    pub fn shared_runtime(&self) -> &'static dyn Runtime {
+        self.executor
+    }
+
     /// Counters of the shared work-stealing pool behind this engine (`None`
     /// for scoped or single-threaded engines, which keep no state). The
     /// pool's `threads_spawned` equals [`threads`](Self::threads) after the

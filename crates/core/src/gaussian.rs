@@ -8,7 +8,7 @@
 //! runs out of budget far from the target — the behaviour the paper reports as
 //! "estimation quality two orders of magnitude off" at aggressive ratios.
 
-use crate::compressor::{CompressionResult, Compressor};
+use crate::compressor::{CompressionResult, Compressor, CompressorKind};
 use crate::engine::CompressionEngine;
 use crate::topk::target_k;
 use sidco_stats::fit::gaussian_threshold_from_moments;
@@ -116,6 +116,10 @@ impl Compressor for GaussianKSgdCompressor {
 
     fn name(&self) -> &'static str {
         "gaussian-ksgd"
+    }
+
+    fn kind(&self) -> Option<CompressorKind> {
+        Some(CompressorKind::GaussianKSgd)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Random-k compressor — the weakest sparsification baseline mentioned by the paper
 //! (Section 1.1) as a convergence contrast to Top-k.
 
-use crate::compressor::{CompressionResult, Compressor};
+use crate::compressor::{CompressionResult, Compressor, CompressorKind};
 use crate::topk::target_k;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -55,6 +55,10 @@ impl Compressor for RandomKCompressor {
 
     fn name(&self) -> &'static str {
         "randomk"
+    }
+
+    fn kind(&self) -> Option<CompressorKind> {
+        Some(CompressorKind::RandomK)
     }
 
     fn reset(&mut self) {

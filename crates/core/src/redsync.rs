@@ -9,7 +9,7 @@
 //! the budget with a count far from `k` — the estimation-quality failure mode the
 //! paper's Figures 1c, 3c and 9 highlight.
 
-use crate::compressor::{CompressionResult, Compressor};
+use crate::compressor::{CompressionResult, Compressor, CompressorKind};
 use crate::engine::CompressionEngine;
 use crate::topk::target_k;
 
@@ -122,6 +122,10 @@ impl Compressor for RedSyncCompressor {
 
     fn name(&self) -> &'static str {
         "redsync"
+    }
+
+    fn kind(&self) -> Option<CompressorKind> {
+        Some(CompressorKind::RedSync)
     }
 }
 

@@ -11,7 +11,7 @@
 //!    running-average ratio stays inside the `[1 - ε_L, 1 + ε_H]` band around the
 //!    target (the `Adapt_Stages` function).
 
-use crate::compressor::{CompressionResult, Compressor};
+use crate::compressor::{CompressionResult, Compressor, CompressorKind};
 use crate::engine::CompressionEngine;
 use sidco_stats::fit::SidKind;
 use sidco_stats::pot::{multi_stage_threshold_with, MultiStageEstimate};
@@ -292,6 +292,10 @@ impl Compressor for SidcoCompressor {
         self.iteration = 0;
         self.ratio_accumulator = 0.0;
         self.ratio_samples = 0;
+    }
+
+    fn kind(&self) -> Option<CompressorKind> {
+        Some(CompressorKind::Sidco(self.config.sid))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Exact Top-k compressor — the quality reference every other scheme is compared to.
 
-use crate::compressor::{CompressionResult, Compressor};
+use crate::compressor::{CompressionResult, Compressor, CompressorKind};
 use crate::engine::CompressionEngine;
 use sidco_tensor::topk::TopKAlgorithm;
 
@@ -72,6 +72,10 @@ impl Compressor for TopKCompressor {
 
     fn name(&self) -> &'static str {
         "topk"
+    }
+
+    fn kind(&self) -> Option<CompressorKind> {
+        Some(CompressorKind::TopK)
     }
 }
 

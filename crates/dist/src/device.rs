@@ -188,6 +188,11 @@ impl DeviceProfile {
     /// regime (where per-layer compute is itself tens of microseconds) the
     /// scoped dispatch dominates and the pool's advantage is structural, not
     /// marginal. Single-threaded engines dispatch inline and pay nothing.
+    /// The modelled contrast is measurable end-to-end: the trainer's
+    /// [`DispatchReport`](crate::DispatchReport) records the executor that
+    /// actually ran each iteration's bucket jobs, and the `trainer_overlap`
+    /// rows in `BENCH_engine.json` show the scoped spawn storm vs pool
+    /// parity this function charges for.
     pub fn dispatch_cost(&self, workers: usize, persistent: bool) -> f64 {
         if workers <= 1 {
             return 0.0;

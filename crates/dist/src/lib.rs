@@ -65,6 +65,7 @@ pub use collective::{BucketCost, CollectiveScheduler, PriorityPolicy, ScheduleTi
 pub use metrics::TrainingReport;
 pub use network::{HierarchicalTopology, NetworkModel};
 pub use optimizer::Optimizer;
+pub use overlap::DispatchReport;
 pub use schedule::{BucketPolicy, LrSchedule};
 pub use tenancy::{FleetReport, FleetScheduler, JobOutcome, JobSpec, SharePolicy, TenancyConfig};
 

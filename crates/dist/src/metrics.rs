@@ -1,7 +1,7 @@
 //! Training-run reports and the time-to-quality speed-up metric.
 
 use crate::collective::ScheduleAccounting;
-use crate::overlap::OverlapAccounting;
+use crate::overlap::{DispatchReport, OverlapAccounting};
 use sidco_core::metrics::{EstimationQualitySummary, EstimationQualityTracker};
 
 /// One recorded training iteration.
@@ -28,6 +28,7 @@ pub struct TrainingReport {
     final_accuracy: Option<f64>,
     overlap: Option<OverlapAccounting>,
     schedule: Option<ScheduleAccounting>,
+    dispatch: Option<DispatchReport>,
 }
 
 impl TrainingReport {
@@ -45,6 +46,7 @@ impl TrainingReport {
             final_accuracy,
             overlap: None,
             schedule: None,
+            dispatch: None,
         }
     }
 
@@ -65,10 +67,25 @@ impl TrainingReport {
         self
     }
 
+    /// Attaches the executor-side dispatch accounting of a pool-backed
+    /// compressed run (which runtime ran the per-bucket jobs and what its
+    /// counters observed).
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchReport) -> Self {
+        self.dispatch = Some(dispatch);
+        self
+    }
+
     /// The compression↔communication overlap accounting, when the run was
     /// compressed (`None` for the dense baseline).
     pub fn overlap(&self) -> Option<&OverlapAccounting> {
         self.overlap.as_ref()
+    }
+
+    /// The executor-side dispatch accounting, when the run was compressed
+    /// (`None` for the dense baseline, whose gradients are never bucketed).
+    pub fn dispatch(&self) -> Option<&DispatchReport> {
+        self.dispatch.as_ref()
     }
 
     /// The collective scheduler's accounting, when the run was compressed

@@ -25,6 +25,7 @@
 //! scheduled on a configurable [`CollectiveScheduler`].
 
 use crate::collective::{BucketCost, CollectiveScheduler};
+use sidco_runtime::PoolStats;
 
 /// Total compression + communication overhead when the two phases are fully
 /// serialised (compress every bucket, then communicate every bucket).
@@ -169,6 +170,36 @@ impl OverlapAccounting {
             1.0
         }
     }
+}
+
+/// How the trainer *executed* its per-bucket compressions, as opposed to how
+/// the cost model charged them: which runtime ran the jobs, how wide it was,
+/// and what the work-stealing pool observed while doing it. Attached to
+/// [`TrainingReport`](crate::metrics::TrainingReport) by pool-backed
+/// compressed runs so the modeled pipeline (this module) can be checked
+/// against real concurrent execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchReport {
+    /// Executor the per-bucket jobs ran on (`"scoped"` or `"pool"`).
+    pub runtime: &'static str,
+    /// Worker threads the executor exposes (1 for the sequential fallback).
+    pub parallelism: usize,
+    /// Number of fan-out rounds dispatched (one per training iteration).
+    pub jobs: u64,
+    /// Independent compression tasks per round (`workers × buckets`).
+    pub tasks_per_job: usize,
+    /// Bucket order the jobs were released in — the gradient-arrival order
+    /// from [`release_order`](crate::collective::release_order), matching the
+    /// modeled compression stream.
+    pub dispatch_order: Vec<usize>,
+    /// Bucket order in which the last iteration's buckets actually finished
+    /// all their per-worker compressions (steal-order dependent; every bucket
+    /// appears exactly once).
+    pub completion_order: Vec<usize>,
+    /// Pool counters accumulated over the run (dispatches, steals, parks),
+    /// diffed against the pre-run snapshot when the executor is the shared
+    /// process-wide pool. `None` on the scoped/sequential runtimes.
+    pub pool: Option<PoolStats>,
 }
 
 #[cfg(test)]

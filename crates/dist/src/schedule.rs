@@ -3,7 +3,7 @@
 //! auto-tunes the bucket count against the α–β network model.
 
 use crate::cluster::ClusterConfig;
-use crate::collective::{modeled_bucket_costs, CollectiveScheduler};
+use crate::collective::{modeled_bucket_costs, with_ready_times, CollectiveScheduler};
 use sidco_core::compressor::CompressorKind;
 use sidco_core::layerwise::LayerLayout;
 
@@ -179,6 +179,54 @@ pub fn auto_bucket_layout(
     delta: f64,
     scheduler: &CollectiveScheduler,
 ) -> LayerLayout {
+    sweep_bucket_layouts(layers, cluster, kind, delta, scheduler, None)
+}
+
+/// [`auto_bucket_layout`] with gradient-arrival awareness: every candidate
+/// layout is scored at the release times *it* would induce — its own
+/// [`bucket_ready_times`] aggregation of the per-layer backward costs over
+/// `backward_seconds` — so an arrival-aware trainer optimises the schedule it
+/// will actually be charged. (Scoring at zero arrivals systematically favours
+/// coarse layouts: without release times there is no reward for output-side
+/// buckets that can start compressing mid-backward.) The arrival-aware
+/// makespan includes the backward pass itself, a constant across candidates,
+/// so the comparison is equivalent to comparing charged overheads.
+///
+/// # Panics
+///
+/// As [`auto_bucket_layout`], plus the [`bucket_ready_times`] alignment and
+/// finiteness requirements on `backward_costs` / `backward_seconds`.
+#[allow(clippy::too_many_arguments)]
+pub fn auto_bucket_layout_with_arrivals(
+    layers: &[usize],
+    backward_costs: &[f64],
+    backward_seconds: f64,
+    cluster: &ClusterConfig,
+    kind: CompressorKind,
+    delta: f64,
+    scheduler: &CollectiveScheduler,
+) -> LayerLayout {
+    sweep_bucket_layouts(
+        layers,
+        cluster,
+        kind,
+        delta,
+        scheduler,
+        Some((backward_costs, backward_seconds)),
+    )
+}
+
+/// The shared candidate sweep behind both auto-tuners: strict-improvement
+/// selection with earlier (coarser) candidates winning ties, optionally
+/// stamping each candidate's own release times before scheduling.
+fn sweep_bucket_layouts(
+    layers: &[usize],
+    cluster: &ClusterConfig,
+    kind: CompressorKind,
+    delta: f64,
+    scheduler: &CollectiveScheduler,
+    arrivals: Option<(&[f64], f64)>,
+) -> LayerLayout {
     assert!(
         delta > 0.0 && delta <= 1.0,
         "delta must lie in (0,1], got {delta}"
@@ -188,7 +236,11 @@ pub fn auto_bucket_layout(
     let stages = 2;
     let mut best: Option<(f64, LayerLayout)> = None;
     for layout in candidate_bucket_layouts(layers) {
-        let costs = modeled_bucket_costs(cluster, kind, delta, stages, &layout);
+        let mut costs = modeled_bucket_costs(cluster, kind, delta, stages, &layout);
+        if let Some((backward_costs, backward_seconds)) = arrivals {
+            let ready = bucket_ready_times(layers, backward_costs, backward_seconds, &layout);
+            costs = with_ready_times(costs, &ready);
+        }
         let makespan = scheduler.best_schedule(&costs).makespan();
         let better = match &best {
             Some((best_makespan, _)) => makespan < *best_makespan - 1e-15,
@@ -500,5 +552,49 @@ mod tests {
         );
         // The tuner must have actually bucketed the model.
         assert!(layout.len() > 1, "expected a multi-bucket layout");
+    }
+
+    #[test]
+    fn arrival_aware_tuner_scores_candidates_at_their_release_times() {
+        use crate::collective::{
+            modeled_bucket_costs, with_ready_times, CollectiveScheduler, PriorityPolicy,
+        };
+        use sidco_core::layerwise::LayerLayout;
+
+        let cluster = ClusterConfig::paper_dedicated();
+        let kind = CompressorKind::Sidco(sidco_stats::fit::SidKind::Exponential);
+        let scheduler = CollectiveScheduler::new(2, PriorityPolicy::NearestOutputFirst);
+        let layers: Vec<usize> = vec![1_728, 36_864, 294_912, 2_359_296, 4_194_304, 1_048_576];
+        let backward_costs = vec![1.0; layers.len()];
+        let backward_seconds = 0.05;
+
+        let aware = auto_bucket_layout_with_arrivals(
+            &layers,
+            &backward_costs,
+            backward_seconds,
+            &cluster,
+            kind,
+            0.01,
+            &scheduler,
+        );
+        assert_eq!(aware.total(), layers.iter().sum::<usize>());
+
+        // The arrival-aware makespan of a candidate layout: its own release
+        // times stamped onto its own modeled costs, as the sweep scores it.
+        let aware_makespan = |layout: &LayerLayout| {
+            let ready = bucket_ready_times(&layers, &backward_costs, backward_seconds, layout);
+            let costs = with_ready_times(
+                modeled_bucket_costs(&cluster, kind, 0.01, 2, layout),
+                &ready,
+            );
+            scheduler.best_schedule(&costs).makespan()
+        };
+        // Both the oblivious winner and the single flat bucket are candidates
+        // of the same sweep, so the arrival-aware winner must score at least
+        // as well as either at the release times each would induce.
+        let oblivious = auto_bucket_layout(&layers, &cluster, kind, 0.01, &scheduler);
+        assert!(aware_makespan(&aware) <= aware_makespan(&oblivious) + 1e-15);
+        let single = LayerLayout::single(layers.iter().sum());
+        assert!(aware_makespan(&aware) <= aware_makespan(&single) + 1e-15);
     }
 }

@@ -26,19 +26,25 @@
 //! bucketing converge bit-identically and differ purely in simulated time.
 
 use crate::cluster::ClusterConfig;
-use crate::collective::{BucketCost, CollectiveScheduler, PriorityPolicy, ScheduleAccounting};
+use crate::collective::{
+    release_order, BucketCost, CollectiveScheduler, PriorityPolicy, ScheduleAccounting,
+};
 use crate::metrics::{TrainingReport, TrainingSample};
 use crate::optimizer::Optimizer;
-use crate::overlap::{pipelined_overhead, OverlapAccounting};
-use crate::schedule::{auto_bucket_layout, bucket_ready_times, BucketPolicy, LrSchedule};
+use crate::overlap::{pipelined_overhead, DispatchReport, OverlapAccounting};
+use crate::schedule::{
+    auto_bucket_layout, auto_bucket_layout_with_arrivals, bucket_ready_times, BucketPolicy,
+    LrSchedule,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sidco_core::layerwise::LayerLayout;
 use sidco_core::metrics::EstimationQualityTracker;
-use sidco_core::{Compressor, ErrorFeedback};
+use sidco_core::{CompressionEngine, CompressionResult, Compressor, CompressorKind, ErrorFeedback};
 use sidco_models::DifferentiableModel;
+use sidco_runtime::{BucketRendezvous, Runtime, RuntimeKind};
 use sidco_tensor::{GradientVector, SparseGradient};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Seconds of simulated compute per example·parameter (forward + backward).
 ///
@@ -65,12 +71,14 @@ pub struct TrainerConfig {
     /// Keep the sparsification residual in per-worker error-feedback memory
     /// (the EC scheme the paper's convergence analysis assumes).
     pub error_feedback: bool,
-    /// Which scheme the simulated compression-latency model charges for
-    /// (the factory passed to [`ModelTrainer::new`] is an opaque closure, so
-    /// the cost model cannot infer it). `None` charges a generic two-pass
-    /// threshold scheme, which is right for SIDCo-style compressors but
-    /// undercharges exact Top-k — set it when comparing schemes on time.
-    pub compressor_kind: Option<sidco_core::compressor::CompressorKind>,
+    /// Which scheme the simulated compression-latency model charges for.
+    /// `None` asks the factory passed to [`ModelTrainer::new`] — a probe
+    /// compressor's [`Compressor::kind`] — so Top-k factories are charged as
+    /// Top-k without any out-of-band hint; only when the compressor does not
+    /// report a kind does the model fall back to a generic two-pass threshold
+    /// scheme. Set it explicitly to override the factory's self-description
+    /// (e.g. to price a custom compressor as a known scheme).
+    pub compressor_kind: Option<CompressorKind>,
     /// Number of near-equal gradient buckets compressed (and communicated)
     /// independently per iteration, DDP-style. 1 compresses the flat gradient
     /// in one piece. Used by [`BucketPolicy::Uniform`]; ignored when
@@ -159,13 +167,28 @@ pub const BACKWARD_COMPUTE_FRACTION: f64 = 2.0 / 3.0;
 /// [`ModelTrainer::run`] learns the real `delta`).
 const AUTO_TUNE_DELTA: f64 = 0.01;
 
-/// The compressor kind the cost model charges for (the factory is opaque).
-fn charged_kind(config: &TrainerConfig) -> sidco_core::compressor::CompressorKind {
+/// The compressor kind the cost model charges for: the explicit configuration
+/// override when set, otherwise whatever the factory's probe compressor
+/// reports about itself, otherwise the generic SIDCo-style two-pass scheme
+/// (also the dense baseline's placeholder — it has no probe to ask).
+fn resolve_charged_kind(config: &TrainerConfig, probe: Option<&dyn Compressor>) -> CompressorKind {
     config
         .compressor_kind
-        .unwrap_or(sidco_core::compressor::CompressorKind::Sidco(
+        .or_else(|| probe.and_then(Compressor::kind))
+        .unwrap_or(CompressorKind::Sidco(
             sidco_stats::fit::SidKind::Exponential,
         ))
+}
+
+/// The single gradient-clipping site shared by the dense and the compressed
+/// paths: both clip the raw per-worker gradient to `clip_norm` *before* error
+/// feedback reads it, so compressed-vs-dense trajectories differ only in what
+/// compression itself drops (a regression test pins this).
+fn clip_gradient(grad: GradientVector, clip_norm: Option<f64>) -> GradientVector {
+    match clip_norm {
+        Some(max_norm) => grad.clipped_by_norm(max_norm),
+        None => grad,
+    }
 }
 
 /// Synchronous data-parallel trainer.
@@ -184,7 +207,17 @@ pub struct ModelTrainer {
     layout: LayerLayout,
     /// `compressors[worker][bucket]` — each bucket keeps its own adaptive
     /// state, exactly like the per-tensor hooks of the reference integration.
-    compressors: Vec<Vec<Box<dyn Compressor>>>,
+    /// Mutex-wrapped so the per-cell state can cross into executor jobs
+    /// ([`Compressor`] is `Send` but not `Sync`); each iteration locks every
+    /// cell from exactly one job, so the locks are never contended.
+    compressors: Vec<Vec<Mutex<Box<dyn Compressor>>>>,
+    /// Scheme the cost model charges compression at, resolved once at
+    /// construction (explicit config override, else the factory's probe).
+    charged_kind: CompressorKind,
+    /// Executor the per-(worker, bucket) compression jobs are dispatched on —
+    /// by default the same process-wide runtime the [`CompressionEngine`]
+    /// uses, so trainer jobs and engine chunks share one pool.
+    executor: &'static dyn Runtime,
 }
 
 impl ModelTrainer {
@@ -206,10 +239,15 @@ impl ModelTrainer {
         F: Fn() -> Box<dyn Compressor>,
     {
         validate_cluster(&cluster, &config);
-        let layout = resolve_layout(&config, model.as_ref(), &cluster);
+        // Probe the factory once so the cost model can charge the scheme the
+        // workers actually run, not a hard-wired default.
+        let probe = factory();
+        let charged_kind = resolve_charged_kind(&config, Some(probe.as_ref()));
+        drop(probe);
+        let layout = resolve_layout(&config, model.as_ref(), &cluster, charged_kind);
         let buckets = layout.len();
         let compressors = (0..cluster.workers)
-            .map(|_| (0..buckets).map(|_| factory()).collect())
+            .map(|_| (0..buckets).map(|_| Mutex::new(factory())).collect())
             .collect();
         Self {
             model,
@@ -217,6 +255,8 @@ impl ModelTrainer {
             config,
             layout,
             compressors,
+            charged_kind,
+            executor: CompressionEngine::from_env().shared_runtime(),
         }
     }
 
@@ -227,14 +267,35 @@ impl ModelTrainer {
         config: TrainerConfig,
     ) -> Self {
         validate_cluster(&cluster, &config);
-        let layout = resolve_layout(&config, model.as_ref(), &cluster);
+        let charged_kind = resolve_charged_kind(&config, None);
+        let layout = resolve_layout(&config, model.as_ref(), &cluster, charged_kind);
         Self {
             model,
             cluster,
             config,
             layout,
             compressors: Vec::new(),
+            charged_kind,
+            executor: CompressionEngine::from_env().shared_runtime(),
         }
+    }
+
+    /// Dispatches the per-(worker, bucket) compression jobs on the given
+    /// runtime instead of the engine's process-wide default. The executor
+    /// changes *only* where the jobs run — convergence is bit-identical
+    /// across runtimes and thread counts, because every compressor cell sees
+    /// the same call sequence and the merge is serial in a fixed order.
+    #[must_use]
+    pub fn with_runtime(mut self, kind: RuntimeKind, threads: usize) -> Self {
+        self.executor = sidco_runtime::handle(kind, threads);
+        self
+    }
+
+    /// The scheme the simulated cost model charges compression at (explicit
+    /// [`TrainerConfig::compressor_kind`] override, else derived from the
+    /// factory's probe compressor).
+    pub fn charged_kind(&self) -> CompressorKind {
+        self.charged_kind
     }
 
     /// Trains for the configured number of iterations, compressing every
@@ -265,14 +326,17 @@ impl ModelTrainer {
             .map(|w| SmallRng::seed_from_u64(self.config.seed ^ (0x9E37 + w as u64)))
             .collect();
         for worker in &mut self.compressors {
-            for compressor in worker {
-                compressor.reset();
+            for cell in worker {
+                // INVARIANT: the cells are only ever locked from inside this
+                // method's dispatch, which has fully completed (or not yet
+                // started) whenever `run` holds `&mut self`.
+                cell.get_mut().expect("compressor cell poisoned").reset();
             }
         }
         // All workers compress concurrently; the slowest gates each bucket.
-        // Charge the configured scheme's modelled cost (falling back to a
-        // generic two-pass threshold scheme).
-        let charged_kind = charged_kind(&self.config);
+        // Charge the scheme resolved at construction (explicit override or
+        // the factory probe's self-reported kind).
+        let charged_kind = self.charged_kind;
 
         let mut quality = EstimationQualityTracker::new(delta);
         let mut samples = Vec::with_capacity(self.config.iterations as usize);
@@ -305,6 +369,15 @@ impl ModelTrainer {
             vec![0.0; buckets]
         };
 
+        // The executed dispatch mirrors the modeled compression stream: jobs
+        // are released bucket-by-bucket in gradient-arrival order (plain
+        // index order when arrival-oblivious), and the rendezvous observes
+        // the order buckets actually finish under work stealing.
+        let dispatch_order = release_order(&ready);
+        let rendezvous = BucketRendezvous::new(buckets, workers.max(1));
+        let pool_before = self.executor.stats();
+        let mut completion_order = Vec::new();
+
         for iteration in 0..self.config.iterations {
             let lr = self.config.schedule.lr_at(iteration);
             let mut aggregated = GradientVector::zeros(dim);
@@ -312,6 +385,11 @@ impl ModelTrainer {
             let mut bucket_payloads = vec![0usize; buckets];
             let mut bucket_compression = vec![0.0f64; buckets];
 
+            // Phase 1 (serial, worker order): mini-batch sampling, the
+            // forward/backward pass, clipping, and the error-feedback read.
+            // RNG and error-feedback state advance in exactly the serial
+            // trainer's order, independent of the dispatch below.
+            let mut corrected: Vec<GradientVector> = Vec::with_capacity(workers);
             for worker in 0..workers {
                 // Each worker samples its mini-batch from its shard of the
                 // dataset (round-robin assignment, with replacement).
@@ -324,23 +402,70 @@ impl ModelTrainer {
                         (within * workers + worker).min(num_examples - 1)
                     })
                     .collect();
-                let (loss, mut grad) = self.model.loss_and_gradient(params.as_slice(), &batch);
+                let (loss, grad) = self.model.loss_and_gradient(params.as_slice(), &batch);
                 loss_sum += loss;
-                if let Some(max_norm) = self.config.clip_norm {
-                    grad = grad.clipped_by_norm(max_norm);
-                }
+                let grad = clip_gradient(grad, self.config.clip_norm);
 
                 if compressed {
-                    let corrected = if self.config.error_feedback {
+                    corrected.push(if self.config.error_feedback {
                         feedback[worker].corrected(&grad)
                     } else {
                         grad
-                    };
+                    });
+                } else {
+                    quality.record(delta);
+                    aggregated.add_assign(&grad);
+                }
+            }
+
+            if compressed {
+                // Phase 2 (parallel): every (worker, bucket) cell is one
+                // independent job on the executor — real overlapped
+                // execution of the per-bucket compressions the cost model
+                // has always charged as concurrent. Cells are disjoint, so
+                // any steal order computes the same per-cell results.
+                rendezvous.reset();
+                let slots: Vec<Mutex<Option<CompressionResult>>> =
+                    (0..workers * buckets).map(|_| Mutex::new(None)).collect();
+                let compressors = &self.compressors;
+                self.executor.run_indexed(workers * buckets, &|job| {
+                    let bucket = dispatch_order[job / workers];
+                    let worker = job % workers;
+                    let (offset, size) = segments[bucket];
+                    let segment = &corrected[worker].as_slice()[offset..offset + size];
+                    // INVARIANT: each (worker, bucket) cell is locked by
+                    // exactly one job per iteration (`run_indexed` runs every
+                    // index exactly once), so the lock is uncontended and can
+                    // only be poisoned by this very job.
+                    let result = compressors[worker][bucket]
+                        .lock()
+                        .expect("compressor cell poisoned")
+                        .compress(segment, delta);
+                    // INVARIANT: one writer per slot, same argument.
+                    *slots[worker * buckets + bucket]
+                        .lock()
+                        .expect("result slot poisoned") = Some(result);
+                    rendezvous.arrive(bucket);
+                });
+                if iteration + 1 == self.config.iterations {
+                    completion_order = rendezvous.completion_order();
+                }
+
+                // Phase 3 (serial, worker-major order): merge exactly as the
+                // serial trainer did — quality, error feedback and the
+                // aggregation all see the same sequence of f32 additions, so
+                // convergence is bit-identical to serial execution.
+                for worker in 0..workers {
                     let mut indices: Vec<u32> = Vec::new();
                     let mut values: Vec<f32> = Vec::new();
                     for (bucket, &(offset, size)) in segments.iter().enumerate() {
-                        let segment = &corrected.as_slice()[offset..offset + size];
-                        let result = self.compressors[worker][bucket].compress(segment, delta);
+                        let mut slot = slots[worker * buckets + bucket]
+                            .lock()
+                            .expect("result slot poisoned");
+                        // INVARIANT: `run_indexed` returned, so every slot
+                        // was filled by its job.
+                        let result = slot.take().expect("dispatched job filled its slot");
+                        drop(slot);
                         let stages = result.stages_used.unwrap_or(1);
                         bucket_compression[bucket] =
                             bucket_compression[bucket].max(profile.compression_time_with_workers(
@@ -360,12 +485,9 @@ impl ModelTrainer {
                     let combined = SparseGradient::new(indices, values, dim);
                     quality.record(combined.achieved_ratio());
                     if self.config.error_feedback {
-                        feedback[worker].update_sparse(&corrected, &combined);
+                        feedback[worker].update_sparse(&corrected[worker], &combined);
                     }
                     combined.add_into(&mut aggregated);
-                } else {
-                    quality.record(delta);
-                    aggregated.add_assign(&grad);
                 }
             }
 
@@ -463,9 +585,26 @@ impl ModelTrainer {
                 schedule_accounting.serial_overhead(),
                 schedule_accounting.charged_overhead(),
             );
+            // Executor-side accounting: pool counters are diffed against the
+            // pre-run snapshot so concurrent users of the shared runtime
+            // (e.g. engine chunks) before this run are not attributed to it.
+            let pool = match (self.executor.stats(), pool_before) {
+                (Some(after), Some(before)) => Some(after.since(&before)),
+                (after, _) => after,
+            };
+            let dispatch = DispatchReport {
+                runtime: self.executor.name(),
+                parallelism: self.executor.parallelism(),
+                jobs: self.config.iterations,
+                tasks_per_job: workers * buckets,
+                dispatch_order,
+                completion_order,
+                pool,
+            };
             report
                 .with_overlap(overlap_accounting)
                 .with_schedule(schedule_accounting)
+                .with_dispatch(dispatch)
         } else {
             report
         }
@@ -497,6 +636,7 @@ fn resolve_layout(
     config: &TrainerConfig,
     model: &dyn DifferentiableModel,
     cluster: &ClusterConfig,
+    charged_kind: CompressorKind,
 ) -> LayerLayout {
     let dim = model.num_parameters();
     if let Some(layout) = &config.bucket_layout {
@@ -535,14 +675,28 @@ fn resolve_layout(
             // how costs are charged, or serial and overlapped runs of the
             // same config would stop converging bit-identically and serial
             // baselines would no longer share the overlapped run's bucketing.
+            // Arrival awareness is part of the configuration (not of the
+            // charging), so an arrival-aware trainer tunes at the release
+            // times each candidate would induce — keyed on `arrival_aware`
+            // alone, never on `overlap`.
             let scheduler = CollectiveScheduler::new(config.streams, config.priority);
-            auto_bucket_layout(
-                &layers,
-                cluster,
-                charged_kind(config),
-                AUTO_TUNE_DELTA,
-                &scheduler,
-            )
+            if config.arrival_aware {
+                let backward_seconds = BACKWARD_COMPUTE_FRACTION
+                    * COMPUTE_COST_PER_EXAMPLE_ELEMENT
+                    * config.batch_per_worker as f64
+                    * dim as f64;
+                auto_bucket_layout_with_arrivals(
+                    &layers,
+                    &model.layer_backward_costs(),
+                    backward_seconds,
+                    cluster,
+                    charged_kind,
+                    AUTO_TUNE_DELTA,
+                    &scheduler,
+                )
+            } else {
+                auto_bucket_layout(&layers, cluster, charged_kind, AUTO_TUNE_DELTA, &scheduler)
+            }
         }
     }
 }
@@ -752,6 +906,15 @@ mod tests {
         for entry in timeline.entries() {
             assert!(entry.compress_start >= entry.ready_at);
         }
+        // The executed dispatch releases buckets in the same arrival order
+        // the model schedules them in (earliest release first).
+        let dispatch = aware.dispatch().expect("dispatch report");
+        for pair in dispatch.dispatch_order.windows(2) {
+            assert!(
+                ready[pair[1]] >= ready[pair[0]],
+                "dispatch must follow gradient-arrival order"
+            );
+        }
     }
 
     #[test]
@@ -785,5 +948,117 @@ mod tests {
     #[should_panic(expected = "delta")]
     fn rejects_invalid_delta() {
         ModelTrainer::uncompressed(model(), ClusterConfig::small_test(), config(1)).run(0.0);
+    }
+
+    #[test]
+    fn charged_kind_is_derived_from_the_factory() {
+        // A Top-k factory with no explicit hint must be charged as Top-k
+        // (the probe's self-reported kind), not silently as SIDCo.
+        let trainer = ModelTrainer::new(model(), ClusterConfig::small_test(), config(20), || {
+            Box::new(TopKCompressor::new())
+        });
+        assert_eq!(trainer.charged_kind(), CompressorKind::TopK);
+
+        let run = |kind: Option<CompressorKind>| {
+            let cfg = TrainerConfig {
+                compressor_kind: kind,
+                ..config(20)
+            };
+            ModelTrainer::new(model(), ClusterConfig::small_test(), cfg, || {
+                Box::new(TopKCompressor::new())
+            })
+            .run(0.1)
+        };
+        // Deriving the kind charges exactly what an explicit pin charges...
+        let derived = run(None);
+        let pinned = run(Some(CompressorKind::TopK));
+        assert_eq!(derived.total_time(), pinned.total_time());
+        // ...and an explicit override still wins over the probe.
+        let sidco_kind = CompressorKind::Sidco(sidco_stats::fit::SidKind::Exponential);
+        let overridden = run(Some(sidco_kind));
+        assert_ne!(
+            derived.total_time(),
+            overridden.total_time(),
+            "Top-k and SIDCo charging must differ for this pin to matter"
+        );
+        let trainer = ModelTrainer::new(
+            model(),
+            ClusterConfig::small_test(),
+            TrainerConfig {
+                compressor_kind: Some(sidco_kind),
+                ..config(20)
+            },
+            || Box::new(TopKCompressor::new()),
+        );
+        assert_eq!(trainer.charged_kind(), sidco_kind);
+    }
+
+    #[test]
+    fn clipping_is_shared_between_dense_and_compressed_paths() {
+        // At δ = 1.0 Top-k keeps every element and the error-feedback
+        // residual stays zero, so a clipped compressed run must reproduce
+        // the clipped dense baseline bit-for-bit — pinning that both paths
+        // clip at the same site (before error feedback reads the gradient).
+        let cfg = TrainerConfig {
+            clip_norm: Some(0.5),
+            ..config(40)
+        };
+        let dense =
+            ModelTrainer::uncompressed(model(), ClusterConfig::small_test(), cfg.clone()).run(1.0);
+        let compressed = ModelTrainer::new(model(), ClusterConfig::small_test(), cfg, || {
+            Box::new(TopKCompressor::new())
+        })
+        .run(1.0);
+        let losses = |r: &TrainingReport| r.samples().iter().map(|s| s.loss).collect::<Vec<_>>();
+        assert_eq!(losses(&dense), losses(&compressed));
+        assert_eq!(dense.final_evaluation(), compressed.final_evaluation());
+    }
+
+    #[test]
+    fn pool_dispatch_preserves_serial_numerics_and_reports_execution() {
+        let run = |kind: RuntimeKind, threads: usize| {
+            let cfg = TrainerConfig {
+                buckets: 3,
+                overlap: true,
+                ..config(30)
+            };
+            ModelTrainer::new(model(), ClusterConfig::small_test(), cfg, || {
+                Box::new(TopKCompressor::new())
+            })
+            .with_runtime(kind, threads)
+            .run(0.1)
+        };
+        let serial = run(RuntimeKind::Scoped, 1);
+        let pooled = run(RuntimeKind::Pool, 3);
+        // Real concurrent execution, identical numerics.
+        let losses = |r: &TrainingReport| r.samples().iter().map(|s| s.loss).collect::<Vec<_>>();
+        assert_eq!(losses(&serial), losses(&pooled));
+        assert_eq!(serial.final_evaluation(), pooled.final_evaluation());
+        assert_eq!(serial.total_time(), pooled.total_time());
+
+        let dispatch = pooled.dispatch().expect("compressed run reports dispatch");
+        assert_eq!(dispatch.runtime, "pool");
+        assert_eq!(dispatch.parallelism, 3);
+        assert_eq!(dispatch.jobs, 30);
+        assert_eq!(dispatch.tasks_per_job, 4 * 3);
+        // Arrival-oblivious runs release buckets in index order.
+        assert_eq!(dispatch.dispatch_order, vec![0, 1, 2]);
+        // Every bucket completed exactly once on the last iteration, in
+        // whatever order stealing produced.
+        let mut completed = dispatch.completion_order.clone();
+        completed.sort_unstable();
+        assert_eq!(completed, vec![0, 1, 2]);
+        let pool = dispatch.pool.as_ref().expect("pool runtime keeps counters");
+        assert!(
+            pool.jobs >= 30,
+            "one fan-out per iteration, got {}",
+            pool.jobs
+        );
+        assert!(pool.chunks_executed >= 30 * 12);
+
+        let dispatch = serial.dispatch().expect("dispatch report");
+        assert_eq!(dispatch.runtime, "scoped");
+        assert_eq!(dispatch.parallelism, 1);
+        assert!(dispatch.pool.is_none());
     }
 }

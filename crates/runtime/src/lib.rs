@@ -29,13 +29,16 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod numa;
 pub mod pool;
+pub mod rendezvous;
 pub mod stats;
 pub(crate) mod sync;
 
 pub use numa::{NumaNode, NumaTopology};
 pub use pool::WorkStealing;
+pub use rendezvous::BucketRendezvous;
 pub use stats::PoolStats;
 
 use std::collections::HashMap;

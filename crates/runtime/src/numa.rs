@@ -41,6 +41,11 @@ pub struct NumaNode {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NumaTopology {
     nodes: Vec<NumaNode>,
+    /// The concrete CPU ids of each node, parallel to `nodes` — the mask
+    /// [`crate::affinity::pin_current_thread`] pins pool workers to. Sysfs
+    /// discovery reads them from `cpulist`; synthetic topologies number CPUs
+    /// sequentially across nodes (node 0 gets `0..c`, node 1 `c..2c`, …).
+    cpu_ids: Vec<Vec<usize>>,
 }
 
 impl NumaTopology {
@@ -63,7 +68,7 @@ impl NumaTopology {
     /// unless at least one node with at least one CPU is found.
     pub fn from_sysfs(root: &Path) -> Option<Self> {
         let entries = fs::read_dir(root).ok()?;
-        let mut nodes = Vec::new();
+        let mut parsed: Vec<(NumaNode, Vec<usize>)> = Vec::new();
         for entry in entries.flatten() {
             let name = entry.file_name();
             let name = name.to_str()?;
@@ -74,16 +79,18 @@ impl NumaTopology {
                 continue;
             };
             let cpulist = fs::read_to_string(entry.path().join("cpulist")).ok()?;
-            let cpus = parse_cpulist(cpulist.trim())?;
-            if cpus > 0 {
-                nodes.push(NumaNode { id, cpus });
+            let ids = parse_cpulist(cpulist.trim())?;
+            if !ids.is_empty() {
+                let cpus = ids.len();
+                parsed.push((NumaNode { id, cpus }, ids));
             }
         }
-        if nodes.is_empty() {
+        if parsed.is_empty() {
             return None;
         }
-        nodes.sort_by_key(|n| n.id);
-        Some(Self { nodes })
+        parsed.sort_by_key(|(n, _)| n.id);
+        let (nodes, cpu_ids) = parsed.into_iter().unzip();
+        Some(Self { nodes, cpu_ids })
     }
 
     /// A synthetic topology of `nodes` equal sockets with `cpus_per_node` CPUs
@@ -102,6 +109,9 @@ impl NumaTopology {
                     cpus: cpus_per_node,
                 })
                 .collect(),
+            cpu_ids: (0..nodes)
+                .map(|id| (id * cpus_per_node..(id + 1) * cpus_per_node).collect())
+                .collect(),
         }
     }
 
@@ -118,6 +128,15 @@ impl NumaTopology {
     /// Total CPU count across all nodes.
     pub fn total_cpus(&self) -> usize {
         self.nodes.iter().map(|n| n.cpus).sum()
+    }
+
+    /// The concrete CPU ids of `node` — the affinity mask a worker pinned to
+    /// that node should carry. Empty for out-of-range nodes. Synthetic
+    /// topologies number CPUs sequentially, so the ids a test topology names
+    /// need not exist on the host (pinning then degrades to a no-op, see
+    /// [`crate::affinity::pin_current_thread`]).
+    pub fn node_cpu_ids(&self, node: usize) -> &[usize] {
+        self.cpu_ids.get(node).map_or(&[], Vec::as_slice)
     }
 
     /// The socket a pool worker is pinned to, when `total_workers` workers are
@@ -172,13 +191,14 @@ impl Default for NumaTopology {
     }
 }
 
-/// Counts the CPUs in a sysfs `cpulist` string (e.g. `"0-3,8-11"` → 8).
-/// Returns `None` on malformed input; an empty string is zero CPUs.
-fn parse_cpulist(list: &str) -> Option<usize> {
+/// Expands a sysfs `cpulist` string into the CPU ids it names (e.g.
+/// `"0-3,8-11"` → `[0, 1, 2, 3, 8, 9, 10, 11]`). Returns `None` on malformed
+/// input; an empty string is zero CPUs.
+fn parse_cpulist(list: &str) -> Option<Vec<usize>> {
     if list.is_empty() {
-        return Some(0);
+        return Some(Vec::new());
     }
-    let mut count = 0usize;
+    let mut ids = Vec::new();
     for part in list.split(',') {
         let part = part.trim();
         match part.split_once('-') {
@@ -188,15 +208,14 @@ fn parse_cpulist(list: &str) -> Option<usize> {
                 if hi < lo {
                     return None;
                 }
-                count += hi - lo + 1;
+                ids.extend(lo..=hi);
             }
             None => {
-                let _: usize = part.parse().ok()?;
-                count += 1;
+                ids.push(part.parse().ok()?);
             }
         }
     }
-    Some(count)
+    Some(ids)
 }
 
 #[cfg(test)]
@@ -205,11 +224,14 @@ mod tests {
 
     #[test]
     fn cpulist_parsing() {
-        assert_eq!(parse_cpulist("0"), Some(1));
-        assert_eq!(parse_cpulist("0-3"), Some(4));
-        assert_eq!(parse_cpulist("0-3,8-11"), Some(8));
-        assert_eq!(parse_cpulist("0, 2 , 4-5"), Some(4));
-        assert_eq!(parse_cpulist(""), Some(0));
+        assert_eq!(parse_cpulist("0"), Some(vec![0]));
+        assert_eq!(parse_cpulist("0-3"), Some(vec![0, 1, 2, 3]));
+        assert_eq!(
+            parse_cpulist("0-3,8-11"),
+            Some(vec![0, 1, 2, 3, 8, 9, 10, 11])
+        );
+        assert_eq!(parse_cpulist("0, 2 , 4-5"), Some(vec![0, 2, 4, 5]));
+        assert_eq!(parse_cpulist(""), Some(Vec::new()));
         assert_eq!(parse_cpulist("3-1"), None);
         assert_eq!(parse_cpulist("x"), None);
     }
@@ -225,7 +247,7 @@ mod tests {
         assert_eq!(parse_cpulist(","), None);
         assert_eq!(parse_cpulist("0,,1"), None);
         // A degenerate range is one CPU, not zero.
-        assert_eq!(parse_cpulist("5-5"), Some(1));
+        assert_eq!(parse_cpulist("5-5"), Some(vec![5]));
     }
 
     #[test]
@@ -271,6 +293,10 @@ mod tests {
         assert_eq!(topo.nodes(), 2);
         assert_eq!(topo.total_cpus(), 16);
         assert_eq!(topo.node_list()[1], NumaNode { id: 1, cpus: 8 });
+        // Synthetic CPU ids are sequential across the nodes.
+        assert_eq!(topo.node_cpu_ids(0), (0..8).collect::<Vec<_>>());
+        assert_eq!(topo.node_cpu_ids(1), (8..16).collect::<Vec<_>>());
+        assert_eq!(topo.node_cpu_ids(2), &[] as &[usize]);
     }
 
     #[test]
@@ -305,6 +331,7 @@ mod tests {
     fn uneven_sockets_get_proportional_shares() {
         let topo = NumaTopology {
             nodes: vec![NumaNode { id: 0, cpus: 12 }, NumaNode { id: 1, cpus: 4 }],
+            cpu_ids: vec![(0..12).collect(), (12..16).collect()],
         };
         // 3:1 CPU ratio → 3:1 chunk split.
         let range0 = topo.node_range(0, 16);
@@ -336,6 +363,9 @@ mod tests {
         let topo = NumaTopology::from_sysfs(&dir).expect("mock tree parses");
         assert_eq!(topo.nodes(), 2);
         assert_eq!(topo.total_cpus(), 8);
+        // Concrete CPU ids come straight from each node's cpulist.
+        assert_eq!(topo.node_cpu_ids(0), &[0, 1, 2, 3]);
+        assert_eq!(topo.node_cpu_ids(1), &[4, 5, 6, 7]);
         let _ = fs::remove_dir_all(&dir);
         assert_eq!(
             NumaTopology::from_sysfs(Path::new("/nonexistent-sidco")),

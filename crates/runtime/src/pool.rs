@@ -316,8 +316,28 @@ impl Runtime for WorkStealing {
     }
 }
 
+/// Physically pins a freshly spawned worker to the CPUs of its assigned NUMA
+/// node, making the logical `worker_node` placement real. Failure (synthetic
+/// topology, unsupported platform) is recorded by omission: only successful
+/// pins bump `workers_pinned`, and the worker runs unpinned — placement is a
+/// performance measure, never a correctness one.
+#[cfg(not(sidco_loom))]
+fn pin_worker(shared: &PoolShared, id: usize) {
+    let socket = shared.worker_socket[id];
+    if crate::affinity::pin_current_thread(shared.topology.node_cpu_ids(socket)) {
+        StatCells::bump(&shared.stats.workers_pinned);
+    }
+}
+
+/// Under the loom model the "threads" are baton-serialized simulations — a
+/// real affinity syscall would pin the single OS thread running the whole
+/// model, so pinning is compiled out.
+#[cfg(sidco_loom)]
+fn pin_worker(_shared: &PoolShared, _id: usize) {}
+
 /// The worker main loop: find a task in locality order or park.
 fn worker_loop(shared: &Arc<PoolShared>, id: usize, deque: &Worker<Task>) {
+    pin_worker(shared, id);
     let me = Executor::Worker { id, deque };
     loop {
         match find_task(shared, &me) {

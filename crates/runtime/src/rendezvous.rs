@@ -1,0 +1,225 @@
+//! Bucket-completion rendezvous for overlapped trainer dispatch.
+//!
+//! When the trainer fans a step's per-worker, per-bucket compressions out
+//! onto the pool as one `run_indexed` job, it needs to know the order in
+//! which *buckets* (not individual tasks) finished: the collective scheduler
+//! releases a bucket to the wire once every worker's shard of it is
+//! compressed. [`BucketRendezvous`] is that join point — each task calls
+//! [`arrive`](BucketRendezvous::arrive) for its bucket, the last arrival
+//! completes the bucket and appends it to the completion order, and the
+//! caller reads the order back after the job (or blocks on
+//! [`wait_all`](BucketRendezvous::wait_all) when it overlaps other work).
+//!
+//! The completion order is *observational*: it feeds `TrainingReport`
+//! diagnostics so the measured release order can be compared against the
+//! charged `bucket_ready_times` order. Numerics never depend on it — the
+//! trainer merges results in a fixed serial order regardless of which bucket
+//! won the race.
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex};
+
+/// A reusable N-buckets × M-arrivals join point (see the module docs).
+///
+/// Loom-modeled in `tests/loom_pool.rs`: every interleaving of concurrent
+/// arrivals completes each bucket exactly once, wakes `wait_all`, and records
+/// a permutation of the bucket indices.
+#[derive(Debug)]
+pub struct BucketRendezvous {
+    arrivals_per_bucket: usize,
+    /// Outstanding arrivals per bucket; the task that decrements a cell to
+    /// zero is that bucket's completer.
+    remaining: Vec<AtomicUsize>,
+    /// Bucket indices in completion order, appended by each completer.
+    order: Mutex<Vec<usize>>,
+    /// Signalled (via `notify_all`) when the last bucket completes.
+    all_done: Condvar,
+}
+
+impl BucketRendezvous {
+    /// Creates a rendezvous expecting `arrivals_per_bucket` arrivals on each
+    /// of `buckets` buckets.
+    ///
+    /// # Panics
+    /// If `arrivals_per_bucket` is zero — a bucket that can never complete
+    /// would deadlock [`wait_all`](Self::wait_all).
+    pub fn new(buckets: usize, arrivals_per_bucket: usize) -> Self {
+        assert!(
+            arrivals_per_bucket > 0,
+            "a bucket with zero expected arrivals can never complete"
+        );
+        Self {
+            arrivals_per_bucket,
+            remaining: (0..buckets)
+                .map(|_| AtomicUsize::new(arrivals_per_bucket))
+                .collect(),
+            order: Mutex::new(Vec::with_capacity(buckets)),
+            all_done: Condvar::new(),
+        }
+    }
+
+    /// Number of buckets this rendezvous joins.
+    pub fn buckets(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Expected arrivals per bucket.
+    pub fn arrivals_per_bucket(&self) -> usize {
+        self.arrivals_per_bucket
+    }
+
+    /// Records one arrival on `bucket`. Returns `true` exactly once per
+    /// bucket per round — for the arrival that completed it (and appended it
+    /// to the completion order).
+    ///
+    /// # Panics
+    /// If `bucket` is out of range, or on over-arrival (more than
+    /// `arrivals_per_bucket` arrivals in one round — the counter would wrap).
+    pub fn arrive(&self, bucket: usize) -> bool {
+        // AcqRel: the release half publishes this task's writes (its
+        // compression result) to whoever observes the completion; the acquire
+        // half on the *final* decrement orders the completer after every
+        // earlier arrival, so completion happens-after all M tasks' work.
+        let prev = self.remaining[bucket].fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "over-arrival on bucket {bucket}");
+        if prev != 1 {
+            return false;
+        }
+        let mut order = self
+            .order
+            .lock()
+            // INVARIANT: completers only append to the Vec; no panic can
+            // poison this lock short of an allocation failure aborting.
+            .expect("rendezvous order lock poisoned");
+        order.push(bucket);
+        if order.len() == self.remaining.len() {
+            // Last bucket overall: wake a blocked `wait_all`. Signalled while
+            // holding the lock, so the waiter cannot miss it between its
+            // predicate check and its wait.
+            self.all_done.notify_all();
+        }
+        true
+    }
+
+    /// Blocks until every bucket has completed, then returns the bucket
+    /// indices in completion order (a permutation of `0..buckets()`).
+    pub fn wait_all(&self) -> Vec<usize> {
+        let mut order = self
+            .order
+            .lock()
+            // INVARIANT: see `arrive` — the critical sections cannot panic.
+            .expect("rendezvous order lock poisoned");
+        while order.len() < self.remaining.len() {
+            order = self
+                .all_done
+                .wait(order)
+                // INVARIANT: same lock, same non-poisoning critical sections.
+                .expect("rendezvous order lock poisoned");
+        }
+        order.clone()
+    }
+
+    /// Returns the completion order so far without blocking (complete iff its
+    /// length equals [`buckets`](Self::buckets)).
+    pub fn completion_order(&self) -> Vec<usize> {
+        self.order
+            .lock()
+            // INVARIANT: see `arrive` — the critical sections cannot panic.
+            .expect("rendezvous order lock poisoned")
+            .clone()
+    }
+
+    /// Re-arms the rendezvous for another round of arrivals, clearing the
+    /// completion order.
+    ///
+    /// The caller must be quiescent: no concurrent `arrive`/`wait_all` may be
+    /// in flight (the trainer calls this between iterations, after the
+    /// `run_indexed` barrier has already joined every task).
+    pub fn reset(&self) {
+        let mut order = self
+            .order
+            .lock()
+            // INVARIANT: see `arrive` — the critical sections cannot panic.
+            .expect("rendezvous order lock poisoned");
+        order.clear();
+        for cell in &self.remaining {
+            // Release: pairs with the AcqRel decrements of the next round, so
+            // arrivals observe the refilled counter, not a stale zero.
+            cell.store(self.arrivals_per_bucket, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(all(test, not(sidco_loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_threaded_round_trip_and_reset() {
+        let rv = BucketRendezvous::new(3, 2);
+        assert_eq!(rv.buckets(), 3);
+        assert_eq!(rv.arrivals_per_bucket(), 2);
+        // Complete buckets in the order 1, 0, 2.
+        assert!(!rv.arrive(1));
+        assert!(rv.arrive(1));
+        assert!(!rv.arrive(0));
+        assert!(rv.arrive(0));
+        assert!(!rv.arrive(2));
+        assert_eq!(rv.completion_order(), vec![1, 0]);
+        assert!(rv.arrive(2));
+        assert_eq!(rv.wait_all(), vec![1, 0, 2]);
+        rv.reset();
+        assert_eq!(rv.completion_order(), Vec::<usize>::new());
+        assert!(!rv.arrive(2));
+        assert!(rv.arrive(2));
+        assert!(!rv.arrive(0));
+        assert!(rv.arrive(0));
+        assert!(!rv.arrive(1));
+        assert!(rv.arrive(1));
+        assert_eq!(rv.wait_all(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn concurrent_arrivals_complete_each_bucket_exactly_once() {
+        let buckets = 4;
+        let arrivals = 8;
+        let rv = Arc::new(BucketRendezvous::new(buckets, arrivals));
+        let handles: Vec<_> = (0..arrivals)
+            .map(|_| {
+                let rv = Arc::clone(&rv);
+                std::thread::spawn(move || {
+                    (0..buckets).map(|b| rv.arrive(b)).collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        let order = rv.wait_all();
+        let mut completions = vec![0usize; buckets];
+        for handle in handles {
+            // INVARIANT: the arriving threads only touch the rendezvous and
+            // cannot panic.
+            let flags = handle.join().expect("arriver panicked");
+            for (bucket, was_completer) in flags.into_iter().enumerate() {
+                completions[bucket] += usize::from(was_completer);
+            }
+        }
+        assert_eq!(completions, vec![1; buckets]);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..buckets).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero expected arrivals")]
+    fn zero_arrivals_is_rejected() {
+        let _ = BucketRendezvous::new(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-arrival")]
+    fn over_arrival_is_detected() {
+        let rv = BucketRendezvous::new(1, 1);
+        assert!(rv.arrive(0));
+        let _ = rv.arrive(0);
+    }
+}

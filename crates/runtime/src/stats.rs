@@ -18,6 +18,10 @@ pub(crate) struct StatCells {
     pub(crate) remote_steals: AtomicU64,
     pub(crate) parks: AtomicU64,
     pub(crate) unparks: AtomicU64,
+    /// Workers whose `sched_setaffinity` pin succeeded at spawn (equals the
+    /// worker count on a supported host whose topology names online CPUs;
+    /// stays 0 on unsupported platforms or synthetic topologies).
+    pub(crate) workers_pinned: AtomicU64,
     /// Gauge (not monotone): workers currently blocked in the condvar wait.
     /// Every transition happens under the pool's sleep lock, paired with the
     /// matching `parks`/`unparks` bump, so a snapshot taken under that lock
@@ -38,6 +42,7 @@ impl StatCells {
             remote_steals: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
+            workers_pinned: AtomicU64::new(0),
             currently_parked: AtomicU64::new(0),
             socket_chunks: (0..sockets).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -64,6 +69,7 @@ impl StatCells {
             remote_steals: read(&self.remote_steals),
             parks: read(&self.parks),
             unparks: read(&self.unparks),
+            workers_pinned: read(&self.workers_pinned),
             currently_parked: read(&self.currently_parked),
             socket_chunks: self.socket_chunks.iter().map(read).collect(),
         }
@@ -103,6 +109,11 @@ pub struct PoolStats {
     pub parks: u64,
     /// Times a sleeping worker was woken by new work.
     pub unparks: u64,
+    /// Workers the kernel accepted a CPU-affinity mask for at spawn time
+    /// (see [`crate::affinity::pin_current_thread`]). Equals
+    /// `threads_spawned` on a supported Linux host; 0 where pinning is
+    /// unavailable — results are identical either way.
+    pub workers_pinned: u64,
     /// Workers blocked in the condvar wait at snapshot time — the gauge that
     /// balances the two monotone counters: every snapshot satisfies
     /// `parks - unparks == currently_parked` exactly, because park/unpark
@@ -137,6 +148,44 @@ impl PoolStats {
         }
         self.remote_steals as f64 / self.acquisitions() as f64
     }
+
+    /// The counter deltas accumulated since `baseline` — the snapshot-diff
+    /// idiom (`let before = pool.stats(); work(); pool.stats().since(&before)`)
+    /// as a method, so callers measure one workload instead of the pool's
+    /// lifetime. Monotone counters subtract saturating (a `baseline` from a
+    /// *different* pool yields zeros rather than wrapping); the two gauges are
+    /// carried over as-is: `currently_parked` is a point-in-time reading and
+    /// `workers_pinned` is fixed at spawn, so neither has a meaningful delta
+    /// and the `parks - unparks == currently_parked` ledger identity holds
+    /// only for full snapshots, not diffs.
+    #[must_use]
+    pub fn since(&self, baseline: &PoolStats) -> PoolStats {
+        PoolStats {
+            threads_spawned: self
+                .threads_spawned
+                .saturating_sub(baseline.threads_spawned),
+            jobs: self.jobs.saturating_sub(baseline.jobs),
+            chunks_executed: self
+                .chunks_executed
+                .saturating_sub(baseline.chunks_executed),
+            local_pops: self.local_pops.saturating_sub(baseline.local_pops),
+            injector_pops: self.injector_pops.saturating_sub(baseline.injector_pops),
+            sibling_steals: self.sibling_steals.saturating_sub(baseline.sibling_steals),
+            remote_steals: self.remote_steals.saturating_sub(baseline.remote_steals),
+            parks: self.parks.saturating_sub(baseline.parks),
+            unparks: self.unparks.saturating_sub(baseline.unparks),
+            workers_pinned: self.workers_pinned,
+            currently_parked: self.currently_parked,
+            socket_chunks: self
+                .socket_chunks
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    c.saturating_sub(baseline.socket_chunks.get(i).copied().unwrap_or(0))
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -162,5 +211,35 @@ mod tests {
         assert_eq!(stats.socket_chunks, vec![0, 1]);
         assert!((stats.remote_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(PoolStats::default().remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn since_diffs_monotone_counters_and_carries_gauges() {
+        let cells = StatCells::new(2);
+        StatCells::bump(&cells.jobs);
+        StatCells::bump(&cells.chunks);
+        StatCells::bump(&cells.socket_chunks[0]);
+        StatCells::bump(&cells.workers_pinned);
+        let before = cells.snapshot();
+        StatCells::bump(&cells.jobs);
+        StatCells::bump(&cells.chunks);
+        StatCells::bump(&cells.chunks);
+        StatCells::bump(&cells.socket_chunks[1]);
+        let delta = cells.snapshot().since(&before);
+        assert_eq!(delta.jobs, 1);
+        assert_eq!(delta.chunks_executed, 2);
+        assert_eq!(delta.socket_chunks, vec![0, 1]);
+        // Gauges carry the current reading rather than a delta.
+        assert_eq!(delta.workers_pinned, 1);
+        // A baseline from a larger/unrelated pool saturates instead of
+        // wrapping, including extra socket entries.
+        let foreign = PoolStats {
+            jobs: 100,
+            socket_chunks: vec![50, 50, 50],
+            ..PoolStats::default()
+        };
+        let sat = cells.snapshot().since(&foreign);
+        assert_eq!(sat.jobs, 0);
+        assert_eq!(sat.socket_chunks, vec![0, 0]);
     }
 }

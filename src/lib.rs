@@ -60,8 +60,9 @@ pub mod prelude {
     pub use sidco_dist::simulate::{simulate_benchmark, SimulationConfig};
     pub use sidco_dist::trainer::{ModelTrainer, TrainerConfig};
     pub use sidco_dist::{
-        BucketPolicy, CollectiveScheduler, FleetReport, FleetScheduler, HierarchicalTopology,
-        JobSpec, LrSchedule, NetworkModel, Optimizer, PriorityPolicy, SharePolicy, TenancyConfig,
+        BucketPolicy, CollectiveScheduler, DispatchReport, FleetReport, FleetScheduler,
+        HierarchicalTopology, JobSpec, LrSchedule, NetworkModel, Optimizer, PriorityPolicy,
+        SharePolicy, TenancyConfig,
     };
     pub use sidco_models::benchmarks::BenchmarkId;
     pub use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
