@@ -130,10 +130,62 @@ fn bench_fleet(c: &mut Criterion) {
     group.finish();
 }
 
+/// Heterogeneous-fleet smoke: the same modeled 8-bucket schedule priced on
+/// the mixed 10G/25G/100G fleet and the 2x-straggler testbed against the
+/// homogeneous two-tier baseline (per-node drain times and slowest-node
+/// compute gating must cost the same to *build*, only the charges move),
+/// plus a 2-tenant fleet arbitrating the straggler cluster's wire.
+fn bench_het_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("het_fleet");
+    let clusters = [
+        ("two-tier", ClusterConfig::paper_two_tier()),
+        ("mixed-fleet", ClusterConfig::paper_mixed_fleet()),
+        ("straggler-2x", ClusterConfig::paper_straggler()),
+    ];
+    let layout = LayerLayout::uniform(DIM, 8);
+    for (name, cluster) in &clusters {
+        let costs = modeled_bucket_costs(
+            cluster,
+            CompressorKind::Sidco(SidKind::Exponential),
+            DELTA,
+            2,
+            &layout,
+        );
+        let scheduler = CollectiveScheduler::new(4, PriorityPolicy::SmallestFirst);
+        group.bench_with_input(
+            BenchmarkId::new("schedule", *name),
+            &scheduler,
+            |b, scheduler| b.iter(|| scheduler.schedule(std::hint::black_box(&costs))),
+        );
+        let makespan = scheduler.best_schedule(&costs).makespan();
+        println!(
+            "het_fleet/modeled_makespan {name}: {:.6} ms",
+            makespan * 1e3
+        );
+    }
+    let jobs = fleet_jobs()[..2].to_vec();
+    let scheduler = FleetScheduler::new(ClusterConfig::paper_straggler(), SharePolicy::FairShare);
+    group.bench_with_input(
+        BenchmarkId::new("simulate", "straggler-2x-2job"),
+        &scheduler,
+        |b, scheduler| b.iter(|| scheduler.simulate(std::hint::black_box(&jobs))),
+    );
+    let report = scheduler.simulate(&jobs);
+    println!(
+        "het_fleet/straggler-2x fair-share 2-job: makespan {:.6} s, fairness \
+         {:.9}, serialized {:.6} s",
+        report.fleet_makespan(),
+        report.fairness_index(),
+        scheduler.serialized_end(&jobs),
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_schedule_construction,
     bench_auto_tuner,
-    bench_fleet
+    bench_fleet,
+    bench_het_fleet
 );
 criterion_main!(benches);

@@ -48,6 +48,25 @@ impl ErrorFeedback {
         &self.memory
     }
 
+    /// Adds another worker's residual into this memory — the migration
+    /// primitive elastic rescaling uses to fold a departing worker's error
+    /// feedback into a survivor, so the departing residual's gradient mass
+    /// re-enters training instead of being lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residual` has a different dimension than the memory.
+    pub fn fold_in(&mut self, residual: &GradientVector) {
+        assert_eq!(
+            residual.len(),
+            self.memory.len(),
+            "residual dimension {} does not match error-feedback memory {}",
+            residual.len(),
+            self.memory.len()
+        );
+        self.memory.add_assign(residual);
+    }
+
     /// Returns the error-corrected gradient `g + e` without modifying the memory.
     ///
     /// # Panics

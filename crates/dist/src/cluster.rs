@@ -1,10 +1,12 @@
 //! Cluster topologies used by the simulator and the trainer.
 
-use crate::device::{ComputeDevice, DeviceProfile};
-use crate::network::{HierarchicalTopology, NetworkModel};
+use crate::device::{ComputeDevice, ComputeSkew, DeviceProfile};
+use crate::network::{HierarchicalTopology, NetworkModel, NodeProfile};
+use sidco_core::compressor::CompressorKind;
 
-/// A homogeneous synchronous-SGD cluster: `workers` identical workers joined
-/// by one interconnect, compressing on one kind of device.
+/// A synchronous-SGD cluster: `workers` workers joined by one interconnect,
+/// compressing on one kind of device — homogeneous by default, with optional
+/// per-node heterogeneity.
 ///
 /// The default interconnect is flat (every worker one hop from every other on
 /// [`network`](Self::network)); setting [`topology`](Self::topology) replaces
@@ -13,6 +15,14 @@ use crate::network::{HierarchicalTopology, NetworkModel};
 /// model how many compression-engine threads each worker runs, so simulated
 /// compression latencies match a multi-threaded
 /// [`CompressionEngine`](sidco_core::engine::CompressionEngine) deployment.
+///
+/// **Heterogeneity.** Real fleets are not uniform: nodes carry different NICs
+/// ([`HierarchicalTopology::with_node_profiles`]), different compression
+/// devices ([`node_devices`](Self::node_devices)) and different effective
+/// compute speeds ([`compute_skew`](Self::compute_skew)). Synchronous SGD is
+/// gated by its slowest participant, so every heterogeneous charge takes the
+/// slowest node's time; leaving all three knobs at their defaults collapses
+/// bit-for-bit to the homogeneous model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of data-parallel workers.
@@ -27,6 +37,13 @@ pub struct ClusterConfig {
     /// Compression-engine worker threads per worker (≥ 1); scales the
     /// parallelisable part of the modelled compression time.
     pub engine_workers: usize,
+    /// Optional per-node compression devices (one entry per node, see
+    /// [`nodes`](Self::nodes)); `None` means every node compresses on
+    /// [`compression_device`](Self::compression_device).
+    pub node_devices: Option<Vec<ComputeDevice>>,
+    /// Optional per-node compute-slowdown factors (straggler injection, one
+    /// entry per node); `None` means every node is healthy (factor `1.0`).
+    pub compute_skew: Option<ComputeSkew>,
 }
 
 impl ClusterConfig {
@@ -38,6 +55,8 @@ impl ClusterConfig {
             compression_device: ComputeDevice::Gpu,
             topology: None,
             engine_workers: 1,
+            node_devices: None,
+            compute_skew: None,
         }
     }
 
@@ -50,6 +69,8 @@ impl ClusterConfig {
             compression_device: ComputeDevice::Gpu,
             topology: None,
             engine_workers: 1,
+            node_devices: None,
+            compute_skew: None,
         }
     }
 
@@ -71,6 +92,8 @@ impl ClusterConfig {
             compression_device: ComputeDevice::Gpu,
             topology: None,
             engine_workers: 1,
+            node_devices: None,
+            compute_skew: None,
         }
     }
 
@@ -89,6 +112,8 @@ impl ClusterConfig {
                 NetworkModel::ethernet_25g(),
             )),
             engine_workers: 1,
+            node_devices: None,
+            compute_skew: None,
         }
     }
 
@@ -112,12 +137,121 @@ impl ClusterConfig {
         }
     }
 
+    /// A mixed-fabric heterogeneous fleet over the Table-1 parts: 4 machines
+    /// × 2 GPUs behind one 10 Gbps, two 25 Gbps and one 100 Gbps NIC — the
+    /// mixed 10G/25G/100G cluster the ROADMAP's heterogeneity item calls for.
+    /// The inter-node exchange gates on the 10G node's drain time.
+    pub fn paper_mixed_fleet() -> Self {
+        let topology = HierarchicalTopology::new(
+            4,
+            2,
+            NetworkModel::infiniband_100g(),
+            NetworkModel::ethernet_25g(),
+        )
+        .with_node_profiles(vec![
+            NodeProfile::new(NetworkModel::ethernet_10g(), 1),
+            NodeProfile::new(NetworkModel::ethernet_25g(), 1),
+            NodeProfile::new(NetworkModel::infiniband_100g(), 1),
+            NodeProfile::new(NetworkModel::ethernet_25g(), 1),
+        ]);
+        Self::paper_two_tier().with_topology(topology)
+    }
+
+    /// The two-tier testbed with one straggler machine at half speed (2×
+    /// compute skew on node 1): compression and backward passes on that node
+    /// take twice as long, and every synchronous phase gates on it.
+    pub fn paper_straggler() -> Self {
+        let base = Self::paper_two_tier();
+        let nodes = base.nodes();
+        base.with_compute_skew(ComputeSkew::straggler(nodes, 1, 2.0))
+    }
+
     /// Sets the two-tier topology (its worker count becomes the cluster's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-node device or skew vector is set whose length
+    /// disagrees with the new topology's node count (rebuild those vectors
+    /// for the new fleet first).
     #[must_use]
     pub fn with_topology(mut self, topology: HierarchicalTopology) -> Self {
+        if let Some(devices) = &self.node_devices {
+            assert_eq!(
+                devices.len(),
+                topology.nodes,
+                "per-node device vector spans {} nodes but the new topology has {}",
+                devices.len(),
+                topology.nodes
+            );
+        }
+        if let Some(skew) = &self.compute_skew {
+            assert_eq!(
+                skew.nodes(),
+                topology.nodes,
+                "skew describes {} nodes but the new topology has {}",
+                skew.nodes(),
+                topology.nodes
+            );
+        }
         self.workers = topology.workers();
         self.topology = Some(topology);
         self
+    }
+
+    /// The cluster after one machine joined with default (healthy,
+    /// cluster-device) characteristics: the topology is re-derived with one
+    /// more node and every per-node vector gains a default entry. On a flat
+    /// cluster a machine is one worker. This is how the trainer rescales on a
+    /// [`ClusterEvent::Join`](crate::trainer::ClusterEvent).
+    #[must_use]
+    pub fn after_join(&self) -> Self {
+        let mut grown = self.clone();
+        if let Some(topology) = &self.topology {
+            let new_topology = topology.with_joined_node();
+            grown.workers = new_topology.workers();
+            grown.topology = Some(new_topology);
+        } else {
+            grown.workers += 1;
+        }
+        if let Some(devices) = &mut grown.node_devices {
+            devices.push(self.compression_device);
+        }
+        if let Some(skew) = &grown.compute_skew {
+            grown.compute_skew = Some(skew.with_joined());
+        }
+        grown
+    }
+
+    /// The cluster after the last machine left: the topology is re-derived
+    /// with one fewer node and every per-node vector drops its last entry.
+    /// `None` once a single machine remains — a fleet cannot shrink to
+    /// nothing.
+    #[must_use]
+    pub fn after_leave(&self) -> Option<Self> {
+        let mut shrunk = self.clone();
+        if let Some(topology) = &self.topology {
+            let new_topology = topology.without_last_node()?;
+            shrunk.workers = new_topology.workers();
+            shrunk.topology = Some(new_topology);
+        } else {
+            if self.workers <= 1 {
+                return None;
+            }
+            shrunk.workers -= 1;
+        }
+        if let Some(devices) = &mut shrunk.node_devices {
+            devices.pop();
+        }
+        if let Some(skew) = &shrunk.compute_skew {
+            shrunk.compute_skew = skew.without_last();
+            // INVARIANT: the skew tracks the node count (builders assert it),
+            // and we only get here with ≥ 2 nodes, so without_last succeeds.
+            assert!(
+                shrunk.compute_skew.is_some(),
+                "skew/node-count invariant violated on leave"
+            );
+        }
+        Some(shrunk)
     }
 
     /// Sets the modelled compression-engine worker count.
@@ -147,9 +281,195 @@ impl ClusterConfig {
         self.clone().with_engine_workers(granted)
     }
 
+    /// Sets per-node compression devices (one entry per [`node`](Self::nodes)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from [`nodes`](Self::nodes).
+    #[must_use]
+    pub fn with_node_devices(mut self, node_devices: Vec<ComputeDevice>) -> Self {
+        assert_eq!(
+            node_devices.len(),
+            self.nodes(),
+            "need one compression device per node ({} nodes, got {})",
+            self.nodes(),
+            node_devices.len()
+        );
+        self.node_devices = Some(node_devices);
+        self
+    }
+
+    /// Sets the per-node compute-slowdown factors (straggler injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the skew's node count differs from [`nodes`](Self::nodes).
+    #[must_use]
+    pub fn with_compute_skew(mut self, skew: ComputeSkew) -> Self {
+        assert_eq!(
+            skew.nodes(),
+            self.nodes(),
+            "skew describes {} nodes but the cluster has {}",
+            skew.nodes(),
+            self.nodes()
+        );
+        self.compute_skew = Some(skew);
+        self
+    }
+
+    /// Number of machines: the topology's node count, or one node per worker
+    /// on a flat cluster (the dedicated testbeds are one GPU per machine).
+    /// The unit all per-node heterogeneity vectors are indexed by.
+    pub fn nodes(&self) -> usize {
+        match &self.topology {
+            Some(topology) => topology.nodes,
+            None => self.workers,
+        }
+    }
+
+    /// Workers hosted on one machine (1 on a flat cluster).
+    pub fn workers_per_node(&self) -> usize {
+        match &self.topology {
+            Some(topology) => topology.workers_per_node,
+            None => 1,
+        }
+    }
+
+    /// The machine hosting worker `worker` (workers are laid out node-major:
+    /// node 0 hosts workers `0..workers_per_node`, and so on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= workers`.
+    pub fn node_of_worker(&self, worker: usize) -> usize {
+        assert!(
+            worker < self.workers,
+            "worker {worker} outside 0..{}",
+            self.workers
+        );
+        worker / self.workers_per_node()
+    }
+
     /// The device profile compression runs on.
     pub fn device_profile(&self) -> DeviceProfile {
         DeviceProfile::for_device(self.compression_device)
+    }
+
+    /// The device profile node `node` compresses on: its
+    /// [`node_devices`](Self::node_devices) entry when per-node devices are
+    /// set, the cluster-wide device otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or a per-node device vector of the
+    /// wrong length was hand-built (the builders reject both).
+    pub fn node_device_profile(&self, node: usize) -> DeviceProfile {
+        assert!(
+            node < self.nodes(),
+            "node {node} outside 0..{}",
+            self.nodes()
+        );
+        match &self.node_devices {
+            Some(devices) => {
+                assert_eq!(
+                    devices.len(),
+                    self.nodes(),
+                    "per-node device vector spans {} nodes but the cluster has {}",
+                    devices.len(),
+                    self.nodes()
+                );
+                DeviceProfile::for_device(devices[node])
+            }
+            None => self.device_profile(),
+        }
+    }
+
+    /// Node `node`'s compute-slowdown factor (`1.0` when no skew is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or a hand-built skew disagrees with
+    /// the node count.
+    pub fn node_compute_factor(&self, node: usize) -> f64 {
+        assert!(
+            node < self.nodes(),
+            "node {node} outside 0..{}",
+            self.nodes()
+        );
+        match &self.compute_skew {
+            Some(skew) => {
+                assert_eq!(
+                    skew.nodes(),
+                    self.nodes(),
+                    "skew describes {} nodes but the cluster has {}",
+                    skew.nodes(),
+                    self.nodes()
+                );
+                skew.factor(node)
+            }
+            None => 1.0,
+        }
+    }
+
+    /// The slowest node's compute-slowdown factor — what every synchronous
+    /// compute phase (forward/backward pass) is gated by. Exactly `1.0` on an
+    /// unskewed cluster, so multiplying a charge by it is bit-for-bit the
+    /// homogeneous charge.
+    pub fn slowest_compute_factor(&self) -> f64 {
+        match &self.compute_skew {
+            Some(skew) => {
+                assert_eq!(
+                    skew.nodes(),
+                    self.nodes(),
+                    "skew describes {} nodes but the cluster has {}",
+                    skew.nodes(),
+                    self.nodes()
+                );
+                skew.max_factor()
+            }
+            None => 1.0,
+        }
+    }
+
+    /// Modelled compression latency of worker `worker` for a `dim`-element
+    /// gradient: its node's device profile at this cluster's engine width,
+    /// stretched by its node's compute-slowdown factor. On a homogeneous
+    /// cluster this is bit-for-bit the cluster-wide
+    /// [`DeviceProfile::compression_time_with_workers`] charge (the factor is
+    /// exactly `1.0` and the profile the shared one).
+    pub fn worker_compression_time(
+        &self,
+        worker: usize,
+        kind: CompressorKind,
+        dim: usize,
+        delta: f64,
+        stages: usize,
+    ) -> f64 {
+        let node = self.node_of_worker(worker);
+        self.node_device_profile(node)
+            .compression_time_with_workers(kind, dim, delta, stages, self.engine_workers)
+            * self.node_compute_factor(node)
+    }
+
+    /// Modelled cluster-wide compression latency of a `dim`-element gradient:
+    /// synchronous SGD waits for every worker's compressed payload, so the
+    /// charge is the **slowest node's** skewed compression time. Collapses
+    /// bit-for-bit to the homogeneous charge when no per-node device or skew
+    /// is set (every node computes the identical time × `1.0`).
+    pub fn modeled_compression_time(
+        &self,
+        kind: CompressorKind,
+        dim: usize,
+        delta: f64,
+        stages: usize,
+    ) -> f64 {
+        (0..self.nodes())
+            .map(|node| {
+                self.node_device_profile(node)
+                    .compression_time_with_workers(kind, dim, delta, stages, self.engine_workers)
+                    * self.node_compute_factor(node)
+            })
+            .fold(0.0, f64::max)
     }
 
     /// The topology, checked for consistency with the declared worker count
@@ -317,6 +637,140 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn rejects_zero_engine_workers() {
         let _ = ClusterConfig::small_test().with_engine_workers(0);
+    }
+
+    #[test]
+    fn node_indexing_is_node_major() {
+        let flat = ClusterConfig::paper_dedicated();
+        assert_eq!(flat.nodes(), 8);
+        assert_eq!(flat.workers_per_node(), 1);
+        assert_eq!(flat.node_of_worker(5), 5);
+
+        let two_tier = ClusterConfig::paper_two_tier();
+        assert_eq!(two_tier.nodes(), 2);
+        assert_eq!(two_tier.workers_per_node(), 4);
+        assert_eq!(two_tier.node_of_worker(0), 0);
+        assert_eq!(two_tier.node_of_worker(3), 0);
+        assert_eq!(two_tier.node_of_worker(4), 1);
+        assert_eq!(two_tier.node_of_worker(7), 1);
+    }
+
+    #[test]
+    fn homogeneous_heterogeneity_knobs_collapse_bit_for_bit() {
+        use sidco_core::compressor::CompressorKind;
+        let base = ClusterConfig::paper_two_tier().with_engine_workers(2);
+        let knobbed = base
+            .clone()
+            .with_node_devices(vec![ComputeDevice::Gpu; 2])
+            .with_compute_skew(ComputeSkew::uniform(2));
+        let kind = CompressorKind::TopK;
+        assert_eq!(
+            knobbed.modeled_compression_time(kind, 1 << 20, 0.01, 1),
+            base.device_profile()
+                .compression_time_with_workers(kind, 1 << 20, 0.01, 1, 2)
+        );
+        for worker in 0..8 {
+            assert_eq!(
+                knobbed.worker_compression_time(worker, kind, 1 << 20, 0.01, 1),
+                base.device_profile()
+                    .compression_time_with_workers(kind, 1 << 20, 0.01, 1, 2)
+            );
+        }
+        assert_eq!(knobbed.slowest_compute_factor(), 1.0);
+    }
+
+    #[test]
+    fn straggler_preset_gates_compression_on_the_slow_node() {
+        use sidco_core::compressor::CompressorKind;
+        let base = ClusterConfig::paper_two_tier();
+        let straggler = ClusterConfig::paper_straggler();
+        let kind = CompressorKind::TopK;
+        let healthy = base.modeled_compression_time(kind, 1 << 20, 0.01, 1);
+        let skewed = straggler.modeled_compression_time(kind, 1 << 20, 0.01, 1);
+        assert_eq!(skewed, 2.0 * healthy, "the 2× straggler gates the fleet");
+        assert_eq!(straggler.slowest_compute_factor(), 2.0);
+        // Workers on the healthy node still compress at full speed.
+        assert_eq!(
+            straggler.worker_compression_time(0, kind, 1 << 20, 0.01, 1),
+            healthy
+        );
+        assert_eq!(
+            straggler.worker_compression_time(4, kind, 1 << 20, 0.01, 1),
+            2.0 * healthy
+        );
+    }
+
+    #[test]
+    fn mixed_device_fleet_charges_the_slowest_device() {
+        use sidco_core::compressor::CompressorKind;
+        // Node 1 compresses on the CPU: cluster-wide latency gates on
+        // whichever device is slower for the given compressor.
+        let mixed = ClusterConfig::paper_two_tier()
+            .with_node_devices(vec![ComputeDevice::Gpu, ComputeDevice::Cpu]);
+        let kind = CompressorKind::TopK;
+        let gpu = DeviceProfile::gpu().compression_time(kind, 1 << 20, 0.01, 1);
+        let cpu = DeviceProfile::cpu().compression_time(kind, 1 << 20, 0.01, 1);
+        assert_eq!(
+            mixed.modeled_compression_time(kind, 1 << 20, 0.01, 1),
+            gpu.max(cpu)
+        );
+        assert_eq!(mixed.node_device_profile(0).device, ComputeDevice::Gpu);
+        assert_eq!(mixed.node_device_profile(1).device, ComputeDevice::Cpu);
+    }
+
+    #[test]
+    fn mixed_fleet_preset_drains_slowest_at_the_10g_node() {
+        let mixed = ClusterConfig::paper_mixed_fleet();
+        assert_eq!(mixed.workers, 8);
+        assert_eq!(mixed.nodes(), 4);
+        let topology = mixed.topology.clone().expect("mixed fleet is two-tier");
+        let drains = topology.node_drain_times(1 << 20);
+        let slowest = drains.iter().copied().fold(0.0, f64::max);
+        assert_eq!(drains[0], slowest, "the 10G node gates the exchange");
+        // And it charges strictly more than the uniform 25G two-tier fleet.
+        assert!(
+            mixed.allgather_sparse(1 << 22)
+                > ClusterConfig::paper_two_tier().allgather_sparse(1 << 22)
+        );
+    }
+
+    #[test]
+    fn join_and_leave_rescale_topology_and_per_node_vectors() {
+        // Flat cluster: one machine is one worker.
+        let flat = ClusterConfig::small_test();
+        let grown = flat.after_join();
+        assert_eq!(grown.workers, 5);
+        assert_eq!(grown.after_leave().expect("can shrink back"), flat);
+
+        // Two-tier with every per-node knob set: all vectors stay aligned.
+        let het = ClusterConfig::paper_mixed_fleet()
+            .with_node_devices(vec![
+                ComputeDevice::Gpu,
+                ComputeDevice::Cpu,
+                ComputeDevice::Gpu,
+                ComputeDevice::Gpu,
+            ])
+            .with_compute_skew(ComputeSkew::straggler(4, 1, 1.5));
+        let grown = het.after_join();
+        assert_eq!(grown.nodes(), 5);
+        assert_eq!(grown.workers, 10);
+        assert_eq!(grown.node_devices.as_ref().unwrap().len(), 5);
+        assert_eq!(grown.compute_skew.as_ref().unwrap().nodes(), 5);
+        assert_eq!(grown.node_compute_factor(4), 1.0);
+        let topology = grown.topology.as_ref().unwrap();
+        assert_eq!(topology.node_profiles.as_ref().unwrap().len(), 5);
+        // The new node joins on the homogeneous default NIC.
+        assert_eq!(
+            topology.node_profiles.as_ref().unwrap()[4].nic,
+            NetworkModel::ethernet_25g()
+        );
+        let shrunk = grown.after_leave().expect("five nodes can lose one");
+        assert_eq!(shrunk, het, "join immediately undone by leave is a no-op");
+
+        // A fleet cannot shrink below one machine.
+        let mut lone = ClusterConfig::small_test();
+        lone.workers = 1;
+        assert_eq!(lone.after_leave(), None);
     }
 
     #[test]

@@ -660,11 +660,16 @@ pub fn projected_payload_bytes(delta: f64, size: usize) -> usize {
 }
 
 /// Per-bucket [`BucketCost`]s of `layout` under the cluster's analytic cost
-/// models: compression charged by the (engine-aware) device profile, payloads
-/// projected from the target ratio `delta` (via [`projected_payload_bytes`]),
-/// and communication split into its overlappable and link-serialised parts by
-/// the cluster's topology. All release times are zero; pair with
-/// [`with_ready_times`] to model gradient arrivals.
+/// models: compression charged at the **slowest node's** engine-aware device
+/// profile and compute skew
+/// ([`ClusterConfig::modeled_compression_time`] — synchronous SGD waits for
+/// every worker's payload, so a heterogeneous fleet gates on its slowest
+/// compressor), payloads projected from the target ratio `delta` (via
+/// [`projected_payload_bytes`]), and communication split into its
+/// overlappable and link-serialised parts by the cluster's topology —
+/// including per-node NIC drains when node profiles are set. On a homogeneous
+/// cluster every charge is bit-for-bit the cluster-wide one. All release
+/// times are zero; pair with [`with_ready_times`] to model gradient arrivals.
 pub fn modeled_bucket_costs(
     cluster: &ClusterConfig,
     kind: CompressorKind,
@@ -672,7 +677,6 @@ pub fn modeled_bucket_costs(
     stages: usize,
     layout: &LayerLayout,
 ) -> Vec<BucketCost> {
-    let profile = cluster.device_profile();
     layout
         .sizes()
         .iter()
@@ -681,13 +685,7 @@ pub fn modeled_bucket_costs(
             let (latency, transfer) = cluster.allgather_sparse_parts(payload);
             BucketCost {
                 ready_at: 0.0,
-                compression: profile.compression_time_with_workers(
-                    kind,
-                    size,
-                    delta,
-                    stages,
-                    cluster.engine_workers,
-                ),
+                compression: cluster.modeled_compression_time(kind, size, delta, stages),
                 latency,
                 transfer,
             }
@@ -1266,5 +1264,51 @@ mod tests {
         assert_eq!(release_order(&[3.0, 2.0, 0.5]), vec![2, 1, 0]);
         // Ties broken by ascending index, mixed arrivals sorted stably.
         assert_eq!(release_order(&[1.0, 0.0, 1.0, 0.0]), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn modeled_costs_charge_the_slowest_node_not_node_zero() {
+        use crate::cluster::ClusterConfig;
+        use sidco_core::compressor::CompressorKind;
+        use sidco_core::layerwise::LayerLayout;
+
+        let kind = CompressorKind::Sidco(sidco_stats::fit::SidKind::Exponential);
+        let layout = LayerLayout::uniform(4_000_000, 4);
+
+        // Compute skew on node 1 (never node 0): every bucket's compression
+        // charge doubles exactly, the wire parts don't move.
+        let healthy =
+            modeled_bucket_costs(&ClusterConfig::paper_two_tier(), kind, 0.01, 2, &layout);
+        let skewed =
+            modeled_bucket_costs(&ClusterConfig::paper_straggler(), kind, 0.01, 2, &layout);
+        for (h, s) in healthy.iter().zip(&skewed) {
+            assert_eq!(s.compression, 2.0 * h.compression);
+            assert_eq!(s.latency, h.latency);
+            assert_eq!(s.transfer, h.transfer);
+        }
+
+        // Mixed NICs: stripping the per-node profiles (leaving the uniform
+        // 25G inter link node 0 would advertise) must *shrink* the drain —
+        // i.e. the profiled charge is gated by the slow 10G node, not by
+        // node 0's view of the network.
+        let mixed_cluster = ClusterConfig::paper_mixed_fleet();
+        let uniform_topology = mixed_cluster
+            .topology
+            .clone()
+            // INVARIANT: the mixed-fleet preset always carries a topology.
+            .expect("mixed fleet preset has a topology");
+        let uniform_cluster =
+            mixed_cluster
+                .clone()
+                .with_topology(crate::network::HierarchicalTopology {
+                    node_profiles: None,
+                    ..uniform_topology
+                });
+        let mixed = modeled_bucket_costs(&mixed_cluster, kind, 0.01, 2, &layout);
+        let uniform = modeled_bucket_costs(&uniform_cluster, kind, 0.01, 2, &layout);
+        for (m, u) in mixed.iter().zip(&uniform) {
+            assert!(m.transfer > u.transfer, "10G node must gate the drain");
+            assert_eq!(m.compression, u.compression);
+        }
     }
 }

@@ -62,12 +62,14 @@ pub mod tenancy;
 pub mod trainer;
 
 pub use collective::{BucketCost, CollectiveScheduler, PriorityPolicy, ScheduleTimeline};
-pub use metrics::TrainingReport;
-pub use network::{HierarchicalTopology, NetworkModel};
+pub use device::ComputeSkew;
+pub use metrics::{RescaleRecord, TrainingReport};
+pub use network::{HierarchicalTopology, NetworkModel, NodeProfile};
 pub use optimizer::Optimizer;
 pub use overlap::DispatchReport;
 pub use schedule::{BucketPolicy, LrSchedule};
 pub use tenancy::{FleetReport, FleetScheduler, JobOutcome, JobSpec, SharePolicy, TenancyConfig};
+pub use trainer::ClusterEvent;
 
 /// Bytes on the wire per sparse element (u32 index + f32 value), matching
 /// [`sidco_tensor::SparseGradient::wire_bytes`]. Used wherever a payload size

@@ -2,7 +2,36 @@
 
 use crate::collective::ScheduleAccounting;
 use crate::overlap::{DispatchReport, OverlapAccounting};
+use crate::trainer::ClusterEvent;
 use sidco_core::metrics::{EstimationQualitySummary, EstimationQualityTracker};
+
+/// What one [`ClusterEvent`] did to the fleet, recorded when it fired.
+///
+/// The error-feedback masses are *signed* component sums across every
+/// worker's residual memory — the quantity migration conserves (folding a
+/// departing worker's residual into a survivor is vector addition, which
+/// cannot create or destroy signed mass beyond `f32` rounding; an L1 norm is
+/// not conserved because opposite-sign residuals cancel when folded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RescaleRecord {
+    /// Iteration the event fired before (the first iteration that ran on the
+    /// rescaled fleet).
+    pub step: u64,
+    /// The membership change that fired.
+    pub event: ClusterEvent,
+    /// Fleet size (workers) before the event.
+    pub workers_before: usize,
+    /// Fleet size (workers) after the event.
+    pub workers_after: usize,
+    /// Signed error-feedback mass summed over all workers before the event.
+    pub ef_mass_before: f64,
+    /// Signed error-feedback mass summed over all workers after the event.
+    pub ef_mass_after: f64,
+    /// Total L1 mass of the departing workers' residuals that was folded
+    /// into survivors (zero for a `Join`, and for departures with no
+    /// residual).
+    pub migrated_ef_l1: f64,
+}
 
 /// One recorded training iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +58,7 @@ pub struct TrainingReport {
     overlap: Option<OverlapAccounting>,
     schedule: Option<ScheduleAccounting>,
     dispatch: Option<DispatchReport>,
+    rescales: Vec<RescaleRecord>,
 }
 
 impl TrainingReport {
@@ -47,6 +77,7 @@ impl TrainingReport {
             overlap: None,
             schedule: None,
             dispatch: None,
+            rescales: Vec::new(),
         }
     }
 
@@ -74,6 +105,20 @@ impl TrainingReport {
     pub fn with_dispatch(mut self, dispatch: DispatchReport) -> Self {
         self.dispatch = Some(dispatch);
         self
+    }
+
+    /// Attaches the elastic-rescale log of a run whose configuration carried
+    /// [`ClusterEvent`]s, in firing order.
+    #[must_use]
+    pub fn with_rescales(mut self, rescales: Vec<RescaleRecord>) -> Self {
+        self.rescales = rescales;
+        self
+    }
+
+    /// Every cluster-membership change that fired during the run, in firing
+    /// order (empty for a run with no [`ClusterEvent`]s).
+    pub fn rescales(&self) -> &[RescaleRecord] {
+        &self.rescales
     }
 
     /// The compression↔communication overlap accounting, when the run was

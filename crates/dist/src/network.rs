@@ -100,6 +100,47 @@ impl NetworkModel {
     }
 }
 
+/// One machine's egress into the inter-node fabric: the NIC model it was
+/// actually cabled with and how many rails of it the node drives. The unit of
+/// heterogeneity for mixed 10G/25G/100G fleets — see
+/// [`HierarchicalTopology::with_node_profiles`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeProfile {
+    /// The NIC this node reaches the inter-node fabric through (per rail).
+    pub nic: NetworkModel,
+    /// NIC rails striping this node's egress (≥ 1).
+    pub nics: u32,
+}
+
+impl NodeProfile {
+    /// A profile of `nics` rails of `nic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nics` is zero or the NIC bandwidth is not a positive finite
+    /// number.
+    pub fn new(nic: NetworkModel, nics: u32) -> Self {
+        assert!(nics >= 1, "a node needs at least one NIC");
+        assert!(
+            nic.bandwidth_gbps.is_finite() && nic.bandwidth_gbps > 0.0,
+            "node NIC bandwidth must be positive and finite, got {}",
+            nic.bandwidth_gbps
+        );
+        Self { nic, nics }
+    }
+
+    /// The node's egress as one logical link: the rails stripe the bandwidth
+    /// term while per-hop latency is rail-independent — the same effective
+    /// model [`HierarchicalTopology::with_nics_per_node`] charges, so a
+    /// homogeneous profile vector collapses bit-for-bit to the uniform charge.
+    pub fn effective_nic(&self) -> NetworkModel {
+        NetworkModel {
+            bandwidth_gbps: self.nic.bandwidth_gbps * self.nics as f64,
+            latency: self.nic.latency,
+        }
+    }
+}
+
 /// A two-tier cluster interconnect: `nodes` machines of `workers_per_node`
 /// workers each, with a fast intra-node fabric (NVLink/PCIe-class) and a
 /// slower inter-node fabric (the datacentre network) reached through
@@ -133,6 +174,19 @@ impl NetworkModel {
 /// `nics_per_node == k`, and a single degraded node drags the whole exchange
 /// down to its rail count, which is exactly the straggler behaviour the
 /// ROADMAP item asked for.
+///
+/// **Per-node NIC profiles.** Mixed fleets go further than lost rails: nodes
+/// are cabled with *different NICs* (10G/25G/100G in one job). Per-node
+/// [`NodeProfile`] vectors ([`with_node_profiles`](Self::with_node_profiles))
+/// model that by replacing the slowest-complement (`min`-rail) charge with
+/// genuine **per-node drain times**: every node drains its `(nodes-1)`
+/// aggregate messages through its *own* effective NIC, and the inter-node
+/// stage completes when the slowest node finishes — the slowest-node critical
+/// path, monotone in any single node's slowdown. A homogeneous profile vector
+/// (every node on [`inter`](Self::inter) with `k` rails) computes identical
+/// per-node drains whose maximum is **bit-for-bit** the
+/// [`with_nics_per_node`](Self::with_nics_per_node)`(k)` charge; both
+/// identities are pinned in `tests/scheduler_properties.rs`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HierarchicalTopology {
     /// Number of machines.
@@ -152,6 +206,12 @@ pub struct HierarchicalTopology {
     /// (`min`); `None` means every node has
     /// [`nics_per_node`](Self::nics_per_node) rails.
     pub node_nics: Option<Vec<u32>>,
+    /// Optional per-node NIC profiles (one entry per machine). When set, the
+    /// inter-node phase is charged at the slowest node's **drain time**
+    /// (each node drains its aggregates through its own effective NIC) and
+    /// [`inter`](Self::inter)/[`node_nics`](Self::node_nics) are ignored for
+    /// that stage; `None` means every node shares [`inter`](Self::inter).
+    pub node_profiles: Option<Vec<NodeProfile>>,
 }
 
 impl HierarchicalTopology {
@@ -176,11 +236,12 @@ impl HierarchicalTopology {
             inter,
             nics_per_node: 1,
             node_nics: None,
+            node_profiles: None,
         }
     }
 
     /// Sets the number of NIC rails per node (homogeneous; clears any
-    /// per-node rail vector).
+    /// per-node rail or profile vector).
     ///
     /// # Panics
     ///
@@ -190,6 +251,7 @@ impl HierarchicalTopology {
         assert!(nics_per_node >= 1, "a node needs at least one NIC");
         self.nics_per_node = nics_per_node;
         self.node_nics = None;
+        self.node_profiles = None;
         self
     }
 
@@ -217,6 +279,37 @@ impl HierarchicalTopology {
             "every node needs at least one NIC"
         );
         self.node_nics = Some(node_nics);
+        self.node_profiles = None;
+        self
+    }
+
+    /// Sets heterogeneous per-node NIC profiles (entry `i` is node `i`'s
+    /// egress into the inter-node fabric). The inter-node phase is charged at
+    /// the slowest node's **drain time** — `max` over the per-node drains
+    /// rather than the `min`-rail complement — which is monotone in any
+    /// single node's slowdown. A homogeneous vector
+    /// `[NodeProfile::new(inter, k); nodes]` is bit-for-bit
+    /// [`with_nics_per_node`](Self::with_nics_per_node)`(k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from [`nodes`](Self::nodes)
+    /// (entries are validated by [`NodeProfile::new`]).
+    #[must_use]
+    pub fn with_node_profiles(mut self, node_profiles: Vec<NodeProfile>) -> Self {
+        assert_eq!(
+            node_profiles.len(),
+            self.nodes,
+            "need one NIC profile per node ({} nodes, got {})",
+            self.nodes,
+            node_profiles.len()
+        );
+        assert!(
+            node_profiles.iter().all(|p| p.nics >= 1),
+            "every node needs at least one NIC"
+        );
+        self.node_profiles = Some(node_profiles);
+        self.node_nics = None;
         self
     }
 
@@ -246,6 +339,108 @@ impl HierarchicalTopology {
             bandwidth_gbps: self.inter.bandwidth_gbps * self.bottleneck_nics() as f64,
             latency: self.inter.latency,
         }
+    }
+
+    /// Node `node`'s effective egress into the inter-node fabric: its
+    /// [`NodeProfile`] when per-node profiles are set, its
+    /// [`node_nics`](Self::node_nics) rail count striping
+    /// [`inter`](Self::inter) when only rails are heterogeneous, and the
+    /// uniform [bottleneck](Self::bottleneck_nics) model otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= nodes`.
+    pub fn node_inter_nic(&self, node: usize) -> NetworkModel {
+        assert!(node < self.nodes, "node {node} outside 0..{}", self.nodes);
+        if let Some(profiles) = &self.node_profiles {
+            return profiles[node].effective_nic();
+        }
+        if let Some(rails) = &self.node_nics {
+            return NetworkModel {
+                bandwidth_gbps: self.inter.bandwidth_gbps * rails[node] as f64,
+                latency: self.inter.latency,
+            };
+        }
+        self.inter_effective()
+    }
+
+    /// Per-node drain times of the inter-node exchange for a per-worker
+    /// sparse payload of `bytes` bytes: entry `i` is how long node `i` takes
+    /// to drain its `(nodes-1)` per-node-aggregate messages through its own
+    /// effective NIC ([`node_inter_nic`](Self::node_inter_nic)). All zeros
+    /// for a single node (there is no inter-node stage). Under per-node
+    /// profiles the hierarchical charge gates on the maximum entry — the
+    /// slowest-node critical path.
+    pub fn node_drain_times(&self, bytes: usize) -> Vec<f64> {
+        if self.nodes <= 1 || bytes == 0 {
+            return vec![0.0; self.nodes];
+        }
+        let aggregate = bytes.saturating_mul(self.workers_per_node);
+        (0..self.nodes)
+            .map(|node| {
+                self.node_inter_nic(node)
+                    .allgather_sparse(aggregate, self.nodes)
+            })
+            .collect()
+    }
+
+    /// The inter-node exchange of per-node aggregates of `aggregate` bytes
+    /// under per-node profiles, as the `(latency, transfer)` pair of the
+    /// slowest node (the node whose total drain is largest — the critical
+    /// path that gates the ring phase). With a homogeneous profile vector
+    /// every node computes the identical pair, so the maximum is bit-for-bit
+    /// the uniform [`inter_effective`](Self::inter_effective) charge.
+    fn slowest_profile_parts(
+        profiles: &[NodeProfile],
+        aggregate: usize,
+        nodes: usize,
+    ) -> (f64, f64) {
+        profiles
+            .iter()
+            .map(|p| p.effective_nic().allgather_sparse_parts(aggregate, nodes))
+            .max_by(|a, b| (a.0 + a.1).total_cmp(&(b.0 + b.1)))
+            // INVARIANT: with_node_profiles demands one profile per node and
+            // new() demands nodes ≥ 1, so the iterator is never empty.
+            .expect("with_node_profiles rejects empty vectors")
+    }
+
+    /// The topology after one machine joined: node count up by one, every
+    /// per-node vector extended with a default entry (the homogeneous rail
+    /// count, the shared [`inter`](Self::inter) NIC) — how the trainer
+    /// re-derives the fabric on a [`ClusterEvent::Join`](crate::trainer::ClusterEvent).
+    #[must_use]
+    pub fn with_joined_node(&self) -> Self {
+        let mut grown = self.clone();
+        grown.nodes += 1;
+        if let Some(rails) = &mut grown.node_nics {
+            // INVARIANT: with_nics_per_node rejects zero, so the homogeneous
+            // count always fits the ≥ 1 per-node contract; rail counts are
+            // small (`u32` NIC complements), so the cast cannot wrap.
+            rails.push(self.nics_per_node as u32);
+        }
+        if let Some(profiles) = &mut grown.node_profiles {
+            profiles.push(NodeProfile::new(self.inter, self.nics_per_node as u32));
+        }
+        grown
+    }
+
+    /// The topology after the last machine left (`None` once a single node
+    /// remains — the fabric cannot shrink to nothing). Per-node vectors drop
+    /// their last entry.
+    #[must_use]
+    pub fn without_last_node(&self) -> Option<Self> {
+        if self.nodes <= 1 {
+            return None;
+        }
+        let mut shrunk = self.clone();
+        shrunk.nodes -= 1;
+        if let Some(rails) = &mut shrunk.node_nics {
+            rails.pop();
+        }
+        if let Some(profiles) = &mut shrunk.node_profiles {
+            profiles.pop();
+        }
+        Some(shrunk)
     }
 
     /// A single machine: hierarchical collectives degenerate to flat
@@ -287,7 +482,18 @@ impl HierarchicalTopology {
         // INVARIANT: g ≥ 1 and bytes is a usize, so the quotient is finite,
         // non-negative, and no larger than `bytes` — the cast cannot saturate.
         let shard = (bytes as f64 / g).ceil() as usize;
-        intra_phases + self.inter_effective().allreduce_dense(shard, self.nodes)
+        let inter_phase = match &self.node_profiles {
+            // Per-node drains: the ring is gated by its slowest participant,
+            // so the phase completes when the slowest node's NIC finishes.
+            // Identical profiles compute identical drains, so the maximum is
+            // bit-for-bit the uniform charge.
+            Some(profiles) => profiles
+                .iter()
+                .map(|p| p.effective_nic().allreduce_dense(shard, self.nodes))
+                .fold(0.0, f64::max),
+            None => self.inter_effective().allreduce_dense(shard, self.nodes),
+        };
+        intra_phases + inter_phase
     }
 
     /// Hierarchical sparse all-gather where every worker contributes `bytes`
@@ -314,14 +520,42 @@ impl HierarchicalTopology {
                 .allgather_budget_bytes(budget, self.workers_per_node);
         }
         if self.workers_per_node == 1 {
-            return self
-                .inter_effective()
-                .allgather_budget_bytes(budget, self.nodes);
+            return match &self.node_profiles {
+                // The charge is the max over per-node drains, so the budget
+                // binds at the node affording the least — min over per-node
+                // inversions. Identical profiles invert identically.
+                Some(profiles) => profiles
+                    .iter()
+                    .map(|p| p.effective_nic().allgather_budget_bytes(budget, self.nodes))
+                    .fold(f64::INFINITY, f64::min),
+                None => self
+                    .inter_effective()
+                    .allgather_budget_bytes(budget, self.nodes),
+            };
         }
         // allgather_sparse is affine in the payload: time = floor + slope·bytes
         // with the three stage formulas' constants collected below.
         let g = self.workers_per_node as f64;
         let n = self.nodes as f64;
+        if let Some(profiles) = &self.node_profiles {
+            // Per node the charge is still affine (the shared intra stages
+            // plus that node's drain), so the payload the budget affords is
+            // the minimum over per-node inversions — the slowest node binds.
+            // Each per-node expression mirrors the uniform one below exactly,
+            // so a homogeneous vector inverts bit-for-bit.
+            return profiles
+                .iter()
+                .map(|p| {
+                    let floor = (g - 1.0) * self.intra.latency
+                        + (n - 1.0) * p.nic.latency
+                        + self.intra.latency;
+                    let slope = (g - 1.0) / self.intra.bytes_per_second()
+                        + (n - 1.0) * g / p.effective_nic().bytes_per_second()
+                        + (n - 1.0) * g / self.intra.bytes_per_second();
+                    ((budget - floor) / slope).max(0.0)
+                })
+                .fold(f64::INFINITY, f64::min);
+        }
         let floor =
             (g - 1.0) * self.intra.latency + (n - 1.0) * self.inter.latency + self.intra.latency;
         let slope = (g - 1.0) / self.intra.bytes_per_second()
@@ -347,17 +581,23 @@ impl HierarchicalTopology {
                 .allgather_sparse_parts(bytes, self.workers_per_node);
         }
         if self.workers_per_node == 1 {
-            return self
-                .inter_effective()
-                .allgather_sparse_parts(bytes, self.nodes);
+            return match &self.node_profiles {
+                Some(profiles) => Self::slowest_profile_parts(profiles, bytes, self.nodes),
+                None => self
+                    .inter_effective()
+                    .allgather_sparse_parts(bytes, self.nodes),
+            };
         }
         let g = self.workers_per_node;
         let n = self.nodes;
         // Stage 1: every node gathers its workers' payloads.
         let intra_gather = self.intra.allgather_sparse(bytes, g);
-        // Stage 2: nodes exchange their g-payload aggregates.
-        let (inter_latency, inter_transfer) =
-            self.inter_effective().allgather_sparse_parts(bytes * g, n);
+        // Stage 2: nodes exchange their g-payload aggregates — under
+        // per-node profiles the stage is gated by the slowest node's drain.
+        let (inter_latency, inter_transfer) = match &self.node_profiles {
+            Some(profiles) => Self::slowest_profile_parts(profiles, bytes * g, n),
+            None => self.inter_effective().allgather_sparse_parts(bytes * g, n),
+        };
         // Stage 3: each node fans the (n-1) remote aggregates out internally.
         let intra_fanout = if g > 1 && n > 1 {
             (n - 1) as f64 * (g * bytes) as f64 / self.intra.bytes_per_second() + self.intra.latency
@@ -611,6 +851,128 @@ mod tests {
                 .allgather_sparse(bytes),
             straggler.allgather_sparse(bytes)
         );
+    }
+
+    #[test]
+    fn homogeneous_node_profiles_collapse_bit_for_bit() {
+        let base = HierarchicalTopology::new(
+            3,
+            4,
+            NetworkModel::infiniband_100g(),
+            NetworkModel::ethernet_25g(),
+        );
+        for k in [1u32, 2, 4, 7] {
+            let homogeneous = base.clone().with_nics_per_node(k as usize);
+            let profiled = base.clone().with_node_profiles(vec![
+                NodeProfile::new(
+                    NetworkModel::ethernet_25g(),
+                    k
+                );
+                3
+            ]);
+            for bytes in [1usize, 1 << 10, 1 << 22] {
+                assert_eq!(
+                    profiled.allgather_sparse(bytes),
+                    homogeneous.allgather_sparse(bytes)
+                );
+                assert_eq!(
+                    profiled.allgather_sparse_parts(bytes),
+                    homogeneous.allgather_sparse_parts(bytes)
+                );
+                assert_eq!(
+                    profiled.allreduce_dense(bytes),
+                    homogeneous.allreduce_dense(bytes)
+                );
+            }
+            assert_eq!(
+                profiled.allgather_budget_bytes(0.002),
+                homogeneous.allgather_budget_bytes(0.002)
+            );
+        }
+        // The flat-inter degenerate tier collapses through the same path.
+        let flat = HierarchicalTopology::one_worker_per_node(4, NetworkModel::ethernet_25g());
+        let flat_profiled =
+            flat.clone()
+                .with_node_profiles(vec![NodeProfile::new(NetworkModel::ethernet_25g(), 1); 4]);
+        assert_eq!(
+            flat_profiled.allgather_sparse_parts(1 << 20),
+            flat.allgather_sparse_parts(1 << 20)
+        );
+        assert_eq!(
+            flat_profiled.allgather_budget_bytes(0.002),
+            flat.allgather_budget_bytes(0.002)
+        );
+    }
+
+    #[test]
+    fn mixed_nic_profiles_gate_on_the_slowest_drain() {
+        let base = HierarchicalTopology::new(
+            3,
+            2,
+            NetworkModel::infiniband_100g(),
+            NetworkModel::ethernet_25g(),
+        );
+        // One 10G node in an otherwise 25G/100G fleet: the exchange is gated
+        // by the 10G node's drain, so it must charge at least the uniform-10G
+        // inter stage would and strictly more than the all-25G fleet.
+        let mixed = base.clone().with_node_profiles(vec![
+            NodeProfile::new(NetworkModel::ethernet_10g(), 1),
+            NodeProfile::new(NetworkModel::ethernet_25g(), 1),
+            NodeProfile::new(NetworkModel::infiniband_100g(), 1),
+        ]);
+        let uniform_25g = base.clone();
+        let bytes = 1 << 22;
+        assert!(
+            mixed.allgather_sparse(bytes) > uniform_25g.allgather_sparse(bytes),
+            "a 10G node must drag the exchange below the 25G fleet"
+        );
+        // The drain vector exposes exactly who gates: node 0 is slowest.
+        let drains = mixed.node_drain_times(bytes);
+        assert_eq!(drains.len(), 3);
+        assert!(drains[0] > drains[1] && drains[1] > drains[2]);
+        // Upgrading a non-bottleneck node changes nothing; upgrading the
+        // straggler is a strict win (slowest-node critical path).
+        let upgraded_fast = base.clone().with_node_profiles(vec![
+            NodeProfile::new(NetworkModel::ethernet_10g(), 1),
+            NodeProfile::new(NetworkModel::ethernet_25g(), 4),
+            NodeProfile::new(NetworkModel::infiniband_100g(), 1),
+        ]);
+        assert_eq!(
+            upgraded_fast.allgather_sparse(bytes),
+            mixed.allgather_sparse(bytes)
+        );
+        let upgraded_straggler = base.clone().with_node_profiles(vec![
+            NodeProfile::new(NetworkModel::ethernet_25g(), 1),
+            NodeProfile::new(NetworkModel::ethernet_25g(), 1),
+            NodeProfile::new(NetworkModel::infiniband_100g(), 1),
+        ]);
+        assert!(upgraded_straggler.allgather_sparse(bytes) < mixed.allgather_sparse(bytes));
+        // Budget inversion round-trips through the slowest-node charge.
+        let affordable = mixed.allgather_budget_bytes(0.01);
+        assert!(affordable > 0.0);
+        let round_trip = mixed.allgather_sparse(affordable as usize);
+        assert!(
+            (round_trip - 0.01).abs() < 1e-6,
+            "round trip gave {round_trip}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one NIC profile per node")]
+    fn node_profiles_length_must_match_nodes() {
+        let _ = HierarchicalTopology::new(
+            3,
+            2,
+            NetworkModel::ethernet_25g(),
+            NetworkModel::ethernet_25g(),
+        )
+        .with_node_profiles(vec![NodeProfile::new(NetworkModel::ethernet_25g(), 1); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NIC")]
+    fn node_profiles_reject_zero_rails() {
+        let _ = NodeProfile::new(NetworkModel::ethernet_25g(), 0);
     }
 
     #[test]

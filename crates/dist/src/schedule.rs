@@ -597,4 +597,30 @@ mod tests {
         let single = LayerLayout::single(layers.iter().sum());
         assert!(aware_makespan(&aware) <= aware_makespan(&single) + 1e-15);
     }
+
+    #[test]
+    fn tuner_sees_heterogeneous_clusters_through_the_modeled_costs() {
+        use crate::collective::{modeled_bucket_costs, CollectiveScheduler, PriorityPolicy};
+
+        let kind = CompressorKind::Sidco(sidco_stats::fit::SidKind::Exponential);
+        let scheduler = CollectiveScheduler::new(2, PriorityPolicy::SmallestFirst);
+        let layers: Vec<usize> = vec![1_728, 36_864, 294_912, 2_359_296, 4_194_304, 1_048_576];
+
+        // The sweep scores candidates through `modeled_bucket_costs`, which
+        // charges the slowest node's compression and drain — so a straggler
+        // makes every candidate (and the winner's schedule) strictly dearer,
+        // while the winning layout stays a valid packing of the same layers.
+        let healthy = ClusterConfig::paper_two_tier();
+        let skewed = ClusterConfig::paper_straggler();
+        let tuned = auto_bucket_layout(&layers, &skewed, kind, 0.01, &scheduler);
+        assert_eq!(tuned.total(), layers.iter().sum::<usize>());
+        let makespan = |cluster: &ClusterConfig| {
+            let costs = modeled_bucket_costs(cluster, kind, 0.01, 2, &tuned);
+            scheduler.best_schedule(&costs).makespan()
+        };
+        assert!(
+            makespan(&skewed) > makespan(&healthy),
+            "a 2x straggler must make the tuned schedule dearer"
+        );
+    }
 }

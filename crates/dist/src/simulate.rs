@@ -222,19 +222,20 @@ pub fn simulate_benchmark(
     );
     let spec = config.benchmark.spec();
     let cluster = &config.cluster;
-    let profile = cluster.device_profile();
 
     // Split the benchmark's measured iteration into compute and dense
     // communication so the simulated baseline reproduces Table 1's
     // communication-overhead column on this cluster's network (hierarchical
-    // when the cluster has a two-tier topology).
+    // when the cluster has a two-tier topology). The synchronous compute
+    // phase is gated by the slowest node, so straggler skew stretches it
+    // (×1.0 exactly on a healthy fleet).
     let dense_comm = cluster.allreduce_dense(spec.gradient_bytes());
     let overhead = spec.communication_overhead.clamp(0.01, 0.99);
     let compute = if cluster.workers > 1 {
-        dense_comm * (1.0 - overhead) / overhead
+        dense_comm * (1.0 - overhead) / overhead * cluster.slowest_compute_factor()
     } else {
         // A single worker never communicates; give it a nominal compute time.
-        1e-3
+        1e-3 * cluster.slowest_compute_factor()
     };
 
     let mut generator = SyntheticGradientGenerator::new(
@@ -263,13 +264,9 @@ pub fn simulate_benchmark(
             // clamped to ≥ 1 wire element, like every other modelled payload.
             let payload = crate::collective::projected_payload_bytes(achieved, spec.parameters);
             (
-                profile.compression_time_with_workers(
-                    kind,
-                    spec.parameters,
-                    delta,
-                    stages,
-                    cluster.engine_workers,
-                ),
+                // Charged at the slowest node's device and skew, not node 0's
+                // profile — the whole fleet waits for the last payload.
+                cluster.modeled_compression_time(kind, spec.parameters, delta, stages),
                 cluster.allgather_sparse(payload),
             )
         } else {
@@ -442,6 +439,33 @@ mod tests {
             comm_hier < comm_flat,
             "hierarchical {comm_hier} should beat flat {comm_flat}"
         );
+    }
+
+    #[test]
+    fn straggler_skew_stretches_compute_and_compression_not_the_wire() {
+        // Pins the heterogeneity sweep: simulate_benchmark used to read only
+        // node 0's device profile, so a straggler elsewhere was free.
+        let healthy =
+            quick(BenchmarkId::Vgg16Cifar10).with_cluster(ClusterConfig::paper_two_tier());
+        let skewed =
+            quick(BenchmarkId::Vgg16Cifar10).with_cluster(ClusterConfig::paper_straggler());
+        let kind = CompressorKind::TopK;
+        let base = simulate_benchmark(&healthy, kind, 0.01);
+        let slow = simulate_benchmark(&skewed, kind, 0.01);
+        let base_t = base.timing.timings()[0];
+        let slow_t = slow.timing.timings()[0];
+        // The 2× straggler gates both synchronous compute phases exactly...
+        assert_eq!(slow_t.compute, 2.0 * base_t.compute);
+        assert_eq!(slow_t.compression, 2.0 * base_t.compression);
+        // ...while the wire charge is untouched (the NICs are healthy).
+        assert_eq!(slow_t.communication, base_t.communication);
+        // An all-ones skew collapses bit-for-bit to the unskewed run.
+        let uniform = quick(BenchmarkId::Vgg16Cifar10).with_cluster(
+            ClusterConfig::paper_two_tier()
+                .with_compute_skew(crate::device::ComputeSkew::uniform(2)),
+        );
+        let collapsed = simulate_benchmark(&uniform, kind, 0.01);
+        assert_eq!(collapsed.timing, base.timing);
     }
 
     #[test]

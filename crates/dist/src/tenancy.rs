@@ -612,9 +612,14 @@ impl FleetScheduler {
             bench.parameters.div_ceil(spec.buckets),
         );
         let scheduler = CollectiveScheduler::new(spec.streams, spec.policy);
+        // Same constant *and* same slowest-node gating as the trainer's
+        // clock, so a single-job fleet on any cluster — skewed or not —
+        // still collapses bit-for-bit onto the trainer (the factor is
+        // exactly 1.0 on a homogeneous fleet).
         let compute = COMPUTE_COST_PER_EXAMPLE_ELEMENT
             * bench.per_worker_batch as f64
-            * bench.parameters as f64;
+            * bench.parameters as f64
+            * self.cluster.slowest_compute_factor();
         let (dedicated_makespan, dedicated_wire) = self.price_with(
             &layout,
             &scheduler,
@@ -842,6 +847,7 @@ impl FleetScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::HierarchicalTopology;
 
     const DELTA: f64 = 0.01;
 
@@ -1055,5 +1061,46 @@ mod tests {
     #[should_panic(expected = "outside (0, 1]")]
     fn invalid_delta_is_rejected() {
         fleet(SharePolicy::Fifo).simulate(&[JobSpec::new("bad", BenchmarkId::LstmPtb, 0.0)]);
+    }
+
+    #[test]
+    fn heterogeneous_clusters_price_the_slowest_node_into_every_charge() {
+        let solo = |cluster: ClusterConfig| {
+            FleetScheduler::new(cluster, SharePolicy::FairShare).simulate(&[job("solo", 0.0)])
+        };
+        let healthy = solo(ClusterConfig::paper_two_tier());
+        let straggler = solo(ClusterConfig::paper_straggler());
+        // A 2x compute straggler makes every dedicated iteration strictly
+        // more expensive, yet the solo job still collapses onto its own
+        // dedicated yardstick — contention, not heterogeneity, is what
+        // creates slowdown.
+        assert!(
+            straggler.jobs[0].dedicated_iteration > healthy.jobs[0].dedicated_iteration,
+            "straggler pricing must exceed the healthy fleet"
+        );
+        for report in [&healthy, &straggler] {
+            let outcome = &report.jobs[0];
+            for &charge in &outcome.charges {
+                assert_eq!(charge, outcome.dedicated_iteration);
+            }
+        }
+        // A mixed-NIC fleet is gated by its slowest (10G) node's drain.
+        let mixed = solo(ClusterConfig::paper_mixed_fleet());
+        let uniform = solo(
+            ClusterConfig::paper_mixed_fleet().with_topology(
+                ClusterConfig::paper_mixed_fleet()
+                    .topology
+                    .map(|t| HierarchicalTopology {
+                        node_profiles: None,
+                        ..t
+                    })
+                    // INVARIANT: paper_mixed_fleet always carries a topology.
+                    .expect("mixed fleet preset has a topology"),
+            ),
+        );
+        assert!(
+            mixed.jobs[0].dedicated_iteration > uniform.jobs[0].dedicated_iteration,
+            "the 10G node must gate the mixed fleet's drain"
+        );
     }
 }

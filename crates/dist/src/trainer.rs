@@ -29,7 +29,7 @@ use crate::cluster::ClusterConfig;
 use crate::collective::{
     release_order, BucketCost, CollectiveScheduler, PriorityPolicy, ScheduleAccounting,
 };
-use crate::metrics::{TrainingReport, TrainingSample};
+use crate::metrics::{RescaleRecord, TrainingReport, TrainingSample};
 use crate::optimizer::Optimizer;
 use crate::overlap::{pipelined_overhead, DispatchReport, OverlapAccounting};
 use crate::schedule::{
@@ -52,6 +52,36 @@ use std::sync::{Arc, Mutex};
 /// job's compute phase with the *same* constant the trainer charges — the
 /// single-job fleet must collapse bit-for-bit onto the trainer's clock.
 pub const COMPUTE_COST_PER_EXAMPLE_ELEMENT: f64 = 2.0e-9;
+
+/// A cluster-membership change applied at an iteration boundary.
+///
+/// Events fire *before* the iteration whose index equals their step runs:
+/// `Join(3)` means iteration 3 already trains on the grown fleet. On a
+/// two-tier topology one machine is `workers_per_node` workers; on a flat
+/// cluster it is a single worker. Joining workers start from scratch — fresh
+/// error-feedback memory, a fresh per-worker RNG (the same seed derivation a
+/// worker built at step 0 gets), fresh compressor state — and data shards
+/// repartition automatically because sharding is derived from the live
+/// worker count. A leaving machine's error-feedback residuals fold into the
+/// survivors round-robin, so no gradient mass is lost; a `Join` immediately
+/// undone by a `Leave` at the same step is bit-identical to no event at all.
+/// Events whose step is at or past [`TrainerConfig::iterations`] never fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterEvent {
+    /// One machine joins before iteration `.0` runs.
+    Join(u64),
+    /// The most recently added machine leaves before iteration `.0` runs.
+    Leave(u64),
+}
+
+impl ClusterEvent {
+    /// The iteration the event fires before.
+    pub fn step(&self) -> u64 {
+        match self {
+            Self::Join(step) | Self::Leave(step) => *step,
+        }
+    }
+}
 
 /// Hyper-parameters of one training run.
 #[derive(Debug, Clone)]
@@ -129,6 +159,11 @@ pub struct TrainerConfig {
     /// [`overlap`](Self::overlap) this only moves simulated time, never the
     /// numerics, and is only consulted when `overlap` is on.
     pub arrival_aware: bool,
+    /// Cluster-membership changes applied at iteration boundaries, fired in
+    /// ascending step order (configuration order within a step). Empty (the
+    /// default) trains on a fixed fleet. See [`ClusterEvent`] for the
+    /// migration semantics.
+    pub cluster_events: Vec<ClusterEvent>,
     /// Seed for parameter initialisation and mini-batch sampling.
     pub seed: u64,
 }
@@ -151,6 +186,7 @@ impl Default for TrainerConfig {
             streams: 1,
             priority: PriorityPolicy::Fifo,
             arrival_aware: false,
+            cluster_events: Vec::new(),
             seed: 17,
         }
     }
@@ -246,7 +282,11 @@ impl ModelTrainer {
         drop(probe);
         let layout = resolve_layout(&config, model.as_ref(), &cluster, charged_kind);
         let buckets = layout.len();
-        let compressors = (0..cluster.workers)
+        // Sized for the event timeline's worker-count peak, not the starting
+        // fleet: rows beyond the live worker count sit idle until a
+        // `ClusterEvent::Join` activates them (reset to fresh state), so the
+        // factory never needs to outlive construction.
+        let compressors = (0..event_worker_peak(&cluster, &config))
             .map(|_| (0..buckets).map(|_| Mutex::new(factory())).collect())
             .collect();
         Self {
@@ -298,6 +338,48 @@ impl ModelTrainer {
         self.charged_kind
     }
 
+    /// The cluster-derived charging context: modelled compute time per
+    /// iteration (gated on the slowest node's [`ComputeSkew`] factor —
+    /// exactly `1.0` unskewed, so homogeneous fleets collapse bit-for-bit
+    /// onto the old charge), the backward share that releases buckets, the
+    /// per-bucket release times, and the dispatch order. With arrival-aware
+    /// scheduling the backward share of the compute releases buckets as
+    /// their gradients materialise (output-side first); the scheduled
+    /// makespan then *includes* the backward pass, so the charged overhead
+    /// is the makespan beyond it. A zero backward duration
+    /// (arrival-oblivious charging) keeps every release at zero.
+    /// Re-derived whenever a [`ClusterEvent`] rescales the fleet.
+    ///
+    /// [`ComputeSkew`]: crate::device::ComputeSkew
+    fn charging_context(
+        &self,
+        cluster: &ClusterConfig,
+        compressed: bool,
+    ) -> (f64, f64, Vec<f64>, Vec<usize>) {
+        let dim = self.model.num_parameters();
+        let compute_time = COMPUTE_COST_PER_EXAMPLE_ELEMENT
+            * self.config.batch_per_worker as f64
+            * dim as f64
+            * cluster.slowest_compute_factor();
+        let backward_time = if compressed && self.config.overlap && self.config.arrival_aware {
+            BACKWARD_COMPUTE_FRACTION * compute_time
+        } else {
+            0.0
+        };
+        let ready: Vec<f64> = if backward_time > 0.0 {
+            bucket_ready_times(
+                &self.model.layer_sizes(),
+                &self.model.layer_backward_costs(),
+                backward_time,
+                &self.layout,
+            )
+        } else {
+            vec![0.0; self.layout.len()]
+        };
+        let dispatch_order = release_order(&ready);
+        (compute_time, backward_time, ready, dispatch_order)
+    }
+
     /// Trains for the configured number of iterations, compressing every
     /// worker's gradient to the target ratio `delta`, and returns the full
     /// trajectory. For the uncompressed baseline pass `delta = 1.0`.
@@ -312,7 +394,11 @@ impl ModelTrainer {
         );
         let dim = self.model.num_parameters();
         let num_examples = self.model.num_examples();
-        let workers = self.cluster.workers;
+        // The live cluster: `ClusterEvent`s rescale this local copy at
+        // iteration boundaries, never the configured starting fleet, so
+        // repeated `run` calls replay the same elastic trajectory.
+        let mut cluster = self.cluster.clone();
+        let mut workers = cluster.workers;
         let compressed = !self.compressors.is_empty();
         let segments: Vec<(usize, usize)> = self.layout.segments().collect();
         let buckets = segments.len();
@@ -344,41 +430,94 @@ impl ModelTrainer {
         let mut schedule_accounting =
             ScheduleAccounting::new(buckets, self.config.streams, self.config.priority);
         let mut clock = 0.0_f64;
-        let profile = self.cluster.device_profile();
-
-        let compute_time =
-            COMPUTE_COST_PER_EXAMPLE_ELEMENT * self.config.batch_per_worker as f64 * dim as f64;
-        // With arrival-aware scheduling the backward share of the compute
-        // releases buckets as their gradients materialise (output-side
-        // first); the scheduled makespan then *includes* the backward pass,
-        // so the charged overhead is the makespan beyond it. A zero backward
-        // duration (arrival-oblivious charging) keeps every release at zero.
-        let backward_time = if compressed && self.config.overlap && self.config.arrival_aware {
-            BACKWARD_COMPUTE_FRACTION * compute_time
-        } else {
-            0.0
-        };
-        let ready: Vec<f64> = if backward_time > 0.0 {
-            bucket_ready_times(
-                &self.model.layer_sizes(),
-                &self.model.layer_backward_costs(),
-                backward_time,
-                &self.layout,
-            )
-        } else {
-            vec![0.0; buckets]
-        };
 
         // The executed dispatch mirrors the modeled compression stream: jobs
         // are released bucket-by-bucket in gradient-arrival order (plain
         // index order when arrival-oblivious), and the rendezvous observes
-        // the order buckets actually finish under work stealing.
-        let dispatch_order = release_order(&ready);
-        let rendezvous = BucketRendezvous::new(buckets, workers.max(1));
+        // the order buckets actually finish under work stealing. All of it is
+        // re-derived whenever a `ClusterEvent` rescales the fleet.
+        let (mut compute_time, mut backward_time, mut ready, mut dispatch_order) =
+            self.charging_context(&cluster, compressed);
+        let mut rendezvous = BucketRendezvous::new(buckets, workers.max(1));
         let pool_before = self.executor.stats();
         let mut completion_order = Vec::new();
 
+        let events = sorted_events(&self.config);
+        let mut next_event = 0usize;
+        let mut rescales: Vec<RescaleRecord> = Vec::new();
+
         for iteration in 0..self.config.iterations {
+            if next_event < events.len() && events[next_event].step() <= iteration {
+                while next_event < events.len() && events[next_event].step() <= iteration {
+                    let event = events[next_event];
+                    next_event += 1;
+                    let workers_before = workers;
+                    let ef_mass_before = total_ef_mass(&feedback);
+                    let mut migrated_ef_l1 = 0.0;
+                    match event {
+                        ClusterEvent::Join(_) => {
+                            cluster = cluster.after_join();
+                            for w in workers..cluster.workers {
+                                feedback.push(ErrorFeedback::new(dim));
+                                batch_rngs.push(SmallRng::seed_from_u64(
+                                    self.config.seed ^ (0x9E37 + w as u64),
+                                ));
+                                if compressed {
+                                    // The matrix was sized for the timeline's
+                                    // peak at construction; resetting gives
+                                    // the joiner the state a worker built at
+                                    // step 0 would have.
+                                    for cell in &mut self.compressors[w] {
+                                        // INVARIANT: `&mut self` proves no
+                                        // dispatched job holds the lock.
+                                        cell.get_mut().expect("compressor cell poisoned").reset();
+                                    }
+                                }
+                            }
+                            workers = cluster.workers;
+                        }
+                        ClusterEvent::Leave(_) => {
+                            cluster = cluster
+                                .after_leave()
+                                // INVARIANT: validate_cluster replayed the
+                                // whole timeline at construction, so the
+                                // fleet still has a machine to lose.
+                                .expect("validated event timeline cannot empty the fleet");
+                            let survivors = cluster.workers;
+                            // Departing residuals fold into survivors
+                            // round-robin so no gradient mass is lost.
+                            // Zero-mass residuals are skipped: folding an
+                            // all-zero vector could still flip signed zeros,
+                            // and skipping keeps a Join immediately undone by
+                            // a Leave bit-identical to no event at all.
+                            let departing = feedback.split_off(survivors);
+                            for (slot, residual) in departing.iter().enumerate() {
+                                let mass = residual.memory().l1_norm();
+                                if mass > 0.0 {
+                                    migrated_ef_l1 += mass;
+                                    feedback[slot % survivors].fold_in(residual.memory());
+                                }
+                            }
+                            batch_rngs.truncate(survivors);
+                            workers = survivors;
+                        }
+                    }
+                    rescales.push(RescaleRecord {
+                        step: iteration,
+                        event,
+                        workers_before,
+                        workers_after: workers,
+                        ef_mass_before,
+                        ef_mass_after: total_ef_mass(&feedback),
+                        migrated_ef_l1,
+                    });
+                }
+                // The slowest node (and with it every modelled charge) may
+                // have changed, and the rendezvous must match the new fleet.
+                (compute_time, backward_time, ready, dispatch_order) =
+                    self.charging_context(&cluster, compressed);
+                rendezvous = BucketRendezvous::new(buckets, workers.max(1));
+            }
             let lr = self.config.schedule.lr_at(iteration);
             let mut aggregated = GradientVector::zeros(dim);
             let mut loss_sum = 0.0;
@@ -467,13 +606,16 @@ impl ModelTrainer {
                         let result = slot.take().expect("dispatched job filled its slot");
                         drop(slot);
                         let stages = result.stages_used.unwrap_or(1);
+                        // Charged at the worker's *own* node — its device
+                        // profile times its skew factor — so a straggler
+                        // gates exactly the buckets it participates in.
                         bucket_compression[bucket] =
-                            bucket_compression[bucket].max(profile.compression_time_with_workers(
+                            bucket_compression[bucket].max(cluster.worker_compression_time(
+                                worker,
                                 charged_kind,
                                 size,
                                 delta,
                                 stages,
-                                self.cluster.engine_workers,
                             ));
                         bucket_payloads[bucket] =
                             bucket_payloads[bucket].max(result.sparse.wire_bytes());
@@ -504,7 +646,7 @@ impl ModelTrainer {
                     .zip(&bucket_payloads)
                     .enumerate()
                     .map(|(bucket, (&compression, &bytes))| {
-                        let (latency, transfer) = self.cluster.allgather_sparse_parts(bytes);
+                        let (latency, transfer) = cluster.allgather_sparse_parts(bytes);
                         BucketCost {
                             ready_at: ready[bucket],
                             compression,
@@ -561,8 +703,7 @@ impl ModelTrainer {
                 schedule_accounting.record(serial, pipelined, charged);
                 charged
             } else {
-                self.cluster
-                    .allreduce_dense(dim * std::mem::size_of::<f32>())
+                cluster.allreduce_dense(dim * std::mem::size_of::<f32>())
             };
             clock += compute_time + overhead_time;
             samples.push(TrainingSample {
@@ -575,7 +716,8 @@ impl ModelTrainer {
 
         let final_evaluation = self.model.evaluate(params.as_slice());
         let final_accuracy = self.model.accuracy(params.as_slice());
-        let report = TrainingReport::new(samples, quality, final_evaluation, final_accuracy);
+        let report = TrainingReport::new(samples, quality, final_evaluation, final_accuracy)
+            .with_rescales(rescales);
         if compressed {
             // The two-way overlap accounting is a view of the scheduler's
             // three-way accounting — derived once here so there is a single
@@ -616,10 +758,69 @@ impl ModelTrainer {
 ///
 /// # Panics
 ///
-/// Panics if the cluster has no workers or the schedule has no streams.
+/// Panics if the cluster has no workers, the schedule has no streams, or the
+/// configured [`ClusterEvent`] timeline would shrink the fleet below one
+/// machine at any point.
 fn validate_cluster(cluster: &ClusterConfig, config: &TrainerConfig) {
     assert!(cluster.workers > 0, "cluster must have at least one worker");
     assert!(config.streams > 0, "the schedule needs at least one stream");
+    // Replaying the timeline both validates every Leave up front (fail at
+    // construction, not mid-run) and yields the high-water worker count.
+    event_worker_peak(cluster, config);
+}
+
+/// The events that will actually fire, in firing order: ascending step,
+/// configuration order within a step (the sort is stable), events at or past
+/// the iteration count dropped.
+fn sorted_events(config: &TrainerConfig) -> Vec<ClusterEvent> {
+    let mut events: Vec<ClusterEvent> = config
+        .cluster_events
+        .iter()
+        .copied()
+        .filter(|event| event.step() < config.iterations)
+        .collect();
+    events.sort_by_key(ClusterEvent::step);
+    events
+}
+
+/// Worker-count high-water mark over the configured event timeline. The
+/// compressor matrix is sized for the peak up front, so a mid-run `Join`
+/// never needs the (long-gone) factory — it just resets its pre-built cells.
+///
+/// # Panics
+///
+/// Panics if any `Leave` would shrink the fleet below one machine.
+fn event_worker_peak(cluster: &ClusterConfig, config: &TrainerConfig) -> usize {
+    let mut cluster = cluster.clone();
+    let mut peak = cluster.workers;
+    for event in sorted_events(config) {
+        cluster = match event {
+            ClusterEvent::Join(_) => cluster.after_join(),
+            ClusterEvent::Leave(step) => cluster.after_leave().unwrap_or_else(|| {
+                panic!("ClusterEvent::Leave({step}) would shrink the fleet below one machine")
+            }),
+        };
+        peak = peak.max(cluster.workers);
+    }
+    peak
+}
+
+/// Total signed error-feedback mass across the fleet — the sum of every
+/// residual component, widened to `f64`. The *signed* sum is the quantity
+/// migration conserves: folding a departing residual into a survivor is
+/// vector addition, which cannot create or destroy signed mass beyond `f32`
+/// rounding. (An L1 norm is not conserved — opposite-sign residuals cancel.)
+fn total_ef_mass(feedback: &[ErrorFeedback]) -> f64 {
+    feedback
+        .iter()
+        .map(|ef| {
+            ef.memory()
+                .as_slice()
+                .iter()
+                .map(|&v| f64::from(v))
+                .sum::<f64>()
+        })
+        .sum()
 }
 
 /// The bucket layout a configuration induces for a model: the explicit
@@ -1060,5 +1261,105 @@ mod tests {
         assert_eq!(dispatch.runtime, "scoped");
         assert_eq!(dispatch.parallelism, 1);
         assert!(dispatch.pool.is_none());
+    }
+
+    #[test]
+    fn join_immediately_undone_by_leave_is_bit_identical_to_no_event() {
+        let run = |events: Vec<ClusterEvent>| {
+            let mut cfg = config(30);
+            cfg.cluster_events = events;
+            ModelTrainer::new(model(), ClusterConfig::small_test(), cfg, || {
+                Box::new(TopKCompressor::new())
+            })
+            .run(0.1)
+        };
+        let baseline = run(Vec::new());
+        let elastic = run(vec![ClusterEvent::Join(7), ClusterEvent::Leave(7)]);
+        assert_eq!(baseline.samples().len(), elastic.samples().len());
+        for (a, b) in baseline.samples().iter().zip(elastic.samples()) {
+            assert_eq!(a.loss, b.loss, "loss diverged at iteration {}", a.iteration);
+            assert_eq!(
+                a.time, b.time,
+                "clock diverged at iteration {}",
+                a.iteration
+            );
+        }
+        assert_eq!(baseline.final_evaluation(), elastic.final_evaluation());
+        // The cancelled rescale still shows up in the log.
+        assert!(baseline.rescales().is_empty());
+        assert_eq!(elastic.rescales().len(), 2);
+        assert_eq!(elastic.rescales()[0].workers_after, 5);
+        assert_eq!(elastic.rescales()[1].workers_after, 4);
+    }
+
+    #[test]
+    fn leave_folds_residuals_and_conserves_signed_ef_mass() {
+        let mut cfg = config(30);
+        cfg.cluster_events = vec![ClusterEvent::Leave(10), ClusterEvent::Join(20)];
+        let mut trainer = ModelTrainer::new(model(), ClusterConfig::small_test(), cfg, || {
+            Box::new(TopKCompressor::new())
+        });
+        let report = trainer.run(0.1);
+        assert_eq!(report.samples().len(), 30);
+        let rescales = report.rescales();
+        assert_eq!(rescales.len(), 2);
+
+        let leave = &rescales[0];
+        assert_eq!(leave.step, 10);
+        assert_eq!(leave.event, ClusterEvent::Leave(10));
+        assert_eq!((leave.workers_before, leave.workers_after), (4, 3));
+        // By step 10 Top-k has dropped real mass into the residual; the
+        // departing worker's share migrates instead of vanishing.
+        assert!(leave.migrated_ef_l1 > 0.0);
+        let scale = leave.ef_mass_before.abs().max(1.0);
+        assert!(
+            (leave.ef_mass_after - leave.ef_mass_before).abs() <= 1e-5 * scale,
+            "signed EF mass must survive the fold: {} -> {}",
+            leave.ef_mass_before,
+            leave.ef_mass_after
+        );
+
+        let join = &rescales[1];
+        assert_eq!(join.step, 20);
+        assert_eq!((join.workers_before, join.workers_after), (3, 4));
+        // A join adds zero-mass residuals, so mass is conserved exactly.
+        assert_eq!(join.ef_mass_before, join.ef_mass_after);
+        assert_eq!(join.migrated_ef_l1, 0.0);
+
+        // Training keeps converging across both rescales.
+        assert!(report.final_evaluation() < report.samples()[0].loss);
+    }
+
+    #[test]
+    #[should_panic(expected = "below one machine")]
+    fn leave_timeline_cannot_empty_the_fleet() {
+        let mut cfg = config(10);
+        cfg.cluster_events = (1..=4).map(ClusterEvent::Leave).collect();
+        let _ = ModelTrainer::uncompressed(model(), ClusterConfig::small_test(), cfg);
+    }
+
+    #[test]
+    fn straggler_skew_slows_the_clock_but_not_the_numerics() {
+        let run = |cluster: ClusterConfig| {
+            ModelTrainer::new(model(), cluster, config(20), || {
+                Box::new(TopKCompressor::new())
+            })
+            .run(0.1)
+        };
+        let healthy = run(ClusterConfig::small_test());
+        let skewed = run(ClusterConfig::small_test()
+            .with_compute_skew(crate::device::ComputeSkew::straggler(4, 2, 2.0)));
+        for (a, b) in healthy.samples().iter().zip(skewed.samples()) {
+            assert_eq!(a.loss, b.loss, "skew must never touch the numerics");
+            assert!(b.time > a.time, "a 2x straggler must stretch the clock");
+        }
+        // And a uniform (all-1.0) skew collapses bit-for-bit.
+        let uniform =
+            run(ClusterConfig::small_test()
+                .with_compute_skew(crate::device::ComputeSkew::uniform(4)));
+        for (a, b) in healthy.samples().iter().zip(uniform.samples()) {
+            assert_eq!(a.loss, b.loss);
+            assert_eq!(a.time, b.time);
+        }
     }
 }

@@ -9,6 +9,9 @@
 //! ```
 
 use sidco::prelude::*;
+use sidco_models::dataset::ClassificationDataset;
+use sidco_models::logistic::SoftmaxClassifier;
+use std::sync::Arc;
 
 fn main() {
     let cluster = ClusterConfig::paper_dedicated();
@@ -112,6 +115,61 @@ fn main() {
             job.makespan() / job.dedicated_makespan(),
         );
     }
+
+    // A heterogeneous, elastic fleet: the mixed 10G/25G/100G testbed with a
+    // 2x straggler on node 2, losing one machine mid-run. The per-node drain
+    // times show how the asymmetric NICs gate the inter-node exchange, and
+    // the rescale report shows the error-feedback migration when the fleet
+    // shrinks.
+    let het =
+        ClusterConfig::paper_mixed_fleet().with_compute_skew(ComputeSkew::straggler(4, 2, 2.0));
+    let topology = het.topology.clone().expect("mixed fleet is two-tier");
+    let payload = 1 << 20; // 1 MiB of sparse gradient leaving each node
+    println!();
+    println!(
+        "heterogeneous fleet: {} nodes x {} workers, 1 MiB inter-node drain:",
+        het.nodes(),
+        het.workers_per_node(),
+    );
+    for (node, drain) in topology.node_drain_times(payload).iter().enumerate() {
+        println!(
+            "  node {node}: drain {:>10.6}s  compute x{:.1}",
+            drain,
+            het.node_compute_factor(node),
+        );
+    }
+
+    let data = ClassificationDataset::gaussian_blobs(512, 32, 4, 4.0, 7);
+    let model: Arc<dyn DifferentiableModel> = Arc::new(SoftmaxClassifier::new(data));
+    let config = TrainerConfig {
+        iterations: 12,
+        batch_per_worker: 16,
+        compressor_kind: Some(sidco::core::compressor::CompressorKind::TopK),
+        cluster_events: vec![ClusterEvent::Leave(6)],
+        ..TrainerConfig::default()
+    };
+    let mut trainer = ModelTrainer::new(model, het, config, || Box::new(TopKCompressor::new()));
+    let report = trainer.run(0.05);
+    println!();
+    println!("elastic run (one machine leaves before iteration 6):");
+    for rescale in report.rescales() {
+        println!(
+            "  step {}: {:?}, {} -> {} workers, EF mass {:+.6e} -> {:+.6e} \
+             (migrated L1 {:.4e})",
+            rescale.step,
+            rescale.event,
+            rescale.workers_before,
+            rescale.workers_after,
+            rescale.ef_mass_before,
+            rescale.ef_mass_after,
+            rescale.migrated_ef_l1,
+        );
+    }
+    println!(
+        "  final loss {:.6} after {:.3}s simulated on the rescaled fleet",
+        report.final_loss(),
+        report.total_time(),
+    );
 
     println!();
     println!(

@@ -60,9 +60,9 @@ pub mod prelude {
     pub use sidco_dist::simulate::{simulate_benchmark, SimulationConfig};
     pub use sidco_dist::trainer::{ModelTrainer, TrainerConfig};
     pub use sidco_dist::{
-        BucketPolicy, CollectiveScheduler, DispatchReport, FleetReport, FleetScheduler,
-        HierarchicalTopology, JobSpec, LrSchedule, NetworkModel, Optimizer, PriorityPolicy,
-        SharePolicy, TenancyConfig,
+        BucketPolicy, ClusterEvent, CollectiveScheduler, ComputeSkew, DispatchReport, FleetReport,
+        FleetScheduler, HierarchicalTopology, JobSpec, LrSchedule, NetworkModel, NodeProfile,
+        Optimizer, PriorityPolicy, RescaleRecord, SharePolicy, TenancyConfig,
     };
     pub use sidco_models::benchmarks::BenchmarkId;
     pub use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};

@@ -168,6 +168,30 @@ const MODELED_GOLDENS: [(&str, f64, f64); 3] = [
     ("shared-multi-gpu", 1.6583567275e-3, 1.0874711575e-3),
 ];
 
+/// The heterogeneous Table-1 extensions: the mixed 10G/25G/100G fleet and
+/// the 1-straggler (2x compute skew) two-tier cluster.
+fn het_clusters() -> [(&'static str, ClusterConfig); 2] {
+    [
+        ("mixed-fleet", ClusterConfig::paper_mixed_fleet()),
+        ("straggler-2x", ClusterConfig::paper_straggler()),
+    ]
+}
+
+/// Golden (cluster, serial, pipelined) rows for [`modeled_overheads`] on the
+/// heterogeneous clusters — these pin the per-node drain gating and the
+/// slowest-node compression charge.
+const HET_MODELED_GOLDENS: [(&str, f64, f64); 2] = [
+    ("mixed-fleet", 8.661838327500001e-3, 8.0909527575e-3),
+    ("straggler-2x", 3.979735695e-3, 2.837964554999999e-3),
+];
+
+/// Golden (cluster, serial, overlapped-charged) rows for
+/// [`trainer_overheads`] on the heterogeneous clusters.
+const HET_TRAINER_GOLDENS: [(&str, f64, f64); 2] = [
+    ("mixed-fleet", 6.320088159999997e-1, 6.040013120000002e-1),
+    ("straggler-2x", 1.210003424e0, 1.201250848e0),
+];
+
 /// Golden (cluster, serial, overlapped-charged) rows for
 /// [`trainer_overheads`].
 const TRAINER_GOLDENS: [(&str, f64, f64); 3] = [
@@ -378,6 +402,37 @@ fn fleet_reports_match_goldens() {
     assert!(scheduler.simulate(&jobs).fleet_end() <= scheduler.serialized_end(&jobs));
 }
 
+#[test]
+fn heterogeneous_cluster_overheads_match_goldens() {
+    for ((name, cluster), golden) in het_clusters().iter().zip(HET_MODELED_GOLDENS) {
+        assert_eq!(*name, golden.0, "golden table out of sync");
+        let (serial, pipelined) = modeled_overheads(cluster);
+        assert_close(serial, golden.1, &format!("{name} serial overhead"));
+        assert_close(pipelined, golden.2, &format!("{name} pipelined overhead"));
+        assert!(pipelined <= serial);
+    }
+    for ((name, cluster), golden) in het_clusters().iter().zip(HET_TRAINER_GOLDENS) {
+        assert_eq!(*name, golden.0, "golden table out of sync");
+        let (serial, serial_charged) = trainer_overheads(cluster.clone(), false);
+        assert_close(serial_charged, serial, &format!("{name} serial charge"));
+        assert_close(serial, golden.1, &format!("{name} trainer serial overhead"));
+        let (overlap_serial, charged) = trainer_overheads(cluster.clone(), true);
+        assert_close(overlap_serial, serial, &format!("{name} overlap reference"));
+        assert_close(
+            charged,
+            golden.2,
+            &format!("{name} trainer charged overhead"),
+        );
+        assert!(charged <= serial);
+    }
+    // Structural cross-checks alongside the pinned values: the straggler
+    // strictly outcharges its healthy twin, and the mixed fleet's 10G node
+    // strictly outcharges a uniform 25G view of the same topology.
+    let (healthy_serial, _) = modeled_overheads(&ClusterConfig::paper_two_tier());
+    let (straggler_serial, _) = modeled_overheads(&ClusterConfig::paper_straggler());
+    assert!(straggler_serial > healthy_serial);
+}
+
 /// Regenerates the golden constants above (run with `--ignored --nocapture`).
 #[test]
 #[ignore = "golden generator, not a regression test"]
@@ -408,6 +463,19 @@ fn dump_goldens() {
     for (name, cluster) in clusters() {
         let (pipelined, charged) = arrival_aware_trainer_overheads(cluster);
         println!("    (\"{name}\", {pipelined:e}, {charged:e}),");
+    }
+    println!("];");
+    println!("const HET_MODELED_GOLDENS: [(&str, f64, f64); 2] = [");
+    for (name, cluster) in het_clusters() {
+        let (serial, pipelined) = modeled_overheads(&cluster);
+        println!("    (\"{name}\", {serial:e}, {pipelined:e}),");
+    }
+    println!("];");
+    println!("const HET_TRAINER_GOLDENS: [(&str, f64, f64); 2] = [");
+    for (name, cluster) in het_clusters() {
+        let (serial, _) = trainer_overheads(cluster.clone(), false);
+        let (_, charged) = trainer_overheads(cluster, true);
+        println!("    (\"{name}\", {serial:e}, {charged:e}),");
     }
     println!("];");
     println!("const FLEET_GOLDENS: [(&str, usize, f64, f64, f64); 6] = [");

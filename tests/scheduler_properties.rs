@@ -36,6 +36,18 @@
 //!    single-stream FIFO pipeline makespan at any stream count, arrivals
 //!    included (the slot-limited Graham anomaly is repaired, not merely
 //!    documented).
+//!
+//! The heterogeneous/elastic cluster extensions add four more:
+//!
+//! 9. **Homogeneous-profile collapse** — per-node NIC profiles that all equal
+//!    the scalar rail configuration charge bit-for-bit what the scalar path
+//!    charges, for every collective and the budget inversion;
+//! 10. **Per-node slowdown monotonicity** — slowing any single node (compute
+//!     skew or NIC bandwidth) never makes any modelled charge cheaper;
+//! 11. **EF-mass conservation** — the signed error-feedback mass survives
+//!     every Join/Leave sequence (departing residuals fold into survivors);
+//! 12. **Join/Leave no-op collapse** — a Join immediately undone by a Leave
+//!     is bit-identical to a run with no events at all.
 
 use proptest::prelude::*;
 use sidco::prelude::*;
@@ -886,5 +898,202 @@ fn pool_dispatched_training_is_bit_identical_to_serial_for_every_compressor() {
                 assert_eq!(dispatch.jobs, 4);
             }
         }
+    }
+}
+
+/// Strategy: an elastic event timeline over the 4-machine test fleet —
+/// random Join/Leave choices at random steps, sanitised in firing order
+/// (ascending step) so the machine count never drops below one. The output
+/// is already sorted, so the trainer's stable step sort preserves it.
+fn cluster_events_strategy(iterations: u64) -> impl Strategy<Value = Vec<ClusterEvent>> {
+    prop::collection::vec((prop_oneof![Just(true), Just(false)], 0..iterations), 0..6).prop_map(
+        |raw| {
+            let mut sorted = raw;
+            sorted.sort_by_key(|&(_, step)| step);
+            let mut machines = 4u32;
+            let mut events = Vec::new();
+            for (join, step) in sorted {
+                if join {
+                    machines += 1;
+                    events.push(ClusterEvent::Join(step));
+                } else if machines > 1 {
+                    machines -= 1;
+                    events.push(ClusterEvent::Leave(step));
+                }
+            }
+            events
+        },
+    )
+}
+
+/// A small compressed run on the 4-worker test fleet under the given elastic
+/// event timeline (6 iterations, Top-k at δ = 0.1).
+fn elastic_trainer_report(events: Vec<ClusterEvent>) -> sidco_dist::TrainingReport {
+    let model: Arc<dyn DifferentiableModel> = Arc::new(Mlp::new(
+        ClassificationDataset::gaussian_blobs(96, 10, 3, 3.0, 11),
+        12,
+    ));
+    let kind = sidco::core::compressor::CompressorKind::TopK;
+    let config = TrainerConfig {
+        iterations: 6,
+        batch_per_worker: 8,
+        compressor_kind: Some(kind),
+        cluster_events: events,
+        ..TrainerConfig::default()
+    };
+    ModelTrainer::new(model, ClusterConfig::small_test(), config, || {
+        build_compressor(kind, 23).expect("TopK builds")
+    })
+    .run(0.1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Property 9: a homogeneous per-node profile vector collapses
+    /// bit-for-bit onto the scalar rail configuration — every collective,
+    /// the split drain parts, and the budget inversion.
+    #[test]
+    fn homogeneous_node_profiles_collapse_bit_for_bit(
+        nodes in 1usize..6,
+        per_node in 1usize..5,
+        nics in 1u32..4,
+        kilobytes in 1usize..4096,
+        budget_ms in 1u32..200,
+    ) {
+        let base = HierarchicalTopology::new(
+            nodes,
+            per_node,
+            NetworkModel::infiniband_100g(),
+            NetworkModel::ethernet_25g(),
+        );
+        let scalar = base.clone().with_nics_per_node(nics as usize);
+        let profiled = base.with_node_profiles(vec![
+            NodeProfile::new(NetworkModel::ethernet_25g(), nics);
+            nodes
+        ]);
+        let bytes = kilobytes * 1024;
+        prop_assert_eq!(scalar.allgather_sparse(bytes), profiled.allgather_sparse(bytes));
+        prop_assert_eq!(scalar.allreduce_dense(bytes), profiled.allreduce_dense(bytes));
+        prop_assert_eq!(
+            scalar.allgather_sparse_parts(bytes),
+            profiled.allgather_sparse_parts(bytes)
+        );
+        let budget = f64::from(budget_ms) * 1e-3;
+        prop_assert_eq!(
+            scalar.allgather_budget_bytes(budget),
+            profiled.allgather_budget_bytes(budget)
+        );
+    }
+
+    /// Property 10 (compute half): bumping any single node's slowdown factor
+    /// never makes any bucket's compression charge cheaper, never touches
+    /// the wire parts, and never shrinks the single-stream pipeline.
+    #[test]
+    fn single_node_compute_slowdown_never_cheapens_a_charge(
+        factors in prop::collection::vec(1.0f64..3.0, 2),
+        node in 0usize..2,
+        bump in 0.1f64..2.0,
+    ) {
+        let kind = sidco::core::compressor::CompressorKind::Sidco(
+            sidco::stats::fit::SidKind::Exponential,
+        );
+        let layout = sidco::core::layerwise::LayerLayout::uniform(1_000_000, 4);
+        let skewed = |factors: Vec<f64>| {
+            ClusterConfig::paper_two_tier().with_compute_skew(ComputeSkew::from_factors(factors))
+        };
+        let before = modeled_bucket_costs(&skewed(factors.clone()), kind, 0.01, 2, &layout);
+        let mut bumped = factors;
+        bumped[node] += bump;
+        let after = modeled_bucket_costs(&skewed(bumped), kind, 0.01, 2, &layout);
+        let overhead = |costs: &[BucketCost]| {
+            let comp: Vec<f64> = costs.iter().map(|c| c.compression).collect();
+            let comm: Vec<f64> = costs.iter().map(BucketCost::communication).collect();
+            pipelined_overhead(&comp, &comm)
+        };
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a.compression >= b.compression, "compression got cheaper");
+            prop_assert_eq!(a.latency, b.latency);
+            prop_assert_eq!(a.transfer, b.transfer);
+        }
+        prop_assert!(overhead(&after) >= overhead(&before) - 1e-12);
+    }
+
+    /// Property 10 (network half): cutting any single node's NIC bandwidth
+    /// never shrinks that node's drain, the fleet drain, or the collective —
+    /// and never lets the budget inversion afford *more* bytes.
+    #[test]
+    fn single_node_nic_slowdown_never_shrinks_the_drain(
+        bandwidths in prop::collection::vec(5.0f64..100.0, 3),
+        node in 0usize..3,
+        cut in 0.1f64..0.9,
+        kilobytes in 1usize..2048,
+    ) {
+        let topology = |bw: &[f64]| {
+            HierarchicalTopology::new(
+                3,
+                2,
+                NetworkModel::infiniband_100g(),
+                NetworkModel::ethernet_25g(),
+            )
+            .with_node_profiles(
+                bw.iter()
+                    .map(|&bandwidth_gbps| {
+                        NodeProfile::new(
+                            NetworkModel { bandwidth_gbps, latency: 5e-6 },
+                            1,
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let bytes = kilobytes * 1024;
+        let before = topology(&bandwidths);
+        let mut slower = bandwidths.clone();
+        slower[node] *= cut;
+        let after = topology(&slower);
+        let eps = tol(before.allgather_sparse(bytes));
+        prop_assert!(after.allgather_sparse(bytes) >= before.allgather_sparse(bytes) - eps);
+        let drains_before = before.node_drain_times(bytes);
+        let drains_after = after.node_drain_times(bytes);
+        prop_assert!(drains_after[node] >= drains_before[node] - eps);
+        prop_assert!(
+            after.allgather_budget_bytes(0.05) <= before.allgather_budget_bytes(0.05) + 1e-6
+        );
+    }
+
+    /// Property 11: the signed error-feedback mass survives every sanitised
+    /// Join/Leave sequence — departing residuals fold into survivors instead
+    /// of vanishing.
+    #[test]
+    fn ef_mass_is_conserved_across_any_event_sequence(events in cluster_events_strategy(6)) {
+        let expected = events.len();
+        let report = elastic_trainer_report(events);
+        prop_assert_eq!(report.rescales().len(), expected);
+        for record in report.rescales() {
+            let scale = record.ef_mass_before.abs().max(1.0);
+            prop_assert!(
+                (record.ef_mass_after - record.ef_mass_before).abs() <= 1e-5 * scale,
+                "mass leaked at step {}: {} -> {}",
+                record.step,
+                record.ef_mass_before,
+                record.ef_mass_after
+            );
+        }
+        prop_assert_eq!(report.samples().len(), 6);
+    }
+
+    /// Property 12: a Join immediately undone by a Leave at any step is
+    /// bit-identical to a run with no events at all.
+    #[test]
+    fn join_immediately_undone_by_leave_collapses_bit_for_bit(step in 0u64..6) {
+        let baseline = elastic_trainer_report(Vec::new());
+        let elastic =
+            elastic_trainer_report(vec![ClusterEvent::Join(step), ClusterEvent::Leave(step)]);
+        for (a, b) in baseline.samples().iter().zip(elastic.samples()) {
+            prop_assert!(a.loss == b.loss, "loss diverged at iteration {}", a.iteration);
+            prop_assert!(a.time == b.time, "clock diverged at iteration {}", a.iteration);
+        }
+        prop_assert_eq!(baseline.final_evaluation(), elastic.final_evaluation());
     }
 }
