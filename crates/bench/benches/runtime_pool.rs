@@ -172,11 +172,22 @@ fn bench_trainer_overlap(c: &mut Criterion) {
     group.throughput(Throughput::Elements(model.num_parameters() as u64));
     group.sample_size(3);
 
-    for (runtime, threads) in configurations() {
+    // Untraced rows for every configuration, then traced rows for the two
+    // flagship configurations: the delta between `…` and `…,traced` is the
+    // recording overhead of an active sidco-trace session, and the untraced
+    // rows double as the disabled-mode parity check against the pre-trace
+    // baseline (tracing off must cost one relaxed atomic load per probe).
+    let traced_rows = [(RuntimeKind::Scoped, 1usize), (RuntimeKind::Pool, 4)];
+    let rows = configurations()
+        .into_iter()
+        .map(|(runtime, threads)| (runtime, threads, false))
+        .chain(traced_rows.iter().map(|&(r, t)| (r, t, true)));
+    for (runtime, threads, trace) in rows {
+        let suffix = if trace { ",traced" } else { "" };
         group.bench_with_input(
             BenchmarkId::new(
                 "topk",
-                format!("runtime={},threads={threads}", runtime.as_str()),
+                format!("runtime={},threads={threads}{suffix}", runtime.as_str()),
             ),
             &(runtime, threads),
             |b, &(runtime, threads)| {
@@ -185,6 +196,7 @@ fn bench_trainer_overlap(c: &mut Criterion) {
                     batch_per_worker: 16,
                     bucket_policy: BucketPolicy::PerLayer,
                     overlap: true,
+                    trace,
                     ..TrainerConfig::default()
                 };
                 let mut trainer = ModelTrainer::new(

@@ -255,28 +255,33 @@ impl CompressionEngine {
 
     /// Absolute-value moments of `grad` (parallel fitting statistics).
     pub fn abs_moments(&self, grad: &[f32]) -> AbsMoments {
+        let _stage = sidco_trace::global_sink().real_span("engine/abs_moments");
         abs_moments_on(grad, self.chunk_size, self.runtime())
     }
 
     /// Shifted peaks-over-threshold moments of the exceedance set
     /// (`|g| >= threshold`).
     pub fn pot_moments(&self, grad: &[f32], threshold: f64) -> AbsMoments {
+        let _stage = sidco_trace::global_sink().real_span("engine/pot_moments");
         exceedance_moments_on(grad, threshold, self.chunk_size, self.runtime())
     }
 
     /// Signed-value moments of `grad` (the Gaussian-fit input).
     pub fn signed_moments(&self, grad: &[f32]) -> SignedMoments {
+        let _stage = sidco_trace::global_sink().real_span("engine/signed_moments");
         signed_moments_on(grad, self.chunk_size, self.runtime())
     }
 
     /// Counts elements with `|g| >= threshold`.
     pub fn count_above(&self, grad: &[f32], threshold: f64) -> usize {
+        let _stage = sidco_trace::global_sink().real_span("engine/count_above");
         count_above_threshold_on(grad, threshold, self.chunk_size, self.runtime())
     }
 
     /// The `C_η` selection operator: all elements with `|g| >= threshold`, with
     /// per-chunk buffers merged in index order (never re-sorted).
     pub fn select_above(&self, grad: &[f32], threshold: f64) -> SparseGradient {
+        let _stage = sidco_trace::global_sink().real_span("engine/select_above");
         select_above_threshold_on(grad, threshold, self.chunk_size, self.runtime())
     }
 
@@ -294,11 +299,13 @@ impl CompressionEngine {
     /// Exact Top-k via chunked partial selection (each shard nominates its own
     /// top candidates; one final selection picks the global winners).
     pub fn top_k(&self, grad: &[f32], k: usize) -> SparseGradient {
+        let _stage = sidco_trace::global_sink().real_span("engine/top_k");
         top_k_on(grad, k, self.chunk_size, self.runtime())
     }
 
     /// [`top_k`](Self::top_k) with an explicit per-chunk selection algorithm.
     pub fn top_k_with(&self, grad: &[f32], k: usize, algorithm: TopKAlgorithm) -> SparseGradient {
+        let _stage = sidco_trace::global_sink().real_span("engine/top_k");
         top_k_on_with(grad, k, self.chunk_size, self.runtime(), algorithm)
     }
 
@@ -306,6 +313,7 @@ impl CompressionEngine {
     /// stream (in chunks of the engine's configured size) across the engine's
     /// runtime. Byte-identical to [`sidco_tensor::encoding::raw_encode`].
     pub fn encode(&self, sparse: &SparseGradient) -> EncodedGradient {
+        let _stage = sidco_trace::global_sink().real_span("engine/encode");
         raw_encode_on(sparse, self.chunk_size, self.runtime())
     }
 
@@ -320,6 +328,7 @@ impl CompressionEngine {
     /// both paths are byte-identical anyway.
     /// Byte-identical to [`sidco_tensor::encoding::delta_varint_encode`].
     pub fn encode_varint(&self, sparse: &SparseGradient) -> EncodedGradient {
+        let _stage = sidco_trace::global_sink().real_span("engine/encode_varint");
         let workers = encode_worker_budget(self.executor.parallelism(), sparse.nnz());
         if workers <= 1 {
             return delta_varint_encode(sparse);

@@ -235,6 +235,52 @@ impl ScheduleTimeline {
         });
         segments
     }
+
+    /// Record this timeline as virtual-time trace spans, shifted by `base`
+    /// seconds of model time (the instant the schedule's `t = 0` corresponds
+    /// to in the run's [`sidco_trace::VirtualClock`]).
+    ///
+    /// Tracks emitted: `compress` (the serial compression processor, one span
+    /// per bucket plus a release instant when the bucket's gradients arrive),
+    /// `stream:{s}` (one per communication stream, spanning latency +
+    /// transfer), and `link` (the bottleneck wire, one span per occupancy
+    /// segment — several per bucket under preemption). Every span is derived
+    /// from the already-computed timeline: recording is pure observation and
+    /// cannot perturb the schedule. No-op when `sink` is disabled.
+    pub fn record_trace(&self, sink: &sidco_trace::TraceSink, base: f64) {
+        if !sink.enabled() {
+            return;
+        }
+        use sidco_trace::Lane;
+        let compress = sink.track("compress", Lane::Virtual);
+        let link = sink.track("link", Lane::Virtual);
+        for entry in &self.entries {
+            let name = format!("bucket {}", entry.bucket);
+            sink.instant(compress, format!("release {name}"), base + entry.ready_at);
+            if entry.compress_end > entry.compress_start {
+                sink.span(
+                    compress,
+                    name.clone(),
+                    base + entry.compress_start,
+                    base + entry.compress_end,
+                );
+            }
+            if entry.comm_end > entry.comm_start {
+                let stream = sink.track(&format!("stream:{}", entry.stream), Lane::Virtual);
+                sink.span(
+                    stream,
+                    name.clone(),
+                    base + entry.comm_start,
+                    base + entry.comm_end,
+                );
+            }
+            for segment in &entry.segments {
+                if segment.end > segment.start {
+                    sink.span(link, name.clone(), base + segment.start, base + segment.end);
+                }
+            }
+        }
+    }
 }
 
 /// The transfer (bandwidth) component every schedule must serialise: no
@@ -359,14 +405,22 @@ impl CollectiveScheduler {
         baseline: ScheduleTimeline,
     ) -> ScheduleTimeline {
         let mut best = baseline;
+        let mut evaluated = 1u32; // the FIFO baseline itself
         for streams in 1..=self.streams {
             if streams == 1 && self.policy == PriorityPolicy::Fifo {
                 continue;
             }
             let candidate = Self::new(streams, self.policy).schedule(buckets);
+            evaluated += 1;
             if candidate.makespan() < best.makespan() {
                 best = candidate;
             }
+        }
+        let sink = sidco_trace::global_sink();
+        if sink.enabled() {
+            sink.counter_add("scheduler.best_schedule.calls", 1.0);
+            sink.counter_add("scheduler.candidates_evaluated", f64::from(evaluated));
+            sink.observe("scheduler.chosen_streams", best.streams() as f64);
         }
         best
     }

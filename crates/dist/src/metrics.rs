@@ -59,6 +59,7 @@ pub struct TrainingReport {
     schedule: Option<ScheduleAccounting>,
     dispatch: Option<DispatchReport>,
     rescales: Vec<RescaleRecord>,
+    trace: Option<sidco_trace::TraceReport>,
 }
 
 impl TrainingReport {
@@ -78,6 +79,7 @@ impl TrainingReport {
             schedule: None,
             dispatch: None,
             rescales: Vec::new(),
+            trace: None,
         }
     }
 
@@ -113,6 +115,21 @@ impl TrainingReport {
     pub fn with_rescales(mut self, rescales: Vec<RescaleRecord>) -> Self {
         self.rescales = rescales;
         self
+    }
+
+    /// Attaches the drained trace of a run whose
+    /// [`TrainerConfig::trace`](crate::trainer::TrainerConfig) toggle was on.
+    #[must_use]
+    pub fn with_trace(mut self, trace: sidco_trace::TraceReport) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The structured trace of the run (virtual-time schedule spans, real-time
+    /// pool/engine spans, and the metrics frame), when tracing was enabled
+    /// via the trainer config (`None` otherwise).
+    pub fn trace(&self) -> Option<&sidco_trace::TraceReport> {
+        self.trace.as_ref()
     }
 
     /// Every cluster-membership change that fired during the run, in firing
@@ -221,9 +238,15 @@ pub fn normalized_speedup(
 
 /// Jain's fairness index of a set of non-negative allocations:
 /// `(Σx)² / (n · Σx²)`. Equal allocations score 1; one tenant hogging
-/// everything scores `1/n`. Empty or all-zero inputs score 1 (nothing was
-/// allocated unfairly). Used by the multi-tenant fleet report
-/// ([`crate::tenancy`]) over per-job normalised progress rates.
+/// everything scores `1/n`.
+///
+/// **Degenerate fleets are defined, not accidental:** an empty fleet and the
+/// all-zero fleet (every `x_i == 0`, i.e. `Σx² == 0`) both score exactly
+/// `1.0` — nothing was allocated, so nothing was allocated *unfairly*, and
+/// perfect equality (everyone got the same zero) is the only consistent
+/// reading. The naive formula would return `0/0 = NaN` there. Used by the
+/// multi-tenant fleet report ([`crate::tenancy`]) over per-job normalised
+/// progress rates.
 pub fn jain_fairness_index(allocations: &[f64]) -> f64 {
     if allocations.is_empty() {
         return 1.0;
@@ -238,20 +261,27 @@ pub fn jain_fairness_index(allocations: &[f64]) -> f64 {
 
 /// The `q`-quantile (`0.0..=1.0`) of `samples` by linear interpolation
 /// between the sorted order statistics (the "exclusive-free" definition:
-/// `q = 0` is the minimum, `q = 1` the maximum). `NaN` for an empty slice.
+/// `q = 0` is the minimum, `q = 1` the maximum).
+///
+/// Edge cases are pinned down deliberately:
+/// * **empty input** → `NaN` (there is no order statistic to report);
+/// * **single sample** → that sample, for every `q`;
+/// * **NaN samples** are *filtered out* before sorting — a handful of
+///   undefined measurements (e.g. a rate over a zero-length window) must not
+///   poison the quantile of the defined ones. If *all* samples are NaN the
+///   result is `NaN`, same as empty.
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any sample is `NaN`.
+/// Panics if `q` is outside `[0, 1]`.
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-    if samples.is_empty() {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
         return f64::NAN;
     }
-    let mut sorted = samples.to_vec();
-    // INVARIANT: NaN samples are a caller bug — the documented panic above —
-    // so the comparison itself is total on what remains.
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile"));
+    // INVARIANT: NaN was filtered above, so the comparison is total.
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered before sort"));
     let position = q * (sorted.len() - 1) as f64;
     // INVARIANT: q ∈ [0, 1] (asserted above), so 0 ≤ position ≤ len-1 and
     // both bounds fit usize exactly.
@@ -348,6 +378,36 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn percentile_rejects_out_of_range_quantiles() {
         percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_pinned() {
+        // Empty input: NaN at every quantile, including the boundaries.
+        assert!(percentile(&[], 0.0).is_nan());
+        assert!(percentile(&[], 1.0).is_nan());
+        // Single sample: that sample for every q.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.0], q), 42.0);
+        }
+        // NaN samples are filtered, not propagated and not panicking.
+        let noisy = [f64::NAN, 3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&noisy, 0.0), 1.0);
+        assert_eq!(percentile(&noisy, 0.5), 2.0);
+        assert_eq!(percentile(&noisy, 1.0), 3.0);
+        // All-NaN behaves like empty.
+        assert!(percentile(&[f64::NAN, f64::NAN], 0.5).is_nan());
+        // Infinities are legitimate order statistics, not filtered.
+        assert_eq!(percentile(&[f64::INFINITY, 1.0], 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn jain_index_of_the_all_zero_fleet_is_documented_one() {
+        // The naive (Σx)²/(n·Σx²) would be 0/0 = NaN; the documented value
+        // is 1.0 for any fleet size.
+        for n in [1, 2, 5, 100] {
+            let zeros = vec![0.0; n];
+            assert_eq!(jain_fairness_index(&zeros), 1.0, "fleet of {n} zeros");
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ use sidco_core::compressor::CompressorKind;
 use sidco_core::layerwise::LayerLayout;
 use sidco_models::BenchmarkId;
 use sidco_stats::fit::SidKind;
+use sidco_trace::{Lane, TraceSession, TraceSink, TrackId};
 
 /// Estimation stages priced into every bucket (the two-stage SIDCo pipeline,
 /// matching the golden overlap tests).
@@ -236,6 +237,11 @@ pub struct TenancyConfig {
     /// Whether tenants adapt δ under observed wire contention (on by
     /// default; off pins every job to its requested δ).
     pub adapt_ratio: bool,
+    /// Record a [`sidco_trace`] session over the fleet run (off by default).
+    /// Strictly observational: a traced run charges bit-identically to an
+    /// untraced one, and the report exposes the capture via
+    /// [`FleetReport::trace`].
+    pub trace: bool,
 }
 
 impl TenancyConfig {
@@ -248,6 +254,7 @@ impl TenancyConfig {
             pool_workers,
             max_inflight_per_tenant: pool_workers,
             adapt_ratio: true,
+            trace: false,
         }
     }
 }
@@ -370,6 +377,8 @@ pub struct FleetReport {
     pub link_busy_seconds: f64,
     /// Total wire demand all jobs presented.
     pub total_wire_seconds: f64,
+    /// Trace captured when [`TenancyConfig::trace`] was set.
+    trace: Option<sidco_trace::TraceReport>,
 }
 
 impl FleetReport {
@@ -406,6 +415,12 @@ impl FleetReport {
             .flat_map(|job| job.charges.iter().copied())
             .collect();
         percentile(&all, 0.99)
+    }
+
+    /// The trace captured during [`FleetScheduler::simulate`], if the fleet
+    /// ran with [`TenancyConfig::trace`] set.
+    pub fn trace(&self) -> Option<&sidco_trace::TraceReport> {
+        self.trace.as_ref()
     }
 }
 
@@ -457,7 +472,18 @@ impl FleetScheduler {
     /// Panics on an empty fleet or an invalid [`JobSpec`].
     pub fn simulate(&self, jobs: &[JobSpec]) -> FleetReport {
         assert!(!jobs.is_empty(), "fleet needs at least one job");
+        let session = self.config.trace.then(TraceSession::begin);
+        let sink = if session.is_some() {
+            sidco_trace::global_sink()
+        } else {
+            TraceSink::noop()
+        };
         let mut states: Vec<JobState> = jobs.iter().map(|spec| self.admit(spec)).collect();
+        let link_track = sink.track("link", Lane::Virtual);
+        let job_tracks: Vec<TrackId> = states
+            .iter()
+            .map(|state| sink.track(&format!("job:{}", state.spec.name), Lane::Virtual))
+            .collect();
         let mut pending: Vec<Pending> = Vec::new();
         let mut link_busy = 0.0_f64;
         let mut wire_total = 0.0_f64;
@@ -490,6 +516,15 @@ impl FleetScheduler {
             }
             assert!(t.is_finite(), "fleet simulation stalled with no events");
             let t = t.max(now);
+            if sink.enabled() && !pending.is_empty() && t > now {
+                // Link-occupancy span for the interval being drained: who
+                // held the wire, under the policy that granted it.
+                let name = match self.served_index(&pending) {
+                    Some(idx) => states[pending[idx].job].spec.name.clone(),
+                    None => format!("shared\u{d7}{}", pending.len()),
+                };
+                sink.span(link_track, name, now, t);
+            }
             self.drain_link(&mut pending, t - now, &mut link_busy);
             now = t;
 
@@ -528,7 +563,14 @@ impl FleetScheduler {
                     if priced.wire <= 0.0 {
                         // Degenerate workload with no transfer: nothing for
                         // the link to arbitrate.
-                        self.finish_iteration(j, &mut states, ready_at, ready_at, 0.0);
+                        self.finish_iteration(
+                            j,
+                            &mut states,
+                            ready_at,
+                            ready_at,
+                            0.0,
+                            (&sink, &job_tracks),
+                        );
                     } else {
                         wire_total += priced.wire;
                         pending.push(Pending {
@@ -548,11 +590,18 @@ impl FleetScheduler {
             let (wire_t, idx) = wire_candidate.expect("progress requires a wire completion");
             debug_assert!(wire_t <= now);
             let done = pending.remove(idx);
-            self.finish_iteration(done.job, &mut states, now, done.ready_at, done.demand);
+            self.finish_iteration(
+                done.job,
+                &mut states,
+                now,
+                done.ready_at,
+                done.demand,
+                (&sink, &job_tracks),
+            );
         }
 
         debug_assert!(pending.is_empty());
-        FleetReport {
+        let mut report = FleetReport {
             policy: self.policy,
             jobs: states
                 .into_iter()
@@ -571,7 +620,19 @@ impl FleetScheduler {
             fleet_start,
             link_busy_seconds: link_busy,
             total_wire_seconds: wire_total,
+            trace: None,
+        };
+        if sink.enabled() {
+            sink.gauge_set("fleet.link_busy_seconds", link_busy);
+            sink.gauge_set("fleet.total_wire_seconds", wire_total);
+            sink.gauge_set("fleet.fairness_index", report.fairness_index());
+            sink.gauge_set("fleet.makespan", report.fleet_makespan());
+            for job in &report.jobs {
+                sink.gauge_set(&format!("fleet.{}.makespan", job.name), job.makespan());
+            }
         }
+        report.trace = session.map(TraceSession::finish);
+        report
     }
 
     /// End time of running the same jobs one after another, each with the
@@ -738,6 +799,7 @@ impl FleetScheduler {
         now: f64,
         ready_at: f64,
         demand: f64,
+        trace: (&TraceSink, &[TrackId]),
     ) {
         let state = &mut states[j];
         let Phase::Wire { priced } = state.phase else {
@@ -745,6 +807,28 @@ impl FleetScheduler {
         };
         let delay = (now - (ready_at + demand)).max(0.0);
         let charge = state.compute + priced.makespan + delay;
+        let (sink, tracks) = trace;
+        if sink.enabled() {
+            // The iteration's charged span, split where the wire request was
+            // released: [clock, ready_at] is local (compute + compression
+            // front), the rest is wire service plus contention delay.
+            let track = tracks[j];
+            let iteration = state.iteration;
+            sink.span(track, format!("local {iteration}"), state.clock, ready_at);
+            if priced.wire > 0.0 {
+                sink.span(
+                    track,
+                    format!("wire {iteration}"),
+                    ready_at,
+                    state.clock + charge,
+                );
+            }
+            if delay > 0.0 {
+                sink.instant(track, format!("delay {iteration}"), ready_at + demand);
+                sink.observe("fleet.wire_delay", delay);
+            }
+            sink.observe("fleet.iteration_charge", charge);
+        }
         state.charges.push(charge);
         state.deltas.push(priced.delta);
         state.local_seconds += state.compute + (priced.makespan - priced.wire);
@@ -1025,6 +1109,7 @@ mod tests {
                 pool_workers: 1,
                 max_inflight_per_tenant: 1,
                 adapt_ratio: true,
+                trace: false,
             })
             .simulate(&jobs);
         let total = |report: &FleetReport| -> f64 {

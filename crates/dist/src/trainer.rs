@@ -44,6 +44,7 @@ use sidco_core::{CompressionEngine, CompressionResult, Compressor, CompressorKin
 use sidco_models::DifferentiableModel;
 use sidco_runtime::{BucketRendezvous, Runtime, RuntimeKind};
 use sidco_tensor::{GradientVector, SparseGradient};
+use sidco_trace::{Lane, TraceSession, TraceSink, VirtualClock};
 use std::sync::{Arc, Mutex};
 
 /// Seconds of simulated compute per example·parameter (forward + backward).
@@ -164,6 +165,15 @@ pub struct TrainerConfig {
     /// default) trains on a fixed fleet. See [`ClusterEvent`] for the
     /// migration semantics.
     pub cluster_events: Vec<ClusterEvent>,
+    /// Record a structured trace of the run: virtual-time spans for the
+    /// modeled schedule (compression processor, per-stream transfers, the
+    /// bottleneck link), real-time spans for pool/engine execution, and a
+    /// metrics frame — drained into
+    /// [`TrainingReport::trace`](crate::metrics::TrainingReport::trace).
+    /// Tracing is strictly observational: a traced run is bit-identical to an
+    /// untraced one (property-tested). Holds the process-wide trace session
+    /// for the duration of the run, so concurrent traced runs serialise.
+    pub trace: bool,
     /// Seed for parameter initialisation and mini-batch sampling.
     pub seed: u64,
 }
@@ -187,6 +197,7 @@ impl Default for TrainerConfig {
             priority: PriorityPolicy::Fifo,
             arrival_aware: false,
             cluster_events: Vec::new(),
+            trace: false,
             seed: 17,
         }
     }
@@ -392,6 +403,22 @@ impl ModelTrainer {
             delta > 0.0 && delta <= 1.0,
             "delta must lie in (0,1], got {delta}"
         );
+        // Tracing is strictly observational: every virtual timestamp below is
+        // derived from the same modeled costs the clock charges, so a traced
+        // run is bit-identical to an untraced one (property-tested).
+        let session = self.config.trace.then(TraceSession::begin);
+        let sink = if session.is_some() {
+            sidco_trace::global_sink()
+        } else {
+            TraceSink::noop()
+        };
+        let trainer_track = sink.track("trainer", Lane::Virtual);
+        if sink.enabled() {
+            // Every pool worker gets its track up front — a fast run can
+            // finish before an idle worker is ever scheduled, and its
+            // lifecycle events would land after the session closed.
+            self.executor.register_trace_tracks();
+        }
         let dim = self.model.num_parameters();
         let num_examples = self.model.num_examples();
         // The live cluster: `ClusterEvent`s rescale this local copy at
@@ -429,7 +456,11 @@ impl ModelTrainer {
         let scheduler = CollectiveScheduler::new(self.config.streams, self.config.priority);
         let mut schedule_accounting =
             ScheduleAccounting::new(buckets, self.config.streams, self.config.priority);
-        let mut clock = 0.0_f64;
+        // The run's model-time clock. `advance_by` is the same f64 addition
+        // the bare accumulator performed, so routing it through the
+        // `VirtualClock` facade (the only clock `sidco-lint` allows in this
+        // crate) cannot move any sample timestamp.
+        let mut clock = VirtualClock::new(0.0);
 
         // The executed dispatch mirrors the modeled compression stream: jobs
         // are released bucket-by-bucket in gradient-arrival order (plain
@@ -678,6 +709,9 @@ impl ModelTrainer {
                     // overlaps with (bucket 0 releases exactly at its end, so
                     // the makespan is never smaller); charge the excess.
                     let charged = timeline.makespan() - backward_time;
+                    // Schedule t=0 is the start of the backward pass the
+                    // releases are measured from.
+                    timeline.record_trace(&sink, clock.now() + compute_time - backward_time);
                     if last_iteration {
                         schedule_accounting.set_timeline(timeline);
                     }
@@ -688,6 +722,14 @@ impl ModelTrainer {
                     // The classic single-FIFO pipeline, charged through the
                     // closed-form recurrence (bit-identical to PR 2 runs).
                     let pipelined = closed_form_pipelined();
+                    if sink.enabled() {
+                        // The charged overhead comes from the closed form;
+                        // the equivalent simulated timeline is built purely
+                        // as a trace view (schedule t=0 is end-of-compute).
+                        scheduler
+                            .best_schedule(&costs)
+                            .record_trace(&sink, clock.now() + compute_time);
+                    }
                     if last_iteration {
                         schedule_accounting.set_timeline(scheduler.best_schedule(&costs));
                     }
@@ -695,6 +737,8 @@ impl ModelTrainer {
                 } else {
                     let timeline = scheduler.best_schedule(&costs);
                     let makespan = timeline.makespan();
+                    // Arrival-oblivious schedules start when compute ends.
+                    timeline.record_trace(&sink, clock.now() + compute_time);
                     if last_iteration {
                         schedule_accounting.set_timeline(timeline);
                     }
@@ -705,11 +749,30 @@ impl ModelTrainer {
             } else {
                 cluster.allreduce_dense(dim * std::mem::size_of::<f32>())
             };
-            clock += compute_time + overhead_time;
+            if sink.enabled() {
+                let compute_end = clock.now() + compute_time;
+                sink.span(
+                    trainer_track,
+                    format!("compute {iteration}"),
+                    clock.now(),
+                    compute_end,
+                );
+                if overhead_time > 0.0 {
+                    sink.span(
+                        trainer_track,
+                        format!("overhead {iteration}"),
+                        compute_end,
+                        compute_end + overhead_time,
+                    );
+                }
+                sink.observe("iteration.compute_seconds", compute_time);
+                sink.observe("iteration.overhead_seconds", overhead_time);
+            }
+            clock.advance_by(compute_time + overhead_time);
             samples.push(TrainingSample {
                 iteration,
                 loss: loss_sum / workers as f64,
-                time: clock,
+                time: clock.now(),
                 lr,
             });
         }
@@ -718,7 +781,7 @@ impl ModelTrainer {
         let final_accuracy = self.model.accuracy(params.as_slice());
         let report = TrainingReport::new(samples, quality, final_evaluation, final_accuracy)
             .with_rescales(rescales);
-        if compressed {
+        let report = if compressed {
             // The two-way overlap accounting is a view of the scheduler's
             // three-way accounting — derived once here so there is a single
             // source of truth for the charged totals.
@@ -734,6 +797,24 @@ impl ModelTrainer {
                 (Some(after), Some(before)) => Some(after.since(&before)),
                 (after, _) => after,
             };
+            if sink.enabled() {
+                sink.gauge_set(
+                    "schedule.serial_overhead",
+                    schedule_accounting.serial_overhead(),
+                );
+                sink.gauge_set(
+                    "schedule.pipelined_overhead",
+                    schedule_accounting.pipelined_overhead(),
+                );
+                sink.gauge_set(
+                    "schedule.charged_overhead",
+                    schedule_accounting.charged_overhead(),
+                );
+                sink.gauge_set("trainer.total_time", clock.now());
+                if let Some(stats) = &pool {
+                    stats.record_metrics(&sink, "pool");
+                }
+            }
             let dispatch = DispatchReport {
                 runtime: self.executor.name(),
                 parallelism: self.executor.parallelism(),
@@ -748,7 +829,14 @@ impl ModelTrainer {
                 .with_schedule(schedule_accounting)
                 .with_dispatch(dispatch)
         } else {
+            if sink.enabled() {
+                sink.gauge_set("trainer.total_time", clock.now());
+            }
             report
+        };
+        match session {
+            Some(active) => report.with_trace(active.finish()),
+            None => report,
         }
     }
 }

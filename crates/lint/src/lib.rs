@@ -16,8 +16,11 @@
 //!    which turned real modelling bugs into silent zeros before
 //!    `projected_payload_bytes` established the guarded pattern.
 //! 3. **`sim-wallclock`** — no `Instant::now` / `SystemTime` in
-//!    `crates/dist`: simulated time is the only clock there, and wall-clock
-//!    reads make runs nondeterministic.
+//!    `crates/dist`, and none of `sidco-trace`'s real-clock surface either
+//!    (`real_now` / `real_span` / `Lane::Real` / `RealSpanGuard`): simulated
+//!    time is the only clock there, and the `VirtualClock` facade is the one
+//!    sanctioned way to carry it into traces. Wall-clock reads make runs
+//!    nondeterministic.
 //! 4. **`ordering-justification`** — every explicit atomic
 //!    `Ordering::…` choice carries a nearby comment justifying it
 //!    (mentioning the ordering, the fence/lock pairing, or that the value is
@@ -434,16 +437,25 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
             );
         }
 
-        // Rule 3: wall-clock reads in the simulator.
-        if ctx.is_dist && !in_test && (code.contains("Instant::now") || word_in(code, "SystemTime"))
-        {
-            violation(
-                i,
-                "sim-wallclock",
-                "wall-clock read in crates/dist — the simulator's virtual clock is the only \
-                 time source; wall-clock reads make runs nondeterministic"
-                    .to_string(),
-            );
+        // Rule 3: wall-clock reads in the simulator — direct std reads and
+        // sidco-trace's real-clock recording surface alike.
+        if ctx.is_dist && !in_test {
+            let std_clock = code.contains("Instant::now") || word_in(code, "SystemTime");
+            let trace_clock = ["real_now", "real_span", "RealSpanGuard"]
+                .iter()
+                .any(|t| word_in(code, t))
+                || code.contains("Lane::Real");
+            if std_clock || trace_clock {
+                violation(
+                    i,
+                    "sim-wallclock",
+                    "wall-clock read in crates/dist — the simulator's virtual clock is the \
+                     only time source (trace model time through `sidco_trace::VirtualClock`, \
+                     never `real_now`/`real_span`/`Lane::Real`); wall-clock reads make runs \
+                     nondeterministic"
+                        .to_string(),
+                );
+            }
         }
 
         // Rule 4: atomic ordering choices must be justified.
@@ -622,6 +634,26 @@ mod tests {
         );
         // Word boundary: `SystemTimeLike` is not `SystemTime`.
         assert!(rules("crates/dist/src/a.rs", "struct SystemTimeLike;").is_empty());
+        // The trace crate's real-clock surface is banned in dist too…
+        for bad in [
+            "let g = sink.real_span(\"x\");",
+            "let t = sink.real_now();",
+            "let track = sink.track(\"t\", Lane::Real);",
+            "fn f(g: RealSpanGuard) {}",
+        ] {
+            assert_eq!(
+                rules("crates/dist/src/a.rs", bad),
+                vec!["sim-wallclock"],
+                "{bad}"
+            );
+            assert!(rules("crates/runtime/src/a.rs", bad).is_empty(), "{bad}");
+        }
+        // …while the virtual facade is the sanctioned clock.
+        assert!(rules(
+            "crates/dist/src/a.rs",
+            "let mut clock = VirtualClock::new(0.0); let t = sink.track(\"s\", Lane::Virtual);"
+        )
+        .is_empty());
     }
 
     #[test]

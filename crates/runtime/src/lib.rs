@@ -72,6 +72,13 @@ pub trait Runtime: std::fmt::Debug + Send + Sync {
     fn stats(&self) -> Option<PoolStats> {
         None
     }
+
+    /// Pre-registers this runtime's worker tracks with the active trace
+    /// session, so every worker appears in the exported timeline even when a
+    /// fast run completes before some workers get scheduled (their lifecycle
+    /// events would otherwise land after the session closed). No-op when
+    /// tracing is disabled or for runtimes without persistent workers.
+    fn register_trace_tracks(&self) {}
 }
 
 /// Runs `body(0..tasks)` inline, continuing past panics so every index

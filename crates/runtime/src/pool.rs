@@ -224,6 +224,15 @@ impl Runtime for WorkStealing {
         self.threads
     }
 
+    fn register_trace_tracks(&self) {
+        let sink = trace_sink();
+        if sink.enabled() && self.threads > 1 {
+            for id in 0..self.threads {
+                let _ = sink.track(&format!("sidco-pool-{id}"), sidco_trace::Lane::Real);
+            }
+        }
+    }
+
     fn run_indexed(&self, tasks: usize, body: &(dyn Fn(usize) + Sync)) {
         if tasks == 0 {
             return;
@@ -234,6 +243,8 @@ impl Runtime for WorkStealing {
         }
         let shared = self.shared();
         StatCells::bump(&shared.stats.jobs);
+        // Spans the whole dispatch→completion window on the caller's track.
+        let _job_span = trace_sink().real_span("pool/job");
         // SAFETY: the erased reference is only dereferenced by tasks of this
         // job, every task dereferences it before decrementing `remaining`,
         // and this function blocks until `remaining == 0` — so no use can
@@ -335,6 +346,31 @@ fn pin_worker(shared: &PoolShared, id: usize) {
 #[cfg(sidco_loom)]
 fn pin_worker(_shared: &PoolShared, _id: usize) {}
 
+/// The recording sink for pool lifecycle events. One relaxed atomic load when
+/// tracing is disabled; events land on the calling thread's own track
+/// (workers are named `sidco-pool-{id}`, so each gets a distinct track).
+#[cfg(not(sidco_loom))]
+fn trace_sink() -> sidco_trace::TraceSink {
+    sidco_trace::global_sink()
+}
+
+/// Under the loom model the baton-serialized "threads" must not touch the
+/// process-wide trace registry (a real mutex), so tracing is compiled out.
+#[cfg(sidco_loom)]
+fn trace_sink() -> sidco_trace::TraceSink {
+    sidco_trace::TraceSink::noop()
+}
+
+/// Record an instantaneous lifecycle event (steal, park, unpark) on the
+/// calling thread's real-time track.
+fn trace_instant(name: &'static str) {
+    let sink = trace_sink();
+    if sink.enabled() {
+        let track = sink.thread_track();
+        sink.instant(track, name, sink.real_now());
+    }
+}
+
 /// The worker main loop: find a task in locality order or park.
 fn worker_loop(shared: &Arc<PoolShared>, id: usize, deque: &Worker<Task>) {
     pin_worker(shared, id);
@@ -368,7 +404,9 @@ fn worker_loop(shared: &Arc<PoolShared>, id: usize, deque: &Worker<Task>) {
                     .stats
                     .currently_parked
                     .fetch_add(1, Ordering::Relaxed);
+                trace_instant("park");
                 shutdown = shared.wake.wait(shutdown).expect("sleep lock poisoned");
+                trace_instant("unpark");
                 // SeqCst: pairs with the SeqCst fence + sleepers load on the
                 // submit side, closing the park/submit race (eventcount).
                 shared.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -422,6 +460,7 @@ fn find_task(shared: &PoolShared, who: &Executor<'_>) -> Option<Task> {
             StatCells::bump(if local {
                 &shared.stats.injector_pops
             } else {
+                trace_instant("steal:remote");
                 &shared.stats.remote_steals
             });
             return Some(task);
@@ -432,8 +471,10 @@ fn find_task(shared: &PoolShared, who: &Executor<'_>) -> Option<Task> {
             }
             if let Some(task) = stealer.steal().success() {
                 StatCells::bump(if local {
+                    trace_instant("steal:sibling");
                     &shared.stats.sibling_steals
                 } else {
+                    trace_instant("steal:remote");
                     &shared.stats.remote_steals
                 });
                 return Some(task);
@@ -465,7 +506,11 @@ fn execute(shared: &PoolShared, who: &Executor<'_>, task: Task) {
         end = mid;
     }
     let index = start;
-    let outcome = catch_unwind(AssertUnwindSafe(|| (job.body)(index)));
+    let outcome = {
+        // Spans the chunk body on the executing thread's track.
+        let _chunk_span = trace_sink().real_span("chunk");
+        catch_unwind(AssertUnwindSafe(|| (job.body)(index)))
+    };
     StatCells::bump(&shared.stats.chunks);
     if let Err(payload) = outcome {
         let mut slot = job.panic.lock().expect("panic lock poisoned");

@@ -149,6 +149,34 @@ impl PoolStats {
         self.remote_steals as f64 / self.acquisitions() as f64
     }
 
+    /// Feed this snapshot into a trace metrics sink as gauges named
+    /// `{prefix}.{counter}`. Gauges rather than counters because a snapshot
+    /// is already cumulative — re-recording overwrites with the latest
+    /// reading instead of double-counting. No-op when the sink is disabled.
+    pub fn record_metrics(&self, sink: &sidco_trace::TraceSink, prefix: &str) {
+        if !sink.enabled() {
+            return;
+        }
+        let pairs: [(&str, u64); 10] = [
+            ("threads_spawned", self.threads_spawned),
+            ("jobs", self.jobs),
+            ("chunks_executed", self.chunks_executed),
+            ("local_pops", self.local_pops),
+            ("injector_pops", self.injector_pops),
+            ("sibling_steals", self.sibling_steals),
+            ("remote_steals", self.remote_steals),
+            ("parks", self.parks),
+            ("unparks", self.unparks),
+            ("workers_pinned", self.workers_pinned),
+        ];
+        for (name, v) in pairs {
+            sink.gauge_set(&format!("{prefix}.{name}"), v as f64);
+        }
+        for (socket, &chunks) in self.socket_chunks.iter().enumerate() {
+            sink.gauge_set(&format!("{prefix}.socket_chunks.{socket}"), chunks as f64);
+        }
+    }
+
     /// The counter deltas accumulated since `baseline` — the snapshot-diff
     /// idiom (`let before = pool.stats(); work(); pool.stats().since(&before)`)
     /// as a method, so callers measure one workload instead of the pool's

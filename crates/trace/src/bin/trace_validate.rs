@@ -1,0 +1,100 @@
+//! Validate a Chrome trace-event JSON file produced by the fleet example.
+//!
+//! Usage:
+//!   trace-validate <trace.json> [--min-streams N] [--workers N] [--expect-link]
+//!
+//! Exits non-zero (with a message on stderr) when the file is malformed, has
+//! no complete events, or is missing expected tracks. CI runs this against
+//! the trace emitted by `examples/fleet.rs --trace-out`.
+
+use std::process::ExitCode;
+
+use sidco_trace::parse_chrome_trace;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace-validate: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        return fail(
+            "usage: trace-validate <trace.json> [--min-streams N] [--workers N] [--expect-link]",
+        );
+    };
+    let mut min_streams = 0usize;
+    let mut workers = 0usize;
+    let mut expect_link = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--min-streams" => {
+                min_streams = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("trace-validate: bad --min-streams value");
+                    std::process::exit(2)
+                });
+            }
+            "--workers" => {
+                workers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("trace-validate: bad --workers value");
+                    std::process::exit(2)
+                });
+            }
+            "--expect-link" => expect_link = true,
+            other => return fail(&format!("unknown flag '{other}'")),
+        }
+    }
+
+    let input = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let parsed = match parse_chrome_trace(&input) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+
+    if parsed.complete_events == 0 {
+        return fail("no complete (ph:X) events");
+    }
+    if parsed.processes.is_empty() {
+        return fail("no process_name metadata");
+    }
+    if parsed.threads.is_empty() {
+        return fail("no thread_name metadata");
+    }
+
+    let stream_tracks: Vec<&str> = parsed
+        .track_labels()
+        .into_iter()
+        .filter(|t| t.starts_with("stream:"))
+        .collect();
+    if stream_tracks.len() < min_streams {
+        return fail(&format!(
+            "expected ≥{min_streams} stream tracks, found {}: {stream_tracks:?}",
+            stream_tracks.len()
+        ));
+    }
+    if expect_link && !parsed.has_track(|t| t == "link") {
+        return fail("no shared-link track");
+    }
+    for w in 0..workers {
+        let name = format!("sidco-pool-{w}");
+        if !parsed.has_track(|t| t == name) {
+            return fail(&format!("missing pool worker track '{name}'"));
+        }
+    }
+
+    println!(
+        "trace-validate: OK — {} complete events, {} instants, {} processes, {} tracks \
+         ({} stream tracks), span time {:.3} ms, last ts {:.3} ms",
+        parsed.complete_events,
+        parsed.instant_events,
+        parsed.processes.len(),
+        parsed.threads.len(),
+        stream_tracks.len(),
+        parsed.total_dur_us / 1000.0,
+        parsed.max_ts_us / 1000.0,
+    );
+    ExitCode::SUCCESS
+}

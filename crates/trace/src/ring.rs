@@ -1,0 +1,183 @@
+//! Bounded single-producer single-consumer event ring.
+//!
+//! Each recording thread owns exactly one [`EventRing`] (registered in the
+//! global registry on first use); only that thread ever pushes, and only the
+//! registry — holding its state lock — ever drains. That SPSC discipline is
+//! what makes the two unsafe slot accesses below sound, and it keeps the
+//! producer path lock-free: a push is two atomic loads, one slot write and
+//! one atomic store.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::report::RawEvent;
+
+/// Events each thread can buffer between drains. Sessions drain only when
+/// they finish, so this bounds a whole run; overflow increments a drop
+/// counter instead of blocking or reallocating.
+pub(crate) const RING_CAPACITY: usize = 1 << 15;
+
+pub(crate) struct EventRing {
+    slots: Box<[UnsafeCell<MaybeUninit<RawEvent>>]>,
+    /// Next slot to read (consumer-owned, producer only loads it).
+    head: AtomicUsize,
+    /// Next slot to write (producer-owned, consumer only loads it).
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: the SPSC protocol (one fixed producer thread, drains serialized by
+// the registry state lock) guarantees a slot is never accessed from two
+// threads at once: the producer writes slot `i` strictly before its Release
+// store of `tail = i + 1`, and the consumer reads slot `i` only after an
+// Acquire load observes `tail > i`.
+unsafe impl Sync for EventRing {}
+// SAFETY: RawEvent is Send; ownership of buffered events moves with the ring.
+unsafe impl Send for EventRing {}
+
+impl EventRing {
+    pub(crate) fn new() -> Self {
+        let mut slots = Vec::with_capacity(RING_CAPACITY);
+        for _ in 0..RING_CAPACITY {
+            slots.push(UnsafeCell::new(MaybeUninit::uninit()));
+        }
+        Self {
+            slots: slots.into_boxed_slice(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Producer side; must only be called from the owning thread.
+    pub(crate) fn push(&self, ev: RawEvent) {
+        // Relaxed: tail is only ever written by this same thread.
+        let tail = self.tail.load(Ordering::Relaxed);
+        // Acquire: pairs with the consumer's Release store of head, so the
+        // slot freed by the consumer is visible before we overwrite it.
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= RING_CAPACITY {
+            // Relaxed: a monotone statistic, nothing is inferred from it.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[tail % RING_CAPACITY];
+        // SAFETY: `tail - head < capacity` means this slot is not readable by
+        // the consumer, and only this (producer) thread writes slots; the
+        // Release store below publishes the write before it becomes readable.
+        unsafe { (*slot.get()).write(ev) };
+        // Release: publishes the slot write above to the consumer's Acquire
+        // load of tail.
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Consumer side; callers must hold the registry state lock (serializing
+    /// all drains) for the SPSC claim to hold.
+    pub(crate) fn drain_into(&self, out: &mut Vec<RawEvent>) {
+        // Acquire: pairs with the producer's Release store of tail, making
+        // every slot write up to `tail` visible here.
+        let tail = self.tail.load(Ordering::Acquire);
+        // Relaxed: head is only written under the same registry lock.
+        let mut head = self.head.load(Ordering::Relaxed);
+        while head != tail {
+            let slot = &self.slots[head % RING_CAPACITY];
+            // SAFETY: `head < tail` and the Acquire load above mean the
+            // producer fully initialised this slot and will not touch it
+            // again until we advance head; ptr::read moves the value out.
+            out.push(unsafe { (*slot.get()).assume_init_read() });
+            head = head.wrapping_add(1);
+        }
+        // Release: hands the consumed slots back to the producer's Acquire
+        // load of head.
+        self.head.store(head, Ordering::Release);
+    }
+
+    /// Discard any buffered events (between sessions); same locking
+    /// requirement as [`EventRing::drain_into`].
+    pub(crate) fn clear(&self) {
+        let mut sink = Vec::new();
+        self.drain_into(&mut sink);
+    }
+
+    /// Take and reset the drop counter.
+    pub(crate) fn take_dropped(&self) -> u64 {
+        // Relaxed: a monotone statistic read during the serialized drain.
+        self.dropped.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl Drop for EventRing {
+    fn drop(&mut self) {
+        // Unread events own heap data (Cow::Owned names); drop them properly.
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{EventKind, TrackId};
+    use std::borrow::Cow;
+    use std::sync::Arc;
+
+    fn ev(i: usize) -> RawEvent {
+        RawEvent {
+            track: TrackId(0),
+            kind: EventKind::Instant,
+            name: Cow::Owned(format!("e{i}")),
+            ts: i as f64,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let ring = EventRing::new();
+        for i in 0..100 {
+            ring.push(ev(i));
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 100);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.name, format!("e{i}"));
+        }
+    }
+
+    #[test]
+    fn overflow_counts_drops() {
+        let ring = EventRing::new();
+        for i in 0..RING_CAPACITY + 7 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.take_dropped(), 7);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), RING_CAPACITY);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer() {
+        let ring = Arc::new(EventRing::new());
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..10_000 {
+                    ring.push(ev(i));
+                }
+            })
+        };
+        // Drain concurrently with the producer (single consumer thread, so
+        // the SPSC contract holds without the registry lock).
+        let mut out = Vec::new();
+        while out.len() < 10_000 {
+            ring.drain_into(&mut out);
+            std::thread::yield_now();
+        }
+        producer.join().expect("producer panicked");
+        assert_eq!(out.len(), 10_000);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.ts, i as f64);
+        }
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`models`] — Table-1 benchmark specs, synthetic gradient generators and real
 //!   trainable models;
 //! * [`dist`] — the distributed synchronous-SGD simulator (optimizers, network and
-//!   device cost models, trainer, benchmark simulations).
+//!   device cost models, trainer, benchmark simulations);
+//! * [`trace`] — the unified tracing/metrics subsystem: virtual/real dual
+//!   clocks, span recording, counters/gauges/histograms, and Chrome
+//!   trace-event export for Perfetto.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use sidco_models as models;
 pub use sidco_runtime as runtime;
 pub use sidco_stats as stats;
 pub use sidco_tensor as tensor;
+pub use sidco_trace as trace;
 
 /// The most commonly used types across the workspace.
 pub mod prelude {
@@ -68,6 +72,9 @@ pub mod prelude {
     pub use sidco_models::synthetic::{GradientProfile, SyntheticGradientGenerator};
     pub use sidco_models::DifferentiableModel;
     pub use sidco_runtime::{Runtime, RuntimeKind};
+    pub use sidco_trace::{
+        parse_chrome_trace, ChromeTrace, TraceReport, TraceSession, VirtualClock,
+    };
 }
 
 #[cfg(test)]
